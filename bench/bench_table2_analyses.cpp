@@ -1,0 +1,88 @@
+//===- bench_table2_analyses.cpp - Regenerates Table 2 ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 2: "Exotic Instruction Analysis Summary" — the eleven successful
+// analyses with their transformation step counts. Every row is re-derived
+// live: the scripts replay, each step re-verifies its conditions and is
+// differentially tested, the common form is checked, and the binding's
+// register-size constraints are re-derived. Our step counts differ from
+// the 1982 numbers (this engine's rules are coarser) but rank-correlate;
+// both are printed.
+//
+// Benchmarks: full analysis time per representative row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Derivations.h"
+
+#include <benchmark/benchmark.h>
+#include <cstdio>
+
+using namespace extra;
+using namespace extra::analysis;
+
+static void printTable2() {
+  std::printf("==== Table 2: Exotic Instruction Analysis Summary ====\n\n");
+  std::printf("  %-12s %-12s %-8s %-16s %-6s %-6s %s\n", "Machine",
+              "Instruction", "Language", "Operation", "Steps", "Paper",
+              "Status");
+  std::printf("  %-12s %-12s %-8s %-16s %-6s %-6s %s\n", "-------",
+              "-----------", "--------", "---------", "-----", "-----",
+              "------");
+  unsigned Failures = 0;
+  for (const AnalysisCase &Case : table2Cases()) {
+    AnalysisResult R = runAnalysis(Case, Mode::Base);
+    std::printf("  %-12s %-12s %-8s %-16s %-6u %-6u %s\n",
+                Case.Machine.c_str(), Case.Instruction.c_str(),
+                Case.Language.c_str(), Case.Operation.c_str(),
+                R.StepsApplied, Case.PaperSteps,
+                R.Succeeded ? "verified" : R.FailureReason.c_str());
+    if (!R.Succeeded)
+      ++Failures;
+  }
+  std::printf("\n  every row: scripted derivation replayed, each step "
+              "condition-checked and\n  differentially tested, common form "
+              "matched, end-to-end operator equivalence\n  verified on "
+              "random inputs.%s\n\n",
+              Failures ? "  SOME ROWS FAILED." : "");
+
+  std::printf("beyond Table 2 (same machinery, new pairings):\n");
+  for (const AnalysisCase &Case : extendedCases()) {
+    AnalysisResult R = runAnalysis(Case, Mode::Base);
+    std::printf("  %-12s %-12s %-8s %-16s %-6u %-6s %s\n",
+                Case.Machine.c_str(), Case.Instruction.c_str(),
+                Case.Language.c_str(), Case.Operation.c_str(),
+                R.StepsApplied, "-",
+                R.Succeeded ? "verified" : R.FailureReason.c_str());
+  }
+  std::printf("\n");
+
+  // The §4.1 constraint exhibit.
+  AnalysisResult Scasb = runAnalysis(*findCase("i8086.scasb/rigel.index"),
+                                     Mode::Base);
+  std::printf("constraints from the scasb/index row (§4.1):\n%s\n",
+              Scasb.Constraints.str().c_str());
+}
+
+static void benchCase(benchmark::State &State, const char *Id) {
+  const AnalysisCase *Case = findCase(Id);
+  DiffOptions Opts;
+  Opts.Trials = 8;
+  for (auto _ : State) {
+    AnalysisResult R = runAnalysis(*Case, Mode::Base, Opts);
+    benchmark::DoNotOptimize(R.Succeeded);
+  }
+}
+BENCHMARK_CAPTURE(benchCase, scasb_rigel, "i8086.scasb/rigel.index");
+BENCHMARK_CAPTURE(benchCase, mvc_sassign, "ibm370.mvc/pascal.sassign");
+BENCHMARK_CAPTURE(benchCase, movc3_pc2, "vax.movc3/pc2.copy");
+
+int main(int argc, char **argv) {
+  printTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

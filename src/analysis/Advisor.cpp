@@ -1,0 +1,212 @@
+//===- Advisor.cpp - Suggesting the next transformation ---------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Advisor.h"
+
+#include "isdl/Traverse.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace extra;
+using namespace extra::analysis;
+using namespace extra::isdl;
+using transform::Step;
+
+//===----------------------------------------------------------------------===//
+// Structural distance
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Feature vector: counts of syntactic categories.
+std::map<std::string, int> featuresOf(const Description &D) {
+  std::map<std::string, int> F;
+  F["routines"] = static_cast<int>(D.routines().size());
+  F["decls"] = static_cast<int>(D.decls().size());
+  for (const Routine *R : D.routines()) {
+    forEachStmt(R->Body, [&](const Stmt &S) {
+      switch (S.getKind()) {
+      case Stmt::Kind::Assign:
+        ++F["assign"];
+        break;
+      case Stmt::Kind::If:
+        ++F["if"];
+        break;
+      case Stmt::Kind::Repeat:
+        ++F["repeat"];
+        break;
+      case Stmt::Kind::ExitWhen:
+        ++F["exit"];
+        break;
+      case Stmt::Kind::Input:
+        F["input-arity"] +=
+            static_cast<int>(cast<InputStmt>(&S)->getTargets().size());
+        break;
+      case Stmt::Kind::Output:
+        F["output-arity"] +=
+            static_cast<int>(cast<OutputStmt>(&S)->getValues().size());
+        break;
+      case Stmt::Kind::Constrain:
+        ++F["constrain"];
+        break;
+      case Stmt::Kind::Assert:
+        ++F["assert"];
+        break;
+      }
+      forEachExpr(S, [&](const Expr &E) {
+        switch (E.getKind()) {
+        case Expr::Kind::Binary:
+          ++F[std::string("op:") +
+              spelling(cast<BinaryExpr>(&E)->getOp())];
+          break;
+        case Expr::Kind::Unary:
+          ++F[std::string("op:") + spelling(cast<UnaryExpr>(&E)->getOp())];
+          break;
+        case Expr::Kind::MemRef:
+          ++F["mem"];
+          break;
+        case Expr::Kind::Call:
+          ++F["call"];
+          break;
+        case Expr::Kind::IntLit:
+          ++F["lit"];
+          break;
+        default:
+          break;
+        }
+      });
+    });
+  }
+  return F;
+}
+
+} // namespace
+
+unsigned analysis::structuralDistance(const Description &A,
+                                      const Description &B) {
+  std::map<std::string, int> FA = featuresOf(A), FB = featuresOf(B);
+  unsigned D = 0;
+  for (const auto &[K, V] : FA) {
+    auto It = FB.find(K);
+    D += static_cast<unsigned>(std::abs(V - (It == FB.end() ? 0 : It->second)));
+  }
+  for (const auto &[K, V] : FB)
+    if (!FA.count(K))
+      D += static_cast<unsigned>(std::abs(V));
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Candidate generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rules worth trying with no arguments.
+const char *ZeroArgRules[] = {
+    "fold-constants",   "if-false-elim", "if-true-elim",
+    "if-not-elim",      "not-not",       "ne-to-not-eq",
+    "eq-to-diff-zero",  "diff-zero-to-eq", "de-morgan-and",
+    "if-to-flag-assign", "flag-assign-to-if", "dead-loop-elim",
+    "empty-if-elim",    "merge-exits",   "split-exit-disjunction",
+    "rotate-while-to-dowhile", "remove-assert", "hoist-from-if",
+    "sink-common-tail", "rel-shift-const", "fold-const-chain",
+};
+
+std::vector<Step> candidates(const Description &Current) {
+  std::vector<Step> Out;
+  for (const char *R : ZeroArgRules)
+    Out.push_back(Step{R, "", {}});
+
+  // Per-declaration candidates.
+  unsigned Fresh = 0;
+  for (const Decl *Dl : Current.decls()) {
+    const std::string &N = Dl->Name;
+    Out.push_back(Step{"dead-decl-elim", "", {{"var", N}}});
+    Out.push_back(Step{"dead-var-elim", "", {{"var", N}}});
+    Out.push_back(Step{"dead-assign-elim", "", {{"var", N}}});
+    Out.push_back(Step{"global-constant-propagate", "", {{"var", N}}});
+    Out.push_back(Step{"copy-propagate", "", {{"var", N}}});
+    Out.push_back(Step{"move-up", "", {{"var", N}}});
+    Out.push_back(Step{"move-down", "", {{"var", N}}});
+    Out.push_back(Step{"fuse-load-store", "", {{"var", N}}});
+    if (Dl->Type.isFlag()) {
+      Out.push_back(
+          Step{"fix-operand-value", "", {{"operand", N}, {"value", "0"}}});
+      Out.push_back(
+          Step{"fix-operand-value", "", {{"operand", N}, {"value", "1"}}});
+      Out.push_back(Step{"record-exit-cause", "", {{"flag", N}}});
+      Out.push_back(Step{"invert-flag", "", {{"var", N}}});
+    }
+  }
+
+  // Base+index access patterns suggest strength reduction.
+  for (const Routine *R : Current.routines())
+    forEachExpr(R->Body, [&](const Expr &E) {
+      const auto *M = dyn_cast<MemRef>(&E);
+      if (!M)
+        return;
+      const auto *Add = dyn_cast<BinaryExpr>(M->getAddress());
+      if (!Add || Add->getOp() != BinaryOp::Add)
+        return;
+      const auto *B = dyn_cast<VarRef>(Add->getLHS());
+      const auto *I = dyn_cast<VarRef>(Add->getRHS());
+      if (B && I)
+        Out.push_back(Step{"index-to-pointer",
+                           "",
+                           {{"base-var", B->getName()},
+                            {"index-var", I->getName()},
+                            {"pointer-var", "p" + std::to_string(Fresh++)}}});
+    });
+
+  // Routine-structuring candidates.
+  for (const Routine *R : Current.routines()) {
+    Out.push_back(Step{"extract-call-to-temp",
+                       "",
+                       {{"callee", R->Name},
+                        {"temp", "t" + std::to_string(Fresh++)}}});
+    Out.push_back(Step{"inline-routine",
+                       "",
+                       {{"callee", R->Name},
+                        {"temp", "t" + std::to_string(Fresh++)}}});
+    Out.push_back(Step{"dead-routine-elim", "", {{"name", R->Name}}});
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<Suggestion> analysis::suggestSteps(const Description &Current,
+                                               const Description &Target,
+                                               unsigned MaxSuggestions) {
+  std::vector<Suggestion> Improving, Other;
+  unsigned Baseline = structuralDistance(Current, Target);
+
+  for (Step &S : candidates(Current)) {
+    transform::Engine Scratch(Current.clone());
+    transform::ApplyResult R = Scratch.apply(S);
+    if (!R.Applied)
+      continue;
+    Suggestion Sg;
+    Sg.S = std::move(S);
+    Sg.DistanceAfter = structuralDistance(Scratch.current(), Target);
+    Sg.Note = R.Note;
+    (Sg.DistanceAfter < Baseline ? Improving : Other).push_back(
+        std::move(Sg));
+  }
+
+  auto ByDistance = [](const Suggestion &A, const Suggestion &B) {
+    return A.DistanceAfter < B.DistanceAfter;
+  };
+  std::stable_sort(Improving.begin(), Improving.end(), ByDistance);
+  std::stable_sort(Other.begin(), Other.end(), ByDistance);
+  for (Suggestion &Sg : Other)
+    Improving.push_back(std::move(Sg));
+  if (Improving.size() > MaxSuggestions)
+    Improving.resize(MaxSuggestions);
+  return Improving;
+}

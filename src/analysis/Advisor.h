@@ -1,0 +1,60 @@
+//===- Advisor.h - Suggesting the next transformation -----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's third future-work direction (§7): "methods should be
+/// developed to structure the analysis and to help the user in deciding
+/// how the analysis should proceed." This module implements a simple
+/// such method: given the description being transformed and the target
+/// description it should come to match, enumerate plausible next steps
+/// (rules with heuristically generated arguments), apply each
+/// speculatively on a scratch copy, and rank the survivors by how much
+/// they reduce a structural distance to the target.
+///
+/// The advisor is a search heuristic, not an oracle: its suggestions are
+/// ordinary Steps that still pass through the verifying engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ANALYSIS_ADVISOR_H
+#define EXTRA_ANALYSIS_ADVISOR_H
+
+#include "isdl/AST.h"
+#include "transform/Transform.h"
+
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace analysis {
+
+/// A ranked proposal for the next derivation step.
+struct Suggestion {
+  transform::Step S;
+  /// Structural distance to the target after applying the step (lower is
+  /// better); the current distance is reported by `structuralDistance`.
+  unsigned DistanceAfter = 0;
+  std::string Note; ///< The engine's note from the speculative apply.
+};
+
+/// A cheap structural metric between two descriptions: differences in
+/// statement-kind counts, operator counts, input arity, routine count,
+/// and declaration count. Zero does not imply equivalence; it is a
+/// search heuristic only.
+unsigned structuralDistance(const isdl::Description &A,
+                            const isdl::Description &B);
+
+/// Proposes up to \p MaxSuggestions applicable next steps that move
+/// \p Current toward \p Target, best first. Steps that apply but
+/// increase the distance are kept only after all improving ones.
+std::vector<Suggestion> suggestSteps(const isdl::Description &Current,
+                                     const isdl::Description &Target,
+                                     unsigned MaxSuggestions = 8);
+
+} // namespace analysis
+} // namespace extra
+
+#endif // EXTRA_ANALYSIS_ADVISOR_H

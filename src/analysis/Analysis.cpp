@@ -1,0 +1,164 @@
+//===- Analysis.cpp - The EXTRA analysis driver -----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include "descriptions/Descriptions.h"
+#include "isdl/Printer.h"
+
+using namespace extra;
+using namespace extra::analysis;
+using namespace extra::isdl;
+using constraint::Constraint;
+using constraint::ConstraintSet;
+using transform::Engine;
+using transform::Script;
+using transform::Step;
+
+bool analysis::isExtensionStep(const Step &S) {
+  return S.Rule == "note-relational-constraint" ||
+         S.Rule == "resolve-if-by-constraint";
+}
+
+void analysis::deriveBindingConstraints(const Description &OperatorDesc,
+                                        const Description &InstructionDesc,
+                                        const NameBinding &Binding,
+                                        ConstraintSet &Out) {
+  for (const auto &[OpName, InstName] : Binding.pairs()) {
+    const Decl *OpDecl = OperatorDesc.findDecl(OpName);
+    const Decl *InstDecl = InstructionDesc.findDecl(InstName);
+    if (!OpDecl || !InstDecl)
+      continue; // Routine pair.
+    unsigned OpW = OpDecl->Type.widthInBits();
+    unsigned InstW = InstDecl->Type.widthInBits();
+    if (InstW == 0 || InstW >= 64)
+      continue;
+    if (OpW != 0 && OpW <= InstW)
+      continue; // Operator operand already fits.
+    int64_t Hi = (int64_t(1) << InstW) - 1;
+    Out.add(Constraint::range(
+        OpName, 0, Hi,
+        "bound to " + InstName + InstDecl->Type.str() + " — operand must "
+        "fit in " + std::to_string(InstW) + " bits"));
+  }
+}
+
+AnalysisResult analysis::runAnalysis(const AnalysisCase &Case, Mode M,
+                                     const DiffOptions &Opts) {
+  AnalysisResult Result;
+
+  // Base mode rejects extension-only rules up front, reproducing the
+  // 1982 limitation (§4.3: "the current version of EXTRA has no ability
+  // to deal with complicated constraints that involve more than one
+  // operand").
+  if (M == Mode::Base) {
+    for (const Script *S : {&Case.OperatorScript, &Case.InstructionScript})
+      for (const Step &St : *S)
+        if (isExtensionStep(St)) {
+          Result.FailureReason =
+              "the derivation requires a relational constraint over "
+              "several operands; EXTRA's constraints are limited to a "
+              "single operand's value, range, or offset (§4.3) — rerun in "
+              "extension mode";
+          return Result;
+        }
+  }
+
+  auto OperatorDesc = descriptions::load(Case.OperatorId);
+  auto InstructionDesc = descriptions::load(Case.InstructionId);
+  if (!OperatorDesc || !InstructionDesc) {
+    Result.FailureReason = "cannot load descriptions";
+    return Result;
+  }
+  Description OriginalOperator = OperatorDesc->clone();
+
+  // Operator-side session. Collect adapters so the end-to-end check can
+  // map final-form inputs back to original operator inputs.
+  Engine OpEngine(std::move(*OperatorDesc));
+  OpEngine.setVerifier(makeStepVerifier(OpEngine.constraints(), Opts));
+  std::vector<transform::InputAdapter> OpAdapters;
+  for (const Step &St : Case.OperatorScript) {
+    transform::ApplyResult R = OpEngine.apply(St);
+    if (!R.Applied) {
+      Result.FailureReason = "operator step '" + St.str() +
+                             "' failed: " + R.Reason;
+      Result.StepsApplied = Result.OperatorSteps = OpEngine.stepsApplied();
+      return Result;
+    }
+    if (R.Effect == transform::SemanticsEffect::InputRefining && R.Adapter)
+      OpAdapters.push_back(R.Adapter);
+  }
+  Result.OperatorSteps = OpEngine.stepsApplied();
+
+  // Instruction-side session.
+  Engine InstEngine(std::move(*InstructionDesc));
+  InstEngine.setVerifier(makeStepVerifier(InstEngine.constraints(), Opts));
+  for (const Step &St : Case.InstructionScript) {
+    transform::ApplyResult R = InstEngine.apply(St);
+    if (!R.Applied) {
+      Result.FailureReason = "instruction step '" + St.str() +
+                             "' failed: " + R.Reason;
+      Result.StepsApplied =
+          Result.OperatorSteps + InstEngine.stepsApplied();
+      Result.InstructionSteps = InstEngine.stepsApplied();
+      return Result;
+    }
+  }
+  Result.InstructionSteps = InstEngine.stepsApplied();
+  Result.StepsApplied = Result.OperatorSteps + Result.InstructionSteps;
+
+  // Merge constraints from both sides.
+  for (const Constraint &C : OpEngine.constraints().items())
+    Result.Constraints.add(C);
+  for (const Constraint &C : InstEngine.constraints().items())
+    Result.Constraints.add(C);
+  if (M == Mode::Base && Result.Constraints.hasRelational()) {
+    Result.FailureReason = "a relational constraint was recorded; EXTRA "
+                           "cannot represent it (§4.3)";
+    return Result;
+  }
+
+  // The common-form check (§3): identical except for names.
+  const Description &FinalOperator = OpEngine.current();
+  const Description &FinalInstruction = InstEngine.current();
+  MatchResult Match = matchDescriptions(FinalOperator, FinalInstruction);
+  if (!Match.Matched) {
+    Result.FailureReason = "descriptions do not reach a common form: " +
+                           Match.Mismatch;
+    return Result;
+  }
+  Result.Binding = Match.Binding;
+
+  // Register-size constraints induced by the binding (§3, §4.1).
+  deriveBindingConstraints(FinalOperator, FinalInstruction, Result.Binding,
+                           Result.Constraints);
+
+  // End-to-end differential check: the ORIGINAL operator against the
+  // final augmented instruction. Inputs are drawn for the final form and
+  // mapped back through the operator-side refinement adapters, newest
+  // first.
+  std::vector<transform::InputAdapter> Adapters = OpAdapters;
+  auto MapInputs = [Adapters](const std::vector<int64_t> &Final) {
+    std::vector<int64_t> V = Final;
+    for (size_t I = Adapters.size(); I-- > 0;)
+      V = Adapters[I](V);
+    return V;
+  };
+  std::string DiffError;
+  if (!equivalentOnRandomInputs(OriginalOperator, FinalInstruction,
+                                &Result.Constraints, MapInputs, Opts,
+                                DiffError)) {
+    Result.FailureReason =
+        "end-to-end differential check failed (the augments do not "
+        "implement the operator): " + DiffError;
+    return Result;
+  }
+
+  Result.AugmentedInstruction = printDescription(FinalInstruction);
+  Result.TransformedOperator = printDescription(FinalOperator);
+  Result.Succeeded = true;
+  return Result;
+}

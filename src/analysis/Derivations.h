@@ -1,0 +1,43 @@
+//===- Derivations.h - The Table 2 derivation scripts -----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recorded derivations for the eleven successful analyses of
+/// Table 2 and the §4.3 movc3/sassign case. Each derivation plays the
+/// role of the 1982 user session: an ordered list of transformation
+/// applications that the engine verifies and applies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ANALYSIS_DERIVATIONS_H
+#define EXTRA_ANALYSIS_DERIVATIONS_H
+
+#include "analysis/Analysis.h"
+
+namespace extra {
+namespace analysis {
+
+/// The eleven successful analyses of Table 2, in table order.
+const std::vector<AnalysisCase> &table2Cases();
+
+/// The §4.3 case: VAX movc3 against Pascal string assignment. Fails in
+/// base mode (the no-overlap condition is a relational constraint);
+/// succeeds in extension mode.
+const AnalysisCase &movc3SassignCase();
+
+/// Analyses beyond the paper's Table 2 (PaperSteps = 0), demonstrating
+/// that the machinery generalizes: 8086 stosb as PC2 block clear, and
+/// VAX skpc as a Rigel span operator.
+const std::vector<AnalysisCase> &extendedCases();
+
+/// Looks up a case by Id ("<instruction>/<operator>"), searching the
+/// Table 2 cases and the movc3 case. Null when unknown.
+const AnalysisCase *findCase(const std::string &Id);
+
+} // namespace analysis
+} // namespace extra
+
+#endif // EXTRA_ANALYSIS_DERIVATIONS_H

@@ -1,0 +1,311 @@
+//===- Frontend.cpp - A tiny front end for the high-level IR ----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Frontend.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace extra;
+using namespace extra::codegen;
+
+namespace {
+
+/// A tiny hand-rolled tokenizer: identifiers (with dots), integers,
+/// character literals, and the punctuation ( ) , ; := =.
+struct Tok {
+  enum Kind { Ident, Int, Char, LParen, RParen, Comma, Semi, Assign, Eq,
+              End } K = End;
+  std::string Text;
+  int64_t Value = 0;
+  SourceLoc Loc;
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Src, DiagnosticEngine &Diags)
+      : Src(Src), Diags(Diags) {}
+
+  Tok next() {
+    for (;;) {
+      if (Pos >= Src.size())
+        return {Tok::End, "", 0, loc()};
+      char C = Src[Pos];
+      if (C == '!') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    Tok T;
+    T.Loc = loc();
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_' || Src[Pos] == '.' || Src[Pos] == '-'))
+        T.Text += advance();
+      // A trailing '-' or '.' belongs to punctuation, not the name.
+      while (!T.Text.empty() &&
+             (T.Text.back() == '.' || T.Text.back() == '-')) {
+        T.Text.pop_back();
+        --Pos;
+      }
+      T.K = Tok::Ident;
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Src.size() &&
+         std::isdigit(static_cast<unsigned char>(Src[Pos + 1])))) {
+      std::string Num;
+      Num += advance();
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        Num += advance();
+      T.K = Tok::Int;
+      T.Value = strtoll(Num.c_str(), nullptr, 10);
+      return T;
+    }
+    switch (advance()) {
+    case '\'':
+      if (Pos + 1 < Src.size() && Src[Pos + 1] == '\'') {
+        T.K = Tok::Char;
+        T.Value = static_cast<unsigned char>(advance());
+        advance(); // closing quote
+        return T;
+      }
+      Diags.error(T.Loc, "bad character literal");
+      return next();
+    case '(':
+      T.K = Tok::LParen;
+      return T;
+    case ')':
+      T.K = Tok::RParen;
+      return T;
+    case ',':
+      T.K = Tok::Comma;
+      return T;
+    case ';':
+      T.K = Tok::Semi;
+      return T;
+    case '=':
+      T.K = Tok::Eq;
+      return T;
+    case ':':
+      if (Pos < Src.size() && Src[Pos] == '=') {
+        advance();
+        T.K = Tok::Assign;
+        return T;
+      }
+      Diags.error(T.Loc, "expected ':='");
+      return next();
+    default:
+      Diags.error(T.Loc, "unexpected character");
+      return next();
+    }
+  }
+
+private:
+  SourceLoc loc() const { return {Line, Col}; }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  std::string_view Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+};
+
+class Parser {
+public:
+  Parser(std::string_view Src, DiagnosticEngine &Diags)
+      : Lex(Src, Diags), Diags(Diags) {
+    Cur = Lex.next();
+  }
+
+  std::optional<Program> parse() {
+    unsigned Before = Diags.errorCount();
+    Program P;
+    while (Cur.K != Tok::End) {
+      if (!parseStatement(P)) {
+        // Recover to the next ';'.
+        while (Cur.K != Tok::Semi && Cur.K != Tok::End)
+          eat();
+        if (Cur.K == Tok::Semi)
+          eat();
+      }
+    }
+    if (Diags.errorCount() != Before)
+      return std::nullopt;
+    return P;
+  }
+
+private:
+  void eat() { Cur = Lex.next(); }
+  bool expect(Tok::Kind K, const char *What) {
+    if (Cur.K != K) {
+      Diags.error(Cur.Loc, std::string("expected ") + What);
+      return false;
+    }
+    eat();
+    return true;
+  }
+
+  std::optional<Value> parseValue() {
+    if (Cur.K == Tok::Int) {
+      Value V = Value::literal(Cur.Value);
+      eat();
+      return V;
+    }
+    if (Cur.K == Tok::Char) {
+      Value V = Value::literal(Cur.Value);
+      eat();
+      return V;
+    }
+    if (Cur.K == Tok::Ident) {
+      Value V = Value::symbol(Cur.Text);
+      eat();
+      return V;
+    }
+    Diags.error(Cur.Loc, "expected an operand");
+    return std::nullopt;
+  }
+
+  bool parseArgs(std::vector<Value> &Out, size_t N) {
+    if (!expect(Tok::LParen, "'('"))
+      return false;
+    for (size_t I = 0; I < N; ++I) {
+      if (I != 0 && !expect(Tok::Comma, "','"))
+        return false;
+      auto V = parseValue();
+      if (!V)
+        return false;
+      Out.push_back(*V);
+    }
+    return expect(Tok::RParen, "')'") && expect(Tok::Semi, "';'");
+  }
+
+  bool parseStatement(Program &P) {
+    if (Cur.K != Tok::Ident) {
+      Diags.error(Cur.Loc, "expected a statement");
+      return false;
+    }
+    std::string Name = Cur.Text;
+    SourceLoc Loc = Cur.Loc;
+    eat();
+
+    if (Name == "const") {
+      // const <sym> = <int>;
+      if (Cur.K != Tok::Ident) {
+        Diags.error(Cur.Loc, "expected a name after 'const'");
+        return false;
+      }
+      std::string Sym = Cur.Text;
+      eat();
+      if (!expect(Tok::Eq, "'='"))
+        return false;
+      if (Cur.K != Tok::Int) {
+        Diags.error(Cur.Loc, "expected an integer constant");
+        return false;
+      }
+      P.Facts.KnownValues[Sym] = Cur.Value;
+      eat();
+      return expect(Tok::Semi, "';'");
+    }
+    if (Name == "range") {
+      // range <sym> <lo> <hi>;
+      if (Cur.K != Tok::Ident) {
+        Diags.error(Cur.Loc, "expected a name after 'range'");
+        return false;
+      }
+      std::string Sym = Cur.Text;
+      eat();
+      if (Cur.K != Tok::Int) {
+        Diags.error(Cur.Loc, "expected a lower bound");
+        return false;
+      }
+      int64_t Lo = Cur.Value;
+      eat();
+      if (Cur.K != Tok::Int) {
+        Diags.error(Cur.Loc, "expected an upper bound");
+        return false;
+      }
+      P.Facts.KnownRanges[Sym] = {Lo, Cur.Value};
+      eat();
+      return expect(Tok::Semi, "';'");
+    }
+    if (Name == "assume") {
+      if (Cur.K != Tok::Ident) {
+        Diags.error(Cur.Loc, "expected an axiom name after 'assume'");
+        return false;
+      }
+      P.Facts.Axioms.insert(Cur.Text);
+      eat();
+      return expect(Tok::Semi, "';'");
+    }
+
+    if (Name == "move" || Name == "copy" || Name == "clear") {
+      std::vector<Value> Args;
+      size_t N = Name == "clear" ? 2 : 3;
+      if (!parseArgs(Args, N))
+        return false;
+      if (Name == "move")
+        P.Ops.push_back(strMove(Args[0], Args[1], Args[2]));
+      else if (Name == "copy")
+        P.Ops.push_back(blockCopy(Args[0], Args[1], Args[2]));
+      else
+        P.Ops.push_back(blockClear(Args[0], Args[1]));
+      return true;
+    }
+
+    // result := index(...) | equal(...)
+    if (Cur.K != Tok::Assign) {
+      Diags.error(Loc, "unknown statement '" + Name + "'");
+      return false;
+    }
+    eat();
+    if (Cur.K != Tok::Ident ||
+        (Cur.Text != "index" && Cur.Text != "equal")) {
+      Diags.error(Cur.Loc, "expected index(...) or equal(...)");
+      return false;
+    }
+    std::string Op = Cur.Text;
+    eat();
+    std::vector<Value> Args;
+    if (!parseArgs(Args, 3))
+      return false;
+    if (Op == "index")
+      P.Ops.push_back(strIndex(Name, Args[0], Args[1], Args[2]));
+    else
+      P.Ops.push_back(strEqual(Name, Args[0], Args[1], Args[2]));
+    return true;
+  }
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Tok Cur;
+};
+
+} // namespace
+
+std::optional<Program> codegen::parseProgram(std::string_view Source,
+                                             DiagnosticEngine &Diags) {
+  Parser P(Source, Diags);
+  return P.parse();
+}

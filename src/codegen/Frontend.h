@@ -1,0 +1,46 @@
+//===- Frontend.h - A tiny front end for the high-level IR ------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature source language over the string operators, standing in
+/// for the Pascal/Rigel front ends of §6. It exists so programs for the
+/// retargetable back ends can be written as text:
+///
+///     const n = 12;            ! compile-time fact (constant propagation)
+///     range len 0 255;         ! compile-time fact (declared capacity)
+///     assume pascal.no-overlap;! source-language axiom
+///     move(dst, src, n);       ! StrMove
+///     copy(dst, src, n);       ! BlockCopy (overlap-safe)
+///     clear(buf, 64);          ! BlockClear
+///     i := index(s, len, 'c'); ! StrIndex
+///     eq := equal(a, b, len);  ! StrEqual
+///
+/// Operands are integer literals, character literals, or symbols.
+/// Comments run from `!` to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_CODEGEN_FRONTEND_H
+#define EXTRA_CODEGEN_FRONTEND_H
+
+#include "codegen/IR.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+
+namespace extra {
+namespace codegen {
+
+/// Parses a program in the miniature source language. Reports problems
+/// to \p Diags; returns nullopt on any error.
+std::optional<Program> parseProgram(std::string_view Source,
+                                    DiagnosticEngine &Diags);
+
+} // namespace codegen
+} // namespace extra
+
+#endif // EXTRA_CODEGEN_FRONTEND_H

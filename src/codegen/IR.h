@@ -1,0 +1,107 @@
+//===- IR.h - High-level internal form for the code generator --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-side internal form of §6: "the compiler must have an
+/// internal form that allows high-level language operators to be
+/// represented explicitly. The code generator can then generate an exotic
+/// instruction when a high-level operator is encountered ... and any
+/// constraints can be satisfied."
+///
+/// A Program is a straight-line sequence of high-level string/block
+/// operators over symbolic or literal operands, plus the compile-time
+/// facts (known constants, ranges, language axioms) the front end has
+/// established — exactly the information constraint checking needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_CODEGEN_IR_H
+#define EXTRA_CODEGEN_IR_H
+
+#include "constraint/Constraint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace codegen {
+
+/// High-level operators with exotic-instruction implementations analyzed
+/// in the paper.
+enum class OpKind {
+  StrIndex,   ///< result <- index(str, len, ch): 1-based, 0 when absent.
+  StrMove,    ///< move(dst, src, len) — Pascal/PL/1 string move.
+  StrEqual,   ///< result <- equal(a, b, len): 1 when byte-equal.
+  BlockCopy,  ///< copy(dst, src, len) — overlap-safe (PC2 bcopy).
+  BlockClear, ///< clear(dst, len) — zero fill (PC2 bzero).
+};
+
+const char *opKindName(OpKind K);
+
+/// An operand: a literal or a named front-end symbol whose value lives in
+/// a (virtual) location the emitter materializes.
+struct Value {
+  enum class Kind { Literal, Symbol };
+  Kind K = Kind::Literal;
+  int64_t Lit = 0;
+  std::string Name;
+
+  static Value literal(int64_t V) {
+    Value Out;
+    Out.K = Kind::Literal;
+    Out.Lit = V;
+    return Out;
+  }
+  static Value symbol(std::string Name) {
+    Value Out;
+    Out.K = Kind::Symbol;
+    Out.Name = std::move(Name);
+    return Out;
+  }
+
+  bool isLiteral() const { return K == Kind::Literal; }
+  std::string str() const {
+    return isLiteral() ? std::to_string(Lit) : Name;
+  }
+};
+
+/// One high-level operation.
+struct HLOp {
+  OpKind K;
+  /// Operand order by kind:
+  ///   StrIndex:   str, len, ch
+  ///   StrMove:    dst, src, len
+  ///   StrEqual:   a, b, len
+  ///   BlockCopy:  dst, src, len
+  ///   BlockClear: dst, len
+  std::vector<Value> Args;
+  /// Result symbol for value-producing ops (StrIndex, StrEqual).
+  std::string Result;
+
+  std::string str() const;
+};
+
+/// A straight-line program plus front-end facts.
+struct Program {
+  std::vector<HLOp> Ops;
+  constraint::CompileTimeFacts Facts;
+};
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+HLOp strIndex(std::string Result, Value Str, Value Len, Value Ch);
+HLOp strMove(Value Dst, Value Src, Value Len);
+HLOp strEqual(std::string Result, Value A, Value B, Value Len);
+HLOp blockCopy(Value Dst, Value Src, Value Len);
+HLOp blockClear(Value Dst, Value Len);
+
+} // namespace codegen
+} // namespace extra
+
+#endif // EXTRA_CODEGEN_IR_H

@@ -1,0 +1,295 @@
+//===- Target.cpp - Retargetable code generation core -----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Target.h"
+
+#include "support/StringUtil.h"
+
+using namespace extra;
+using namespace extra::codegen;
+using constraint::CompileTimeFacts;
+using constraint::Constraint;
+using constraint::ConstraintKind;
+using constraint::SatResult;
+
+const char *codegen::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::StrIndex:
+    return "StrIndex";
+  case OpKind::StrMove:
+    return "StrMove";
+  case OpKind::StrEqual:
+    return "StrEqual";
+  case OpKind::BlockCopy:
+    return "BlockCopy";
+  case OpKind::BlockClear:
+    return "BlockClear";
+  }
+  return "?";
+}
+
+std::string HLOp::str() const {
+  std::string Out = opKindName(K);
+  Out += "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  Out += ")";
+  if (!Result.empty())
+    Out = Result + " <- " + Out;
+  return Out;
+}
+
+HLOp codegen::strIndex(std::string Result, Value Str, Value Len, Value Ch) {
+  return HLOp{OpKind::StrIndex, {Str, Len, Ch}, std::move(Result)};
+}
+HLOp codegen::strMove(Value Dst, Value Src, Value Len) {
+  return HLOp{OpKind::StrMove, {Dst, Src, Len}, ""};
+}
+HLOp codegen::strEqual(std::string Result, Value A, Value B, Value Len) {
+  return HLOp{OpKind::StrEqual, {A, B, Len}, std::move(Result)};
+}
+HLOp codegen::blockCopy(Value Dst, Value Src, Value Len) {
+  return HLOp{OpKind::BlockCopy, {Dst, Src, Len}, ""};
+}
+HLOp codegen::blockClear(Value Dst, Value Len) {
+  return HLOp{OpKind::BlockClear, {Dst, Len}, ""};
+}
+
+//===----------------------------------------------------------------------===//
+// CodeGenContext
+//===----------------------------------------------------------------------===//
+
+std::string CodeGenContext::freshLabel(const std::string &Stem) {
+  return Stem + std::to_string(NextLabel++);
+}
+
+bool CodeGenContext::registerHolds(const std::string &Reg,
+                                   const std::string &What) const {
+  auto It = RegContents.find(Reg);
+  return It != RegContents.end() && It->second == What && !What.empty();
+}
+
+void CodeGenContext::setRegister(const std::string &Reg,
+                                 const std::string &What) {
+  RegContents[Reg] = What;
+}
+
+void CodeGenContext::clobberRegister(const std::string &Reg) {
+  RegContents.erase(Reg);
+}
+
+void CodeGenContext::clobberAllRegisters() { RegContents.clear(); }
+
+void CodeGenContext::emit(std::string Line) {
+  Lines.push_back(std::move(Line));
+}
+
+void CodeGenContext::load(const std::string &Reg, const Value &V,
+                          const std::string &MovMnemonic) {
+  std::string What = V.str();
+  if (registerHolds(Reg, What))
+    return; // §6: cascaded instructions reuse dedicated registers.
+  emit("  " + MovMnemonic + " " + Reg + ", " + What);
+  setRegister(Reg, What);
+}
+
+//===----------------------------------------------------------------------===//
+// Code generation driver
+//===----------------------------------------------------------------------===//
+
+Target::~Target() = default;
+
+namespace {
+
+/// Explains a constraint-check outcome for the selection notes.
+std::string satName(SatResult R) {
+  switch (R) {
+  case SatResult::Satisfied:
+    return "constraints satisfied by compile-time facts";
+  case SatResult::Satisfiable:
+    return "constraints satisfiable by setup/rewriting code";
+  case SatResult::Violated:
+    return "a constraint is violated";
+  case SatResult::Unknown:
+    return "a constraint cannot be decided at compile time";
+  }
+  return "?";
+}
+
+/// Position of the length operand for each operator kind.
+size_t lengthArgIndex(OpKind K) {
+  switch (K) {
+  case OpKind::StrIndex:
+    return 1;
+  case OpKind::BlockClear:
+    return 1;
+  case OpKind::StrMove:
+  case OpKind::StrEqual:
+  case OpKind::BlockCopy:
+    return 2;
+  }
+  return 0;
+}
+
+/// Facts for checking \p B against \p O: the base facts plus, when the
+/// length operand is a literal, that literal seeded as the known value of
+/// every range-constrained operand (the length is the only operand whose
+/// magnitude the bindings bound tightly; address ranges are 2^16+ wide,
+/// so the seeding is safely conservative for them).
+CompileTimeFacts bindingFacts(const InstructionBinding &B, const HLOp &O,
+                              const CompileTimeFacts &BaseFacts,
+                              int64_t WordMax) {
+  CompileTimeFacts Facts = BaseFacts;
+  const Value &Len = O.Args[lengthArgIndex(O.K)];
+  for (const Constraint &C : B.Constraints.items()) {
+    if (C.kind() != ConstraintKind::Range)
+      continue;
+    // Word-wide ranges are trivially satisfied: every front-end operand
+    // fits in a machine word.
+    if (C.hi() >= WordMax) {
+      Facts.KnownRanges.emplace(C.operand(), std::make_pair(C.lo(), C.hi()));
+      continue;
+    }
+    // Narrow ranges bound the length operand; transfer what the front
+    // end knows about it onto the constraint's (operator-side) name.
+    if (Len.isLiteral()) {
+      Facts.KnownValues.emplace(C.operand(), Len.Lit);
+    } else {
+      auto ItV = BaseFacts.KnownValues.find(Len.Name);
+      if (ItV != BaseFacts.KnownValues.end())
+        Facts.KnownValues.emplace(C.operand(), ItV->second);
+      auto ItR = BaseFacts.KnownRanges.find(Len.Name);
+      if (ItR != BaseFacts.KnownRanges.end())
+        Facts.KnownRanges.emplace(C.operand(), ItR->second);
+    }
+  }
+  return Facts;
+}
+
+} // namespace
+
+namespace {
+
+/// §6 constant-value optimization: operands whose symbols the front end
+/// knows as constants are propagated into the operation before
+/// selection, so emitters load immediates instead of dead symbols.
+HLOp propagateConstants(const HLOp &O, const CompileTimeFacts &Facts) {
+  HLOp Out = O;
+  for (Value &V : Out.Args) {
+    if (V.isLiteral())
+      continue;
+    auto It = Facts.KnownValues.find(V.Name);
+    if (It != Facts.KnownValues.end())
+      V = Value::literal(It->second);
+  }
+  return Out;
+}
+
+} // namespace
+
+CodeGenResult Target::generate(const Program &P) const {
+  CodeGenResult Result;
+  CodeGenContext Ctx;
+
+  for (size_t I = 0; I < P.Ops.size(); ++I) {
+    const HLOp O = propagateConstants(P.Ops[I], P.Facts);
+    SelectionNote Note;
+    Note.OpIndex = I;
+    Note.Operator = opKindName(O.K);
+
+    const InstructionBinding *Chosen = nullptr;
+    SatResult Outcome = SatResult::Unknown;
+    bool NeedRewrite = false;
+    for (const InstructionBinding &B : Bindings) {
+      if (B.Op != O.K)
+        continue;
+      CompileTimeFacts BF = bindingFacts(B, O, P.Facts, wordMax());
+      SatResult R = B.Constraints.checkAll(BF, /*AllowRewriting=*/true);
+      if (R == SatResult::Violated)
+        continue;
+      // Range constraints that only a rewriting rule can force need the
+      // binding to actually have one.
+      SatResult Strict =
+          B.Constraints.checkAll(BF, /*AllowRewriting=*/false);
+      if (Strict == SatResult::Violated || Strict == SatResult::Unknown) {
+        if (!B.RewriteEmit)
+          continue;
+        NeedRewrite = true;
+      }
+      Chosen = &B;
+      Outcome = R;
+      break;
+    }
+
+    Ctx.emit("; " + O.str());
+    if (Chosen && NeedRewrite) {
+      if (Chosen->RewriteEmit(O, P.Facts, Ctx)) {
+        Note.Chosen = Chosen->Mnemonic + " (rewritten)";
+        Note.Reason = "range forced by a §6 rewriting rule (chunked uses)";
+        ++Result.ExoticCount;
+      } else {
+        decompose(O, Ctx);
+        Ctx.clobberAllRegisters();
+        Note.Chosen = "decomposed";
+        Note.Reason = "rewriting rule declined; primitive loop emitted";
+        ++Result.DecomposedCount;
+      }
+    } else if (Chosen) {
+      Chosen->Emit(O, P.Facts, Ctx);
+      Note.Chosen = Chosen->Mnemonic;
+      Note.Reason = satName(Outcome) + " [" + Chosen->AnalysisId + "]";
+      ++Result.ExoticCount;
+    } else {
+      decompose(O, Ctx);
+      Ctx.clobberAllRegisters();
+      Note.Chosen = "decomposed";
+      Note.Reason = "no usable exotic binding; primitive loop emitted";
+      ++Result.DecomposedCount;
+    }
+    Result.Notes.push_back(std::move(Note));
+  }
+
+  Result.Asm = peephole(Ctx.takeLines());
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Peephole (§6 augment/rewrite integration)
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> codegen::peephole(std::vector<std::string> Asm) {
+  std::vector<std::string> Out;
+  Out.reserve(Asm.size());
+  std::string LastSetup;
+  for (std::string &Line : Asm) {
+    std::string_view T = trim(Line);
+    // Delete self-moves produced by stitching augment and rewrite code.
+    if (startsWith(T, "mov ") || startsWith(T, "movl ")) {
+      size_t Sp = T.find(' ');
+      std::string_view Rest = trim(T.substr(Sp));
+      size_t Comma = Rest.find(',');
+      if (Comma != std::string_view::npos) {
+        std::string_view A = trim(Rest.substr(0, Comma));
+        std::string_view B = trim(Rest.substr(Comma + 1));
+        if (A == B)
+          continue;
+      }
+    }
+    // Collapse immediately repeated direction/flag setup (cld; cld).
+    if (T == "cld" || T == "std") {
+      if (LastSetup == T)
+        continue;
+      LastSetup = std::string(T);
+    } else if (!T.empty() && T[0] != ';') {
+      LastSetup.clear();
+    }
+    Out.push_back(std::move(Line));
+  }
+  return Out;
+}

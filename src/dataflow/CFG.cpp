@@ -1,0 +1,271 @@
+//===- CFG.cpp - Control-flow graphs for ISDL routines ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/CFG.h"
+
+#include "isdl/Traverse.h"
+
+using namespace extra;
+using namespace extra::dataflow;
+using namespace extra::isdl;
+
+//===----------------------------------------------------------------------===//
+// Effect summaries
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void summarizeRoutineInto(const Description &D, const Routine &R,
+                          EffectSummary &Out,
+                          std::set<std::string> &InProgress);
+
+/// Collects reads (and call-induced writes) of \p E.
+void exprEffects(const Description &D, const Expr &E,
+                 std::set<std::string> &Reads, std::set<std::string> *Writes,
+                 std::set<std::string> &InProgress) {
+  forEachExpr(E, [&](const Expr &Sub) {
+    if (const auto *V = dyn_cast<VarRef>(&Sub)) {
+      Reads.insert(V->getName());
+    } else if (isa<MemRef>(&Sub)) {
+      Reads.insert(MemoryVar);
+    } else if (const auto *C = dyn_cast<CallExpr>(&Sub)) {
+      const Routine *Callee = D.findRoutine(C->getCallee());
+      if (!Callee) {
+        // Unknown callee: assume the worst.
+        Reads.insert(MemoryVar);
+        if (Writes)
+          Writes->insert(MemoryVar);
+        return;
+      }
+      EffectSummary Sum;
+      summarizeRoutineInto(D, *Callee, Sum, InProgress);
+      Reads.insert(Sum.Reads.begin(), Sum.Reads.end());
+      if (Writes)
+        Writes->insert(Sum.Writes.begin(), Sum.Writes.end());
+      else
+        Reads.insert(Sum.Writes.begin(), Sum.Writes.end());
+    }
+  });
+}
+
+void stmtEffects(const Description &D, const Stmt &S, EffectSummary &Out,
+                 std::set<std::string> &InProgress) {
+  switch (S.getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    exprEffects(D, *A->getValue(), Out.Reads, &Out.Writes, InProgress);
+    if (const auto *M = dyn_cast<MemRef>(A->getTarget())) {
+      exprEffects(D, *M->getAddress(), Out.Reads, &Out.Writes, InProgress);
+      Out.Writes.insert(MemoryVar);
+    } else {
+      Out.Writes.insert(cast<VarRef>(A->getTarget())->getName());
+    }
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    exprEffects(D, *I->getCond(), Out.Reads, &Out.Writes, InProgress);
+    for (const StmtPtr &Sub : I->getThen())
+      stmtEffects(D, *Sub, Out, InProgress);
+    for (const StmtPtr &Sub : I->getElse())
+      stmtEffects(D, *Sub, Out, InProgress);
+    break;
+  }
+  case Stmt::Kind::Repeat:
+    for (const StmtPtr &Sub : cast<RepeatStmt>(&S)->getBody())
+      stmtEffects(D, *Sub, Out, InProgress);
+    break;
+  case Stmt::Kind::ExitWhen:
+    exprEffects(D, *cast<ExitWhenStmt>(&S)->getCond(), Out.Reads, &Out.Writes,
+                InProgress);
+    break;
+  case Stmt::Kind::Input:
+    Out.Reads.insert(IoVar);
+    Out.Writes.insert(IoVar);
+    for (const std::string &T : cast<InputStmt>(&S)->getTargets())
+      Out.Writes.insert(T);
+    break;
+  case Stmt::Kind::Output:
+    Out.Reads.insert(IoVar);
+    Out.Writes.insert(IoVar);
+    for (const ExprPtr &V : cast<OutputStmt>(&S)->getValues())
+      exprEffects(D, *V, Out.Reads, &Out.Writes, InProgress);
+    break;
+  case Stmt::Kind::Constrain:
+  case Stmt::Kind::Assert:
+    // Annotations do not read or write run-time state.
+    break;
+  }
+}
+
+void summarizeRoutineInto(const Description &D, const Routine &R,
+                          EffectSummary &Out,
+                          std::set<std::string> &InProgress) {
+  if (!InProgress.insert(R.Name).second) {
+    // Recursion guard: assume the worst for a cyclic call.
+    Out.Reads.insert(MemoryVar);
+    Out.Writes.insert(MemoryVar);
+    return;
+  }
+  for (const StmtPtr &S : R.Body)
+    stmtEffects(D, *S, Out, InProgress);
+  InProgress.erase(R.Name);
+}
+
+} // namespace
+
+EffectSummary dataflow::summarizeRoutine(const Description &D,
+                                         const Routine &R) {
+  EffectSummary Out;
+  std::set<std::string> InProgress;
+  summarizeRoutineInto(D, R, Out, InProgress);
+  return Out;
+}
+
+EffectSummary dataflow::summarizeStmt(const Description &D, const Stmt &S) {
+  EffectSummary Out;
+  std::set<std::string> InProgress;
+  stmtEffects(D, S, Out, InProgress);
+  return Out;
+}
+
+void dataflow::collectExprEffects(const Description &D, const Expr &E,
+                                  std::set<std::string> &ReadsOut,
+                                  std::set<std::string> *WritesOut) {
+  std::set<std::string> InProgress;
+  exprEffects(D, E, ReadsOut, WritesOut, InProgress);
+}
+
+static bool intersects(const std::set<std::string> &A,
+                       const std::set<std::string> &B) {
+  for (const std::string &X : A)
+    if (B.count(X))
+      return true;
+  return false;
+}
+
+bool dataflow::independent(const Description &D, const Stmt &A,
+                           const Stmt &B) {
+  bool ControlA = false, ControlB = false;
+  forEachStmt(A, [&](const Stmt &S) {
+    if (isa<ExitWhenStmt>(&S))
+      ControlA = true;
+  });
+  forEachStmt(B, [&](const Stmt &S) {
+    if (isa<ExitWhenStmt>(&S))
+      ControlB = true;
+  });
+  if (ControlA || ControlB)
+    return false;
+
+  EffectSummary EA = summarizeStmt(D, A);
+  EffectSummary EB = summarizeStmt(D, B);
+  return !intersects(EA.Writes, EB.Reads) && !intersects(EB.Writes, EA.Reads) &&
+         !intersects(EA.Writes, EB.Writes);
+}
+
+//===----------------------------------------------------------------------===//
+// CFG construction
+//===----------------------------------------------------------------------===//
+
+int CFG::addNode(CFGNode N) {
+  Nodes.push_back(std::move(N));
+  return static_cast<int>(Nodes.size()) - 1;
+}
+
+int CFG::buildList(const Description &D, const StmtList &Stmts, int Next,
+                   int LoopExit) {
+  int Entry = Next;
+  for (size_t I = Stmts.size(); I-- > 0;)
+    Entry = buildStmt(D, *Stmts[I], Entry, LoopExit);
+  return Entry;
+}
+
+int CFG::buildStmt(const Description &D, const Stmt &S, int Next,
+                   int LoopExit) {
+  switch (S.getKind()) {
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(&S);
+    CFGNode Cond;
+    Cond.R = CFGNode::Role::IfCond;
+    Cond.S = &S;
+    std::set<std::string> InProgress;
+    collectExprEffects(D, *If->getCond(), Cond.Reads, &Cond.Writes);
+    int CondId = addNode(std::move(Cond));
+    Index[&S] = CondId;
+    int ThenEntry = buildList(D, If->getThen(), Next, LoopExit);
+    int ElseEntry = buildList(D, If->getElse(), Next, LoopExit);
+    Nodes[CondId].Succs = {ThenEntry, ElseEntry};
+    return CondId;
+  }
+  case Stmt::Kind::Repeat: {
+    const auto *Rep = cast<RepeatStmt>(&S);
+    CFGNode Header;
+    Header.R = CFGNode::Role::LoopHeader;
+    Header.S = &S;
+    int HeaderId = addNode(std::move(Header));
+    Index[&S] = HeaderId;
+    int BodyEntry = buildList(D, Rep->getBody(), HeaderId, Next);
+    Nodes[HeaderId].Succs = {BodyEntry};
+    return HeaderId;
+  }
+  case Stmt::Kind::ExitWhen: {
+    CFGNode N;
+    N.R = CFGNode::Role::ExitCond;
+    N.S = &S;
+    collectExprEffects(D, *cast<ExitWhenStmt>(&S)->getCond(), N.Reads,
+                       &N.Writes);
+    // A malformed exit_when outside a loop falls through only.
+    int Taken = LoopExit >= 0 ? LoopExit : Next;
+    N.TakenSucc = Taken;
+    N.Succs = {Taken, Next};
+    int Id = addNode(std::move(N));
+    Index[&S] = Id;
+    return Id;
+  }
+  default: {
+    CFGNode N;
+    N.R = CFGNode::Role::Plain;
+    N.S = &S;
+    EffectSummary Sum = summarizeStmt(D, S);
+    N.Reads = std::move(Sum.Reads);
+    N.Writes = std::move(Sum.Writes);
+    N.Succs = {Next};
+    int Id = addNode(std::move(N));
+    Index[&S] = Id;
+    return Id;
+  }
+  }
+}
+
+CFG CFG::build(const Description &D, const Routine &R) {
+  CFG G;
+  CFGNode Entry;
+  Entry.R = CFGNode::Role::Entry;
+  G.addNode(std::move(Entry)); // node 0
+  CFGNode Exit;
+  Exit.R = CFGNode::Role::Exit;
+  // Final memory is observable, so the exit keeps @Mb live; liveness then
+  // never lets a memory write be treated as dead.
+  Exit.Reads.insert(MemoryVar);
+  G.addNode(std::move(Exit)); // node 1
+  int First = G.buildList(D, R.Body, G.exit(), /*LoopExit=*/-1);
+  G.Nodes[G.entry()].Succs = {First};
+  return G;
+}
+
+int CFG::nodeFor(const Stmt *S) const {
+  auto It = Index.find(S);
+  return It == Index.end() ? -1 : It->second;
+}
+
+std::vector<std::vector<int>> CFG::predecessors() const {
+  std::vector<std::vector<int>> Preds(Nodes.size());
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    for (int S : Nodes[I].Succs)
+      Preds[static_cast<size_t>(S)].push_back(static_cast<int>(I));
+  return Preds;
+}

@@ -1,0 +1,61 @@
+//===- Liveness.cpp - Backward liveness over ISDL CFGs ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Liveness.h"
+
+using namespace extra;
+using namespace extra::dataflow;
+using namespace extra::isdl;
+
+Liveness::Liveness(const CFG &G) : G(G) {
+  size_t N = G.nodes().size();
+  In.resize(N);
+  Out.resize(N);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Iterate in reverse node order; construction order is roughly
+    // reverse-topological within straight-line stretches, so this
+    // converges quickly for our small graphs.
+    for (size_t I = N; I-- > 0;) {
+      const CFGNode &Node = G.nodes()[I];
+      std::set<std::string> NewOut;
+      for (int S : Node.Succs)
+        NewOut.insert(In[static_cast<size_t>(S)].begin(),
+                      In[static_cast<size_t>(S)].end());
+      std::set<std::string> NewIn = NewOut;
+      // IN = reads ∪ (OUT - writes). A node both reading and writing a
+      // name (e.g. `x <- x + 1`) keeps it live.
+      for (const std::string &W : Node.Writes)
+        NewIn.erase(W);
+      NewIn.insert(Node.Reads.begin(), Node.Reads.end());
+      if (NewIn != In[I] || NewOut != Out[I]) {
+        In[I] = std::move(NewIn);
+        Out[I] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+}
+
+const std::set<std::string> &Liveness::liveAfter(const Stmt *S) const {
+  int Id = G.nodeFor(S);
+  if (Id < 0)
+    return Empty;
+  return Out[static_cast<size_t>(Id)];
+}
+
+const std::set<std::string> &
+Liveness::liveAtExitOf(const ExitWhenStmt *S) const {
+  int Id = G.nodeFor(S);
+  if (Id < 0)
+    return Empty;
+  const CFGNode &Node = G.nodes()[static_cast<size_t>(Id)];
+  if (Node.TakenSucc < 0)
+    return Empty;
+  return In[static_cast<size_t>(Node.TakenSucc)];
+}

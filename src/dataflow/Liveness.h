@@ -1,0 +1,54 @@
+//===- Liveness.h - Backward liveness over ISDL CFGs ------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward may-liveness over a routine CFG. Transformations use
+/// it to justify dead-variable elimination and code motion across loop
+/// exits ("the decrement may move past this exit_when because the counter
+/// is dead on the exit path").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_DATAFLOW_LIVENESS_H
+#define EXTRA_DATAFLOW_LIVENESS_H
+
+#include "dataflow/CFG.h"
+
+namespace extra {
+namespace dataflow {
+
+/// Per-node live-in/live-out sets for one routine.
+class Liveness {
+public:
+  /// Runs the fixed point over \p G.
+  explicit Liveness(const CFG &G);
+
+  const std::set<std::string> &liveIn(int Node) const { return In[Node]; }
+  const std::set<std::string> &liveOut(int Node) const { return Out[Node]; }
+
+  /// Live-out of the node for statement \p S. Returns the empty set when
+  /// the statement is not in the graph.
+  const std::set<std::string> &liveAfter(const isdl::Stmt *S) const;
+
+  /// Variables live along the *taken* (loop-leaving) edge of an
+  /// exit_when: the live-in of the exit continuation.
+  const std::set<std::string> &liveAtExitOf(const isdl::ExitWhenStmt *S) const;
+
+  /// True if \p Name is dead immediately after \p S.
+  bool deadAfter(const isdl::Stmt *S, const std::string &Name) const {
+    return liveAfter(S).count(Name) == 0;
+  }
+
+private:
+  const CFG &G;
+  std::vector<std::set<std::string>> In, Out;
+  std::set<std::string> Empty;
+};
+
+} // namespace dataflow
+} // namespace extra
+
+#endif // EXTRA_DATAFLOW_LIVENESS_H

@@ -1,0 +1,78 @@
+//===- ReachingDefs.cpp - Reaching definitions over ISDL CFGs ---*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ReachingDefs.h"
+
+using namespace extra;
+using namespace extra::dataflow;
+using namespace extra::isdl;
+
+ReachingDefs::ReachingDefs(const CFG &G) : G(G) {
+  size_t N = G.nodes().size();
+  In.resize(N);
+  std::vector<std::map<std::string, std::set<int>>> Out(N);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < N; ++I) {
+      const CFGNode &Node = G.nodes()[I];
+      // IN = union of predecessors' OUT. Recompute from scratch; graphs
+      // are tiny.
+      std::map<std::string, std::set<int>> NewIn;
+      for (size_t P = 0; P < N; ++P)
+        for (int S : G.nodes()[P].Succs)
+          if (static_cast<size_t>(S) == I)
+            for (const auto &[Var, Defs] : Out[P])
+              NewIn[Var].insert(Defs.begin(), Defs.end());
+
+      std::map<std::string, std::set<int>> NewOut = NewIn;
+      for (const std::string &W : Node.Writes) {
+        NewOut[W].clear();
+        NewOut[W].insert(static_cast<int>(I));
+      }
+
+      if (NewIn != In[I] || NewOut != Out[I]) {
+        In[I] = std::move(NewIn);
+        Out[I] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+}
+
+std::set<int> ReachingDefs::defsReaching(int Node,
+                                         const std::string &Var) const {
+  const auto &Map = In[static_cast<size_t>(Node)];
+  auto It = Map.find(Var);
+  return It == Map.end() ? std::set<int>() : It->second;
+}
+
+std::optional<int64_t> ReachingDefs::constantAt(int Node,
+                                                const std::string &Var) const {
+  std::set<int> Defs = defsReaching(Node, Var);
+  if (Defs.size() != 1)
+    return std::nullopt;
+  const CFGNode &DefNode = G.nodes()[static_cast<size_t>(*Defs.begin())];
+  const auto *A = dyn_cast<AssignStmt>(DefNode.S);
+  if (!A || A->targetVarName() != Var)
+    return std::nullopt;
+  // Multiple writes at one node (a call with effects) disqualify it.
+  if (DefNode.Writes.size() != 1)
+    return std::nullopt;
+  const auto *Lit = dyn_cast<IntLit>(A->getValue());
+  if (!Lit)
+    return std::nullopt;
+  return Lit->getValue();
+}
+
+std::optional<int64_t> ReachingDefs::constantAt(const Stmt *S,
+                                                const std::string &Var) const {
+  int Id = G.nodeFor(S);
+  if (Id < 0)
+    return std::nullopt;
+  return constantAt(Id, Var);
+}

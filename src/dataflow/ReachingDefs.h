@@ -1,0 +1,53 @@
+//===- ReachingDefs.h - Reaching definitions over ISDL CFGs -----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward reaching-definitions analysis. Constant propagation asks: "at
+/// this use of `rf`, is the only reaching definition `rf <- 1`?" — the
+/// mechanism behind the paper's flag-fixing simplification of scasb (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_DATAFLOW_REACHINGDEFS_H
+#define EXTRA_DATAFLOW_REACHINGDEFS_H
+
+#include "dataflow/CFG.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace extra {
+namespace dataflow {
+
+/// Per-node reaching definition sets. A "definition" is a node index that
+/// writes the variable; input statements and call-site writes count as
+/// definitions with unknown value.
+class ReachingDefs {
+public:
+  explicit ReachingDefs(const CFG &G);
+
+  /// Definition nodes of \p Var reaching the entry of \p Node.
+  std::set<int> defsReaching(int Node, const std::string &Var) const;
+
+  /// If every path to \p Node gives \p Var the same literal value — the
+  /// unique reaching definition is `Var <- k` — returns k.
+  std::optional<int64_t> constantAt(int Node, const std::string &Var) const;
+
+  /// Convenience overload resolving the node for statement \p S (the use
+  /// site) first.
+  std::optional<int64_t> constantAt(const isdl::Stmt *S,
+                                    const std::string &Var) const;
+
+private:
+  const CFG &G;
+  // IN[node] = set of (var, def-node) pairs, stored per variable.
+  std::vector<std::map<std::string, std::set<int>>> In;
+};
+
+} // namespace dataflow
+} // namespace extra
+
+#endif // EXTRA_DATAFLOW_REACHINGDEFS_H

@@ -1,0 +1,929 @@
+//===- Descriptions.cpp - Library of ISDL description sources --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "descriptions/Descriptions.h"
+
+#include "isdl/Parser.h"
+#include "isdl/Validate.h"
+
+#include <map>
+
+using namespace extra;
+using namespace extra::descriptions;
+
+//===----------------------------------------------------------------------===//
+// Language operator descriptions
+//===----------------------------------------------------------------------===//
+
+/// Figure 2: the Rigel index operator, verbatim from the paper.
+static const char *RigelIndex = R"(
+index.operation := begin
+  ** SOURCE.ACCESS **
+    Src.Base: integer,    ! string base address
+    Src.Index: integer,   ! string index
+    Src.Length: integer,  ! string length
+    read(): integer := begin
+      read <- Mb[Src.Base + Src.Index];
+      Src.Index <- Src.Index + 1;
+    end
+  ** STATE **
+    ch: character          ! character sought
+  ** STRING.PROCESS **
+    index.execute := begin
+      input (Src.Base, Src.Length, ch);
+      Src.Index <- 0;
+      repeat
+        ! exit when string exhausted
+        exit_when (Src.Length = 0);
+        ! exit if char is found
+        exit_when (ch = read());
+        Src.Length <- Src.Length - 1;
+      end_repeat;
+      if Src.Length = 0 then
+        output (0);          ! char not found
+      else
+        output (Src.Index);  ! char found
+      end_if;
+    end
+end
+)";
+
+/// CLU string search (string$indexc): written from the CLU runtime in a
+/// pointer-based style with inverted comparisons — a deliberately
+/// different idiom from Figure 2.
+static const char *CluSearch = R"(
+clusearch.operation := begin
+  ** SOURCE.ACCESS **
+    sp: integer,          ! scan pointer
+    start: integer,       ! start-of-string save
+    probe(): character := begin
+      probe <- Mb[sp];
+      sp <- sp + 1;
+    end
+  ** STATE **
+    rem: integer,         ! characters remaining
+    c: character          ! character sought
+  ** STRING.PROCESS **
+    clusearch.execute := begin
+      input (sp, rem, c);
+      start <- sp;
+      repeat
+        exit_when (rem = 0);
+        exit_when (not (probe() <> c));
+        rem <- rem - 1;
+      end_repeat;
+      if rem <> 0 then
+        output (sp - start);  ! 1-based index of the character
+      else
+        output (0);
+      end_if;
+    end
+end
+)";
+
+/// Pascal string move (the smove runtime routine): base+index access
+/// through per-string sections, with the count decrement at the bottom of
+/// the loop.
+static const char *PascalSmove = R"(
+smove.operation := begin
+  ** SOURCE.ACCESS **
+    Src.Base: integer,
+    Src.Index: integer,
+    getch(): character := begin
+      getch <- Mb[Src.Base + Src.Index];
+      Src.Index <- Src.Index + 1;
+    end
+  ** DEST.ACCESS **
+    Dst.Base: integer,
+    Dst.Index: integer,
+  ** STATE **
+    Len: integer,
+  ** STRING.PROCESS **
+    smove.execute := begin
+      input (Src.Base, Dst.Base, Len);
+      Src.Index <- 0;
+      Dst.Index <- 0;
+      repeat
+        exit_when (Len = 0);
+        Mb[Dst.Base + Dst.Index] <- getch();
+        Dst.Index <- Dst.Index + 1;
+        Len <- Len - 1;
+      end_repeat;
+    end
+end
+)";
+
+/// PL/1 string move: same operation as Pascal smove, but written with an
+/// up-counting loop (as the PL/1 library source has it).
+static const char *Pl1Move = R"(
+pl1move.operation := begin
+  ** SOURCE.ACCESS **
+    Sbase: integer,
+    Spos: integer,
+    nextch(): character := begin
+      nextch <- Mb[Sbase + Spos];
+      Spos <- Spos + 1;
+    end
+  ** DEST.ACCESS **
+    Dbase: integer,
+    Dpos: integer,
+  ** STATE **
+    n: integer,     ! number of characters to move
+    cnt: integer,   ! characters moved so far
+  ** STRING.PROCESS **
+    pl1move.execute := begin
+      input (Sbase, Dbase, n);
+      Spos <- 0;
+      Dpos <- 0;
+      cnt <- 0;
+      repeat
+        exit_when (cnt = n);
+        Mb[Dbase + Dpos] <- nextch();
+        Dpos <- Dpos + 1;
+        cnt <- cnt + 1;
+      end_repeat;
+    end
+end
+)";
+
+/// Pascal string comparison (equality test): 1 when the strings are
+/// equal, 0 otherwise.
+static const char *PascalSequal = R"(
+sequal.operation := begin
+  ** SOURCE.ACCESS **
+    A.Base: integer,
+    A.Index: integer,
+    geta(): character := begin
+      geta <- Mb[A.Base + A.Index];
+      A.Index <- A.Index + 1;
+    end
+  ** DEST.ACCESS **
+    B.Base: integer,
+    B.Index: integer,
+    getb(): character := begin
+      getb <- Mb[B.Base + B.Index];
+      B.Index <- B.Index + 1;
+    end
+  ** STATE **
+    Len: integer,
+  ** STRING.PROCESS **
+    sequal.execute := begin
+      input (A.Base, B.Base, Len);
+      A.Index <- 0;
+      B.Index <- 0;
+      repeat
+        exit_when (Len = 0);
+        exit_when (geta() <> getb());
+        Len <- Len - 1;
+      end_repeat;
+      if Len = 0 then
+        output (1);   ! strings equal
+      else
+        output (0);   ! mismatch found
+      end_if;
+    end
+end
+)";
+
+/// PC2 (Berkeley Pascal runtime, written in C) block copy: overlap-safe,
+/// like the C library bcopy it is built on.
+static const char *Pc2Copy = R"(
+pc2copy.operation := begin
+  ** OPERANDS **
+    len: integer,   ! byte count
+    src: integer,   ! source address
+    dst: integer,   ! destination address
+  ** PROCESS **
+    pc2copy.execute := begin
+      input (len, src, dst);
+      if (dst > src) and (dst < src + len) then
+        ! destination overlaps the source tail: move high to low
+        src <- len + src;
+        dst <- dst + len;
+        repeat
+          exit_when (len = 0);
+          len <- len - 1;
+          src <- src - 1;
+          dst <- dst - 1;
+          Mb[dst] <- Mb[src];
+        end_repeat;
+      else
+        repeat
+          exit_when (len = 0);
+          len <- len - 1;
+          Mb[dst] <- Mb[src];
+          src <- src + 1;
+          dst <- dst + 1;
+        end_repeat;
+      end_if;
+    end
+end
+)";
+
+/// PC2 block clear (bzero).
+static const char *Pc2Clear = R"(
+pc2clear.operation := begin
+  ** OPERANDS **
+    p: integer,   ! area address
+    n: integer,   ! byte count
+  ** PROCESS **
+    pc2clear.execute := begin
+      input (p, n);
+      repeat
+        exit_when (n = 0);
+        Mb[p] <- 0;
+        p <- p + 1;
+        n <- n - 1;
+      end_repeat;
+    end
+end
+)";
+
+/// Rigel span: counts the leading occurrences of a character (the
+/// complement of index; not in the paper's Table 2 — an extended
+/// analysis exercising the same machinery against the VAX skpc).
+static const char *RigelSpan = R"(
+span.operation := begin
+  ** SOURCE.ACCESS **
+    sp: integer,       ! scan pointer
+    look(): character := begin
+      look <- Mb[sp];
+      sp <- sp + 1;
+    end
+  ** STATE **
+    rem: integer,      ! characters remaining
+    total: integer,    ! starting length
+    c: character       ! character to span over
+  ** STRING.PROCESS **
+    span.execute := begin
+      input (sp, rem, c);
+      total <- rem;
+      repeat
+        exit_when (rem = 0);
+        exit_when (look() <> c);
+        rem <- rem - 1;
+      end_repeat;
+      output (total - rem);
+    end
+end
+)";
+
+/// Pascal string assignment (sassign, compiler internal form): a simple
+/// forward move — Pascal strings cannot overlap (§4.3).
+static const char *PascalSassign = R"(
+sassign.operation := begin
+  ** SOURCE.ACCESS **
+    Src.Base: integer,
+    Src.Index: integer,
+    getch(): character := begin
+      getch <- Mb[Src.Base + Src.Index];
+      Src.Index <- Src.Index + 1;
+    end
+  ** DEST.ACCESS **
+    Dst.Base: integer,
+    Dst.Index: integer,
+  ** STATE **
+    Len: integer,
+  ** STRING.PROCESS **
+    sassign.execute := begin
+      input (Dst.Base, Src.Base, Len);
+      Src.Index <- 0;
+      Dst.Index <- 0;
+      repeat
+        exit_when (Len = 0);
+        Mb[Dst.Base + Dst.Index] <- getch();
+        Dst.Index <- Dst.Index + 1;
+        Len <- Len - 1;
+      end_repeat;
+    end
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Intel 8086 instruction descriptions
+//===----------------------------------------------------------------------===//
+
+/// Figure 3: the scasb instruction, verbatim from the paper.
+static const char *I8086Scasb = R"(
+scasb.instruction := begin
+  ! segment addressing ignored in this description
+  ** SOURCE.ACCESS **
+    di<15:0>,   ! source string address
+    cx<15:0>,   ! source string length
+    fetch()<7:0> := begin   ! fetch source character
+      fetch <- Mb[di];
+      if df then
+        di <- di - 1;   ! high-to-low addresses
+      else
+        di <- di + 1;   ! low-to-high addresses
+      end_if;
+    end
+  ** STATE **
+    rf<>,      ! repeat flag
+    df<>,      ! direction flag
+    rfz<>,     ! exit condition flag
+    zf<>,      ! last compare zero flag
+    al<7:0>    ! character sought
+  ** STRING.PROCESS **
+    scasb.execute := begin
+      input (rf, rfz, df, zf, di, cx, al);
+      if not rf then   ! no repetition
+        if (al - fetch()) = 0 then
+          zf <- 1;
+        else
+          zf <- 0;
+        end_if;
+      else             ! repeat mode
+        repeat
+          exit_when (cx = 0);
+          cx <- cx - 1;
+          if (al - fetch()) = 0 then
+            zf <- 1;
+          else
+            zf <- 0;
+          end_if;
+          ! exit on condition
+          exit_when (rfz and (not zf)) or ((not rfz) and zf);
+        end_repeat;
+      end_if;
+      output (zf, di, cx);
+    end
+end
+)";
+
+/// 8086 movsb with rep prefix, from the 8086 Family User's Manual.
+static const char *I8086Movsb = R"(
+movsb.instruction := begin
+  ** SOURCE.ACCESS **
+    si<15:0>,   ! source string address
+    fetch()<7:0> := begin
+      fetch <- Mb[si];
+      if df then
+        si <- si - 1;
+      else
+        si <- si + 1;
+      end_if;
+    end
+  ** DEST.ACCESS **
+    di<15:0>,   ! destination string address
+    cx<15:0>,   ! string length
+  ** STATE **
+    rf<>,       ! repeat flag
+    df<>,       ! direction flag
+  ** STRING.PROCESS **
+    movsb.execute := begin
+      input (rf, df, si, di, cx);
+      if not rf then
+        Mb[di] <- fetch();
+        if df then
+          di <- di - 1;
+        else
+          di <- di + 1;
+        end_if;
+      else
+        repeat
+          exit_when (cx = 0);
+          cx <- cx - 1;
+          Mb[di] <- fetch();
+          if df then
+            di <- di - 1;
+          else
+            di <- di + 1;
+          end_if;
+        end_repeat;
+      end_if;
+      output (si, di, cx);
+    end
+end
+)";
+
+/// 8086 cmpsb with rep prefix.
+static const char *I8086Cmpsb = R"(
+cmpsb.instruction := begin
+  ** SOURCE.ACCESS **
+    si<15:0>,
+    fetchs()<7:0> := begin
+      fetchs <- Mb[si];
+      if df then
+        si <- si - 1;
+      else
+        si <- si + 1;
+      end_if;
+    end
+  ** DEST.ACCESS **
+    di<15:0>,
+    fetchd()<7:0> := begin
+      fetchd <- Mb[di];
+      if df then
+        di <- di - 1;
+      else
+        di <- di + 1;
+      end_if;
+    end
+  ** STATE **
+    rf<>,       ! repeat flag
+    df<>,       ! direction flag
+    rfz<>,      ! exit condition flag
+    zf<>,       ! last compare zero flag
+    cx<15:0>,   ! string length
+  ** STRING.PROCESS **
+    cmpsb.execute := begin
+      input (rf, rfz, df, zf, si, di, cx);
+      if not rf then
+        if (fetchs() - fetchd()) = 0 then
+          zf <- 1;
+        else
+          zf <- 0;
+        end_if;
+      else
+        repeat
+          exit_when (cx = 0);
+          cx <- cx - 1;
+          if (fetchs() - fetchd()) = 0 then
+            zf <- 1;
+          else
+            zf <- 0;
+          end_if;
+          exit_when (rfz and (not zf)) or ((not rfz) and zf);
+        end_repeat;
+      end_if;
+      output (zf, si, di, cx);
+    end
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// VAX-11 instruction descriptions
+//===----------------------------------------------------------------------===//
+
+/// VAX locc: LOCC char.rb, len.rw, addr.ab. Leaves r0 = bytes remaining
+/// including the located one (0 when absent), r1 = address of the located
+/// byte (or one past the string when absent).
+static const char *VaxLocc = R"(
+locc.instruction := begin
+  ** OPERANDS **
+    ch<7:0>,    ! character sought
+    r0<15:0>,   ! string length (VAX string lengths are 16 bits)
+    r1<31:0>,   ! string address
+  ** SOURCE.ACCESS **
+    next()<7:0> := begin
+      next <- Mb[r1];
+      r1 <- r1 + 1;
+    end
+  ** STRING.PROCESS **
+    locc.execute := begin
+      input (ch, r0, r1);
+      repeat
+        exit_when (r0 = 0);
+        exit_when (ch = next());
+        r0 <- r0 - 1;
+      end_repeat;
+      if r0 = 0 then
+        output (r0, r1);
+      else
+        output (r0, r1 - 1);   ! back up to the located byte
+      end_if;
+    end
+end
+)";
+
+/// VAX cmpc3: CMPC3 len.rw, src1addr.ab, src2addr.ab. Leaves r0 = bytes
+/// remaining including the first unequal pair (0 when equal).
+static const char *VaxCmpc3 = R"(
+cmpc3.instruction := begin
+  ** OPERANDS **
+    r0<15:0>,   ! length
+    r1<31:0>,   ! first string address
+    r3<31:0>,   ! second string address
+  ** ACCESS **
+    next1()<7:0> := begin
+      next1 <- Mb[r1];
+      r1 <- r1 + 1;
+    end
+    next2()<7:0> := begin
+      next2 <- Mb[r3];
+      r3 <- r3 + 1;
+    end
+  ** STRING.PROCESS **
+    cmpc3.execute := begin
+      input (r0, r1, r3);
+      repeat
+        exit_when (r0 = 0);
+        exit_when (next1() <> next2());
+        r0 <- r0 - 1;
+      end_repeat;
+      output (r0, r1, r3);
+    end
+end
+)";
+
+/// VAX movc3: MOVC3 len.rw, srcaddr.ab, dstaddr.ab — guards against
+/// overlapping strings by choosing the copy direction (§4.3).
+static const char *VaxMovc3 = R"(
+movc3.instruction := begin
+  ** OPERANDS **
+    r0<15:0>,   ! byte count
+    r1<31:0>,   ! source address
+    r3<31:0>,   ! destination address
+  ** STRING.PROCESS **
+    movc3.execute := begin
+      input (r0, r1, r3);
+      if (r1 < r3) and (r3 < r1 + r0) then
+        ! destination overlaps the source tail: move high to low
+        r1 <- r1 + r0;
+        r3 <- r3 + r0;
+        repeat
+          exit_when (r0 = 0);
+          r0 <- r0 - 1;
+          r1 <- r1 - 1;
+          r3 <- r3 - 1;
+          Mb[r3] <- Mb[r1];
+        end_repeat;
+      else
+        repeat
+          exit_when (r0 = 0);
+          r0 <- r0 - 1;
+          Mb[r3] <- Mb[r1];
+          r1 <- r1 + 1;
+          r3 <- r3 + 1;
+        end_repeat;
+      end_if;
+      output (r0, r1, r3);
+    end
+end
+)";
+
+/// VAX movc5: MOVC5 srclen.rw, srcaddr.ab, fill.rb, dstlen.rw,
+/// dstaddr.ab (overlap handling elided; the block-clear specialization
+/// fixes srclen = 0, which makes the move phase vanish).
+static const char *VaxMovc5 = R"(
+movc5.instruction := begin
+  ** OPERANDS **
+    r0<15:0>,   ! source length
+    r1<31:0>,   ! source address
+    fill<7:0>,  ! fill character
+    r2<15:0>,   ! destination length
+    r3<31:0>,   ! destination address
+  ** STRING.PROCESS **
+    movc5.execute := begin
+      input (r0, r1, fill, r2, r3);
+      repeat
+        exit_when (r0 = 0);
+        exit_when (r2 = 0);
+        Mb[r3] <- Mb[r1];
+        r1 <- r1 + 1;
+        r3 <- r3 + 1;
+        r0 <- r0 - 1;
+        r2 <- r2 - 1;
+      end_repeat;
+      repeat
+        exit_when (r2 = 0);
+        Mb[r3] <- fill;
+        r3 <- r3 + 1;
+        r2 <- r2 - 1;
+      end_repeat;
+      output (r0, r1, r2, r3);
+    end
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// IBM System/370 instruction description
+//===----------------------------------------------------------------------===//
+
+/// IBM 370 mvc: MVC D1(L,B1),D2(B2). The 8-bit length field holds the
+/// number of bytes to move *less one* — the coding-constraint quirk of
+/// §4.2. Addresses are 24-bit.
+static const char *Ibm370Mvc = R"(
+mvc.instruction := begin
+  ** OPERANDS **
+    d<23:0>,   ! destination address (B1 + D1)
+    s<23:0>,   ! source address (B2 + D2)
+    L<7:0>,    ! length code: byte count less one
+  ** STRING.PROCESS **
+    mvc.execute := begin
+      input (d, s, L);
+      repeat
+        Mb[d] <- Mb[s];
+        d <- d + 1;
+        s <- s + 1;
+        exit_when (L = 0);
+        L <- L - 1;
+      end_repeat;
+    end
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Additional catalog instructions (not in Table 2, provided for
+// completeness and for the §5 Eclipse failure study)
+//===----------------------------------------------------------------------===//
+
+/// 8086 stosb with rep: store AL through the string.
+static const char *I8086Stosb = R"(
+stosb.instruction := begin
+  ** DEST.ACCESS **
+    di<15:0>,   ! destination string address
+    cx<15:0>,   ! string length
+  ** STATE **
+    rf<>,       ! repeat flag
+    df<>,       ! direction flag
+    al<7:0>,    ! byte to store
+  ** STRING.PROCESS **
+    stosb.execute := begin
+      input (rf, df, di, cx, al);
+      if not rf then
+        Mb[di] <- al;
+        if df then
+          di <- di - 1;
+        else
+          di <- di + 1;
+        end_if;
+      else
+        repeat
+          exit_when (cx = 0);
+          cx <- cx - 1;
+          Mb[di] <- al;
+          if df then
+            di <- di - 1;
+          else
+            di <- di + 1;
+          end_if;
+        end_repeat;
+      end_if;
+      output (di, cx);
+    end
+end
+)";
+
+/// VAX skpc: skip over occurrences of a character (the complement of
+/// locc).
+static const char *VaxSkpc = R"(
+skpc.instruction := begin
+  ** OPERANDS **
+    ch<7:0>,    ! character to skip
+    r0<15:0>,   ! string length
+    r1<31:0>,   ! string address
+  ** SOURCE.ACCESS **
+    next()<7:0> := begin
+      next <- Mb[r1];
+      r1 <- r1 + 1;
+    end
+  ** STRING.PROCESS **
+    skpc.execute := begin
+      input (ch, r0, r1);
+      repeat
+        exit_when (r0 = 0);
+        exit_when (ch <> next());
+        r0 <- r0 - 1;
+      end_repeat;
+      if r0 = 0 then
+        output (r0, r1);
+      else
+        output (r0, r1 - 1);   ! back up to the unequal byte
+      end_if;
+    end
+end
+)";
+
+/// IBM 370 clc: compare logical characters (length-1 encoded, like mvc).
+static const char *Ibm370Clc = R"(
+clc.instruction := begin
+  ** OPERANDS **
+    a<23:0>,    ! first operand address
+    b<23:0>,    ! second operand address
+    L<7:0>,     ! length code: byte count less one
+    cc<1:0>,    ! condition code
+  ** STRING.PROCESS **
+    clc.execute := begin
+      input (a, b, L);
+      cc <- 0;
+      repeat
+        if (Mb[a] - Mb[b]) = 0 then
+          cc <- 0;
+        else
+          if Mb[a] < Mb[b] then
+            cc <- 1;
+          else
+            cc <- 2;
+          end_if;
+        end_if;
+        exit_when (cc <> 0);
+        a <- a + 1;
+        b <- b + 1;
+        exit_when (L = 0);
+        L <- L - 1;
+      end_repeat;
+      output (cc);
+    end
+end
+)";
+
+/// DG Eclipse cmv (character move), from the Eclipse Programmer's
+/// Reference: the *sign* of each length operand encodes the direction of
+/// that string's processing — the coding trick that §5 reports EXTRA
+/// could not analyze ("the length operand is now used for two unrelated
+/// purposes and it is difficult to formulate transformations to separate
+/// the two functions").
+static const char *EclipseCmv = R"(
+cmv.instruction := begin
+  ** OPERANDS **
+    acs<15:0>,      ! source address
+    acd<15:0>,      ! destination address
+    slen: integer,  ! source length; the SIGN encodes source direction
+    dlen: integer,  ! destination length; the SIGN encodes direction
+  ** STRING.PROCESS **
+    cmv.execute := begin
+      input (acs, acd, slen, dlen);
+      repeat
+        exit_when (dlen = 0);
+        Mb[acd] <- Mb[acs];
+        if slen > 0 then
+          acs <- acs + 1;
+          slen <- slen - 1;
+        else
+          acs <- acs - 1;
+          slen <- slen + 1;
+        end_if;
+        if dlen > 0 then
+          acd <- acd + 1;
+          dlen <- dlen - 1;
+        else
+          acd <- acd - 1;
+          dlen <- dlen + 1;
+        end_if;
+      end_repeat;
+      output (acs, acd);
+    end
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Library table
+//===----------------------------------------------------------------------===//
+
+const std::vector<Entry> &descriptions::allEntries() {
+  static const std::vector<Entry> Entries = {
+      // Language operators.
+      {"rigel.index", "Rigel", "string search (Figure 2)", RigelIndex},
+      {"clu.search", "CLU", "string search (string$indexc)", CluSearch},
+      {"pascal.smove", "Pascal", "string move (smove runtime)", PascalSmove},
+      {"pl1.move", "PL/1", "string move (up-counting library source)",
+       Pl1Move},
+      {"pascal.sequal", "Pascal", "string comparison", PascalSequal},
+      {"pc2.copy", "PC2", "block copy (overlap-safe bcopy)", Pc2Copy},
+      {"pc2.clear", "PC2", "block clear (bzero)", Pc2Clear},
+      {"pascal.sassign", "Pascal", "string assignment (no overlap)",
+       PascalSassign},
+      {"rigel.span", "Rigel", "count leading occurrences (extended case)",
+       RigelSpan},
+      // Machine instructions.
+      {"i8086.scasb", "Intel 8086", "scan string for byte (Figure 3)",
+       I8086Scasb},
+      {"i8086.movsb", "Intel 8086", "move string byte", I8086Movsb},
+      {"i8086.cmpsb", "Intel 8086", "compare string bytes", I8086Cmpsb},
+      {"vax.locc", "VAX-11", "locate character", VaxLocc},
+      {"vax.cmpc3", "VAX-11", "compare characters", VaxCmpc3},
+      {"vax.movc3", "VAX-11", "move characters (overlap-safe)", VaxMovc3},
+      {"vax.movc5", "VAX-11", "move characters with fill", VaxMovc5},
+      {"ibm370.mvc", "IBM 370", "move characters (length-1 encoding)",
+       Ibm370Mvc},
+      // Beyond Table 2: further catalog instructions.
+      {"i8086.stosb", "Intel 8086", "store string byte", I8086Stosb},
+      {"vax.skpc", "VAX-11", "skip character", VaxSkpc},
+      {"ibm370.clc", "IBM 370", "compare logical characters", Ibm370Clc},
+      {"eclipse.cmv", "DG Eclipse",
+       "character move (sign-encoded direction; the §5 failure)",
+       EclipseCmv},
+  };
+  return Entries;
+}
+
+const char *descriptions::sourceFor(const std::string &Id) {
+  for (const Entry &E : allEntries())
+    if (E.Id == Id)
+      return E.Source;
+  return nullptr;
+}
+
+std::unique_ptr<isdl::Description> descriptions::load(const std::string &Id) {
+  const char *Source = sourceFor(Id);
+  assert(Source && "unknown description id");
+  if (!Source)
+    return nullptr;
+  DiagnosticEngine Diags;
+  auto D = isdl::parseDescription(Source, Diags);
+  assert(D && !Diags.hasErrors() && "library description fails to parse");
+  if (D && !isdl::validate(*D, Diags)) {
+    assert(false && "library description fails validation");
+    return nullptr;
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1 catalog
+//===----------------------------------------------------------------------===//
+
+const std::vector<CatalogEntry> &descriptions::catalog() {
+  static const std::vector<CatalogEntry> Entries = {
+      // Intel 8086 — 6 string instructions (8086 Family User's Manual).
+      {"Intel 8086", "movs", "string move", true},
+      {"Intel 8086", "cmps", "string compare", true},
+      {"Intel 8086", "scas", "string scan", true},
+      {"Intel 8086", "lods", "string load", true},
+      {"Intel 8086", "stos", "string store", true},
+      {"Intel 8086", "xlat", "table translate", true},
+      // DG Eclipse — 5 character instructions (Eclipse Programmer's
+      // Reference).
+      {"DG Eclipse", "cmv", "character move", true},
+      {"DG Eclipse", "cmp", "character compare", true},
+      {"DG Eclipse", "ctr", "character translate", true},
+      {"DG Eclipse", "cmt", "character move until true", true},
+      {"DG Eclipse", "edit", "string edit", true},
+      // Univac 1100 — 21 byte/string instructions. The paper's exact
+      // membership is not recoverable; the set below reconstructs a
+      // 21-instruction byte-manipulation repertoire of the 1100 series.
+      {"Univac 1100", "bt", "block transfer", true},
+      {"Univac 1100", "btt", "block transfer and translate", false},
+      {"Univac 1100", "slj", "string load and justify", false},
+      {"Univac 1100", "bim", "byte instruction move", false},
+      {"Univac 1100", "bimt", "byte move and translate", false},
+      {"Univac 1100", "bicl", "byte compare limits", false},
+      {"Univac 1100", "bde", "byte to decimal edit", false},
+      {"Univac 1100", "deb", "decimal edit bytes", false},
+      {"Univac 1100", "bf", "byte fill", false},
+      {"Univac 1100", "bsc", "byte string compare", false},
+      {"Univac 1100", "bss", "byte string search", false},
+      {"Univac 1100", "bsm", "byte string move", false},
+      {"Univac 1100", "bsmr", "byte string move reversed", false},
+      {"Univac 1100", "bst", "byte string translate", false},
+      {"Univac 1100", "bsp", "byte string pack", false},
+      {"Univac 1100", "bsu", "byte string unpack", false},
+      {"Univac 1100", "lsc", "list search", false},
+      {"Univac 1100", "lins", "list insert", false},
+      {"Univac 1100", "lrem", "list remove", false},
+      {"Univac 1100", "sscn", "string scan", false},
+      {"Univac 1100", "sed", "string edit", false},
+      // IBM 370 — 7 storage-to-storage string instructions (Principles
+      // of Operation).
+      {"IBM 370", "mvc", "move characters", true},
+      {"IBM 370", "mvcl", "move characters long", true},
+      {"IBM 370", "clc", "compare logical characters", true},
+      {"IBM 370", "clcl", "compare logical long", true},
+      {"IBM 370", "tr", "translate", true},
+      {"IBM 370", "trt", "translate and test (string search)", true},
+      {"IBM 370", "ed", "edit", true},
+      // Burroughs B4800 — 16 string/list instructions. As with the 1100,
+      // the precise 1982 membership is reconstructed.
+      {"Burroughs B4800", "mvn", "move numeric", true},
+      {"Burroughs B4800", "mva", "move alphanumeric", true},
+      {"Burroughs B4800", "mvr", "move repeated", false},
+      {"Burroughs B4800", "cpa", "compare alphanumeric", false},
+      {"Burroughs B4800", "cpn", "compare numeric", false},
+      {"Burroughs B4800", "sst", "string search", false},
+      {"Burroughs B4800", "ssd", "string search delimited", false},
+      {"Burroughs B4800", "tws", "translate while scanning", false},
+      {"Burroughs B4800", "edt", "string edit", true},
+      {"Burroughs B4800", "edm", "edit and mark", false},
+      {"Burroughs B4800", "lsh", "list search head-linked", true},
+      {"Burroughs B4800", "lst", "list search", true},
+      {"Burroughs B4800", "lnk", "list link", true},
+      {"Burroughs B4800", "unl", "list unlink", true},
+      {"Burroughs B4800", "ins", "list insert", false},
+      {"Burroughs B4800", "del", "list delete", false},
+      // VAX-11 — 12 character-string instructions (VAX-11 Architecture
+      // Handbook).
+      {"VAX-11", "movc3", "move characters", true},
+      {"VAX-11", "movc5", "move characters with fill", true},
+      {"VAX-11", "cmpc3", "compare characters", true},
+      {"VAX-11", "cmpc5", "compare characters with fill", true},
+      {"VAX-11", "locc", "locate character", true},
+      {"VAX-11", "skpc", "skip character", true},
+      {"VAX-11", "scanc", "scan characters", true},
+      {"VAX-11", "spanc", "span characters", true},
+      {"VAX-11", "matchc", "match characters (substring search)", true},
+      {"VAX-11", "movtc", "move translated characters", true},
+      {"VAX-11", "movtuc", "move translated until character", true},
+      {"VAX-11", "crc", "cyclic redundancy check", true},
+  };
+  return Entries;
+}
+
+const std::vector<std::string> &descriptions::catalogMachines() {
+  static const std::vector<std::string> Machines = {
+      "Intel 8086",      "DG Eclipse", "Univac 1100",
+      "IBM 370",         "Burroughs B4800", "VAX-11"};
+  return Machines;
+}
+
+unsigned descriptions::catalogCount(const std::string &Machine) {
+  unsigned N = 0;
+  for (const CatalogEntry &E : catalog())
+    if (E.Machine == Machine)
+      ++N;
+  return N;
+}

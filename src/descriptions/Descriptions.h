@@ -1,0 +1,80 @@
+//===- Descriptions.h - Library of ISDL description sources ----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction and language-operator descriptions analyzed in the
+/// paper (§4, §5, Table 2). Machine descriptions follow the flowcharts of
+/// the reference manuals in the Figure-3 style; operator descriptions
+/// follow the Figure-2 style of the Rigel `index` operator. The paper's
+/// own figures (2 and 3) are reproduced verbatim; the remaining
+/// descriptions were reconstructed from the instruction-set manuals of
+/// the 8086, VAX-11, and System/370, deliberately written in varied
+/// styles (up-counters, inverted conditionals, pointer vs. base+index
+/// access) because the paper stresses that EXTRA's descriptions "have
+/// come from a variety of sources to eliminate bias caused by a single
+/// style" (§5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_DESCRIPTIONS_DESCRIPTIONS_H
+#define EXTRA_DESCRIPTIONS_DESCRIPTIONS_H
+
+#include "isdl/AST.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace descriptions {
+
+/// A named description source in the library.
+struct Entry {
+  std::string Id;       ///< Lookup key, e.g. "i8086.scasb".
+  std::string Machine;  ///< Machine or language, e.g. "Intel 8086".
+  std::string Title;    ///< Human-readable summary.
+  const char *Source;   ///< ISDL source text.
+};
+
+/// All library entries (instructions and operators).
+const std::vector<Entry> &allEntries();
+
+/// The ISDL source for \p Id; null when unknown.
+const char *sourceFor(const std::string &Id);
+
+/// Parses and validates the library description \p Id. Asserts that the
+/// library text is well-formed (it is tested to be).
+std::unique_ptr<isdl::Description> load(const std::string &Id);
+
+//===----------------------------------------------------------------------===//
+// Table 1 catalog: exotic instruction statistics
+//===----------------------------------------------------------------------===//
+
+/// One exotic instruction of the Table-1 survey.
+struct CatalogEntry {
+  std::string Machine;
+  std::string Mnemonic;
+  std::string Role; ///< e.g. "string move", "list search".
+  /// True when the mnemonic comes straight from the machine's reference
+  /// manual; false for entries reconstructed to match the paper's tally
+  /// (the 1982 survey's exact membership for the Univac 1100 and
+  /// Burroughs B4800 is not recoverable from the paper).
+  bool FromManual;
+};
+
+/// The full 67-instruction survey behind Table 1.
+const std::vector<CatalogEntry> &catalog();
+
+/// Machines in Table 1 order.
+const std::vector<std::string> &catalogMachines();
+
+/// Number of catalog instructions for \p Machine.
+unsigned catalogCount(const std::string &Machine);
+
+} // namespace descriptions
+} // namespace extra
+
+#endif // EXTRA_DESCRIPTIONS_DESCRIPTIONS_H

@@ -1,0 +1,334 @@
+//===- Equiv.cpp - Structural equality modulo renaming ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Equiv.h"
+
+#include "isdl/Printer.h"
+
+#include <set>
+
+using namespace extra;
+using namespace extra::isdl;
+
+bool NameBinding::bind(const std::string &A, const std::string &B) {
+  auto ItA = AtoB.find(A);
+  if (ItA != AtoB.end())
+    return ItA->second == B;
+  auto ItB = BtoA.find(B);
+  if (ItB != BtoA.end())
+    return ItB->second == A;
+  AtoB.emplace(A, B);
+  BtoA.emplace(B, A);
+  return true;
+}
+
+std::string NameBinding::lookupA(const std::string &A) const {
+  auto It = AtoB.find(A);
+  return It == AtoB.end() ? std::string() : It->second;
+}
+
+std::string NameBinding::lookupB(const std::string &B) const {
+  auto It = BtoA.find(B);
+  return It == BtoA.end() ? std::string() : It->second;
+}
+
+std::string NameBinding::str() const {
+  std::string Out;
+  for (const auto &[A, B] : AtoB) {
+    Out += A;
+    Out += " <-> ";
+    Out += B;
+    Out += '\n';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Matching
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void note(std::string *Mismatch, const std::string &Message) {
+  if (Mismatch && Mismatch->empty())
+    *Mismatch = Message;
+}
+
+} // namespace
+
+bool isdl::matchExpr(const Expr &A, const Expr &B, NameBinding &Binding,
+                     std::string *Mismatch) {
+  if (A.getKind() != B.getKind()) {
+    note(Mismatch, "expression kinds differ: '" + printExpr(A) + "' vs '" +
+                       printExpr(B) + "'");
+    return false;
+  }
+  switch (A.getKind()) {
+  case Expr::Kind::IntLit:
+    if (cast<IntLit>(&A)->getValue() != cast<IntLit>(&B)->getValue()) {
+      note(Mismatch, "integer literals differ: " + printExpr(A) + " vs " +
+                         printExpr(B));
+      return false;
+    }
+    return true;
+  case Expr::Kind::CharLit:
+    if (cast<CharLit>(&A)->getValue() != cast<CharLit>(&B)->getValue()) {
+      note(Mismatch, "character literals differ");
+      return false;
+    }
+    return true;
+  case Expr::Kind::VarRef: {
+    const std::string &NA = cast<VarRef>(&A)->getName();
+    const std::string &NB = cast<VarRef>(&B)->getName();
+    if (!Binding.bind(NA, NB)) {
+      note(Mismatch, "name binding conflict: '" + NA + "' vs '" + NB +
+                         "' (existing: '" + NA + "' <-> '" +
+                         Binding.lookupA(NA) + "', '" + Binding.lookupB(NB) +
+                         "' <-> '" + NB + "')");
+      return false;
+    }
+    return true;
+  }
+  case Expr::Kind::MemRef:
+    return matchExpr(*cast<MemRef>(&A)->getAddress(),
+                     *cast<MemRef>(&B)->getAddress(), Binding, Mismatch);
+  case Expr::Kind::Call: {
+    const std::string &NA = cast<CallExpr>(&A)->getCallee();
+    const std::string &NB = cast<CallExpr>(&B)->getCallee();
+    if (!Binding.bind(NA, NB)) {
+      note(Mismatch,
+           "routine binding conflict: '" + NA + "' vs '" + NB + "'");
+      return false;
+    }
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    const auto *UA = cast<UnaryExpr>(&A);
+    const auto *UB = cast<UnaryExpr>(&B);
+    if (UA->getOp() != UB->getOp()) {
+      note(Mismatch, "unary operators differ: '" + printExpr(A) + "' vs '" +
+                         printExpr(B) + "'");
+      return false;
+    }
+    return matchExpr(*UA->getOperand(), *UB->getOperand(), Binding, Mismatch);
+  }
+  case Expr::Kind::Binary: {
+    const auto *BA = cast<BinaryExpr>(&A);
+    const auto *BB = cast<BinaryExpr>(&B);
+    if (BA->getOp() != BB->getOp()) {
+      note(Mismatch, "binary operators differ: '" + printExpr(A) + "' vs '" +
+                         printExpr(B) + "'");
+      return false;
+    }
+    return matchExpr(*BA->getLHS(), *BB->getLHS(), Binding, Mismatch) &&
+           matchExpr(*BA->getRHS(), *BB->getRHS(), Binding, Mismatch);
+  }
+  }
+  return false;
+}
+
+bool isdl::matchStmt(const Stmt &A, const Stmt &B, NameBinding &Binding,
+                     std::string *Mismatch) {
+  if (A.getKind() != B.getKind()) {
+    note(Mismatch, "statement kinds differ:\n" + printStmt(A) + "vs\n" +
+                       printStmt(B));
+    return false;
+  }
+  switch (A.getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *AA = cast<AssignStmt>(&A);
+    const auto *AB = cast<AssignStmt>(&B);
+    return matchExpr(*AA->getTarget(), *AB->getTarget(), Binding, Mismatch) &&
+           matchExpr(*AA->getValue(), *AB->getValue(), Binding, Mismatch);
+  }
+  case Stmt::Kind::If: {
+    const auto *IA = cast<IfStmt>(&A);
+    const auto *IB = cast<IfStmt>(&B);
+    return matchExpr(*IA->getCond(), *IB->getCond(), Binding, Mismatch) &&
+           matchStmts(IA->getThen(), IB->getThen(), Binding, Mismatch) &&
+           matchStmts(IA->getElse(), IB->getElse(), Binding, Mismatch);
+  }
+  case Stmt::Kind::Repeat:
+    return matchStmts(cast<RepeatStmt>(&A)->getBody(),
+                      cast<RepeatStmt>(&B)->getBody(), Binding, Mismatch);
+  case Stmt::Kind::ExitWhen:
+    return matchExpr(*cast<ExitWhenStmt>(&A)->getCond(),
+                     *cast<ExitWhenStmt>(&B)->getCond(), Binding, Mismatch);
+  case Stmt::Kind::Input: {
+    const auto &TA = cast<InputStmt>(&A)->getTargets();
+    const auto &TB = cast<InputStmt>(&B)->getTargets();
+    if (TA.size() != TB.size()) {
+      note(Mismatch, "input operand counts differ (" +
+                         std::to_string(TA.size()) + " vs " +
+                         std::to_string(TB.size()) + ")");
+      return false;
+    }
+    for (size_t I = 0; I < TA.size(); ++I)
+      if (!Binding.bind(TA[I], TB[I])) {
+        note(Mismatch, "input binding conflict at position " +
+                           std::to_string(I) + ": '" + TA[I] + "' vs '" +
+                           TB[I] + "'");
+        return false;
+      }
+    return true;
+  }
+  case Stmt::Kind::Output: {
+    const auto &VA = cast<OutputStmt>(&A)->getValues();
+    const auto &VB = cast<OutputStmt>(&B)->getValues();
+    if (VA.size() != VB.size()) {
+      note(Mismatch, "output value counts differ");
+      return false;
+    }
+    for (size_t I = 0; I < VA.size(); ++I)
+      if (!matchExpr(*VA[I], *VB[I], Binding, Mismatch))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::Constrain: {
+    const auto *CA = cast<ConstrainStmt>(&A);
+    const auto *CB = cast<ConstrainStmt>(&B);
+    if (CA->getTag() != CB->getTag()) {
+      note(Mismatch, "constraint tags differ");
+      return false;
+    }
+    return matchExpr(*CA->getPred(), *CB->getPred(), Binding, Mismatch);
+  }
+  case Stmt::Kind::Assert:
+    return matchExpr(*cast<AssertStmt>(&A)->getPred(),
+                     *cast<AssertStmt>(&B)->getPred(), Binding, Mismatch);
+  }
+  return false;
+}
+
+bool isdl::matchStmts(const StmtList &A, const StmtList &B,
+                      NameBinding &Binding, std::string *Mismatch) {
+  if (A.size() != B.size()) {
+    note(Mismatch, "statement counts differ (" + std::to_string(A.size()) +
+                       " vs " + std::to_string(B.size()) + "):\n" +
+                       printStmts(A) + "vs\n" + printStmts(B));
+    return false;
+  }
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!matchStmt(*A[I], *B[I], Binding, Mismatch))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact equality
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A binding that only accepts identical names.
+bool exactMatchWrapper(const Expr &A, const Expr &B) {
+  NameBinding Binding;
+  if (!matchExpr(A, B, Binding))
+    return false;
+  for (const auto &[X, Y] : Binding.pairs())
+    if (X != Y)
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool isdl::exactEqual(const Expr &A, const Expr &B) {
+  return exactMatchWrapper(A, B);
+}
+
+bool isdl::exactEqual(const Stmt &A, const Stmt &B) {
+  NameBinding Binding;
+  if (!matchStmt(A, B, Binding))
+    return false;
+  for (const auto &[X, Y] : Binding.pairs())
+    if (X != Y)
+      return false;
+  return true;
+}
+
+bool isdl::exactEqual(const StmtList &A, const StmtList &B) {
+  NameBinding Binding;
+  if (!matchStmts(A, B, Binding))
+    return false;
+  for (const auto &[X, Y] : Binding.pairs())
+    if (X != Y)
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Description matching
+//===----------------------------------------------------------------------===//
+
+MatchResult isdl::matchDescriptions(const Description &A,
+                                    const Description &B) {
+  MatchResult Result;
+  const Routine *EntryA = A.entryRoutine();
+  const Routine *EntryB = B.entryRoutine();
+  if (!EntryA || !EntryB) {
+    Result.Mismatch = "missing entry routine";
+    return Result;
+  }
+
+  NameBinding &Binding = Result.Binding;
+  if (!Binding.bind(EntryA->Name, EntryB->Name)) {
+    Result.Mismatch = "cannot bind entry routines";
+    return Result;
+  }
+  if (!matchStmts(EntryA->Body, EntryB->Body, Binding, &Result.Mismatch))
+    return Result;
+
+  // Follow call-site bindings: every routine pair bound during entry-body
+  // matching must have matching bodies under the same binding. Matching a
+  // body can bind more routines, so iterate to a fixed point.
+  std::set<std::string> Checked = {EntryA->Name};
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const auto &[NameA, NameB] : Binding.pairs()) {
+      const Routine *RA = A.findRoutine(NameA);
+      if (!RA || Checked.count(NameA))
+        continue;
+      const Routine *RB = B.findRoutine(NameB);
+      if (!RB) {
+        Result.Mismatch = "routine '" + NameA + "' bound to '" + NameB +
+                          "' which is not a routine on the instruction side";
+        return Result;
+      }
+      Checked.insert(NameA);
+      Progress = true;
+      if (!matchStmts(RA->Body, RB->Body, Binding, &Result.Mismatch))
+        return Result;
+      break; // Binding may have grown; restart iteration.
+    }
+  }
+
+  // Every bound variable must be declared on both sides (or be a routine).
+  for (const auto &[NameA, NameB] : Binding.pairs()) {
+    bool IsRoutineA = A.findRoutine(NameA) != nullptr;
+    bool IsRoutineB = B.findRoutine(NameB) != nullptr;
+    if (IsRoutineA != IsRoutineB) {
+      Result.Mismatch = "'" + NameA + "' is a " +
+                        (IsRoutineA ? "routine" : "variable") +
+                        " but its partner '" + NameB + "' is not";
+      return Result;
+    }
+    if (IsRoutineA)
+      continue;
+    if (!A.findDecl(NameA)) {
+      Result.Mismatch = "undeclared operator variable '" + NameA + "'";
+      return Result;
+    }
+    if (!B.findDecl(NameB)) {
+      Result.Mismatch = "undeclared instruction register '" + NameB + "'";
+      return Result;
+    }
+  }
+
+  Result.Matched = true;
+  return Result;
+}

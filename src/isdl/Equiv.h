@@ -1,0 +1,89 @@
+//===- Equiv.h - Structural equality modulo renaming ------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "common form" test (§3): two descriptions are equivalent
+/// when they are *identical except for variable and register names*. The
+/// matcher walks both descriptions in lockstep, accumulating a bijective
+/// name binding (operator variable ↔ instruction register, operator
+/// routine ↔ instruction routine). The binding is the analysis product:
+/// it tells the code generator which registers implement which operands
+/// and induces register-size range constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ISDL_EQUIV_H
+#define EXTRA_ISDL_EQUIV_H
+
+#include "isdl/AST.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace isdl {
+
+/// A bijective mapping between names on the "A" side (language operator)
+/// and the "B" side (machine instruction).
+class NameBinding {
+public:
+  /// Records a pair; fails (returns false) when either name is already
+  /// bound to a different partner.
+  bool bind(const std::string &A, const std::string &B);
+
+  /// The partner of an A-side name, or empty.
+  std::string lookupA(const std::string &A) const;
+  /// The partner of a B-side name, or empty.
+  std::string lookupB(const std::string &B) const;
+
+  const std::map<std::string, std::string> &pairs() const { return AtoB; }
+  bool empty() const { return AtoB.empty(); }
+
+  /// Renders as "A <-> B" lines, sorted, for reports and tests.
+  std::string str() const;
+
+private:
+  std::map<std::string, std::string> AtoB;
+  std::map<std::string, std::string> BtoA;
+};
+
+/// Result of a common-form comparison.
+struct MatchResult {
+  bool Matched = false;
+  NameBinding Binding;
+  /// Human-readable reason for the first mismatch, empty on success.
+  std::string Mismatch;
+};
+
+/// Exact structural equality (names must be identical).
+bool exactEqual(const Expr &A, const Expr &B);
+bool exactEqual(const Stmt &A, const Stmt &B);
+bool exactEqual(const StmtList &A, const StmtList &B);
+
+/// Structural equality modulo renaming; extends \p Binding and fails on
+/// binding conflicts.
+bool matchExpr(const Expr &A, const Expr &B, NameBinding &Binding,
+               std::string *Mismatch = nullptr);
+bool matchStmt(const Stmt &A, const Stmt &B, NameBinding &Binding,
+               std::string *Mismatch = nullptr);
+bool matchStmts(const StmtList &A, const StmtList &B, NameBinding &Binding,
+                std::string *Mismatch = nullptr);
+
+/// Full common-form check between two descriptions.
+///
+/// Matching starts at the entry routines and follows call sites: when a
+/// call of routine `r` on side A matches a call of `s` on side B, the
+/// bodies of `r` and `s` must match under the same binding. Declarations
+/// do not need to agree on width/type — width differences become range
+/// constraints, derived later from the binding — but every name referenced
+/// by matched code must be declared on its side.
+MatchResult matchDescriptions(const Description &A, const Description &B);
+
+} // namespace isdl
+} // namespace extra
+
+#endif // EXTRA_ISDL_EQUIV_H

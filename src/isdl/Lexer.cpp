@@ -1,0 +1,297 @@
+//===- Lexer.cpp - Tokenizer for the ISDL notation --------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace extra;
+using namespace extra::isdl;
+
+const char *isdl::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Int:
+    return "integer";
+  case TokKind::CharLit:
+    return "character literal";
+  case TokKind::ColonEq:
+    return "':='";
+  case TokKind::Arrow:
+    return "'<-'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::LessGreater:
+    return "'<>'";
+  case TokKind::Eq:
+    return "'='";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::StarStar:
+    return "'**'";
+  case TokKind::KwBegin:
+    return "'begin'";
+  case TokKind::KwEnd:
+    return "'end'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwEndIf:
+    return "'end_if'";
+  case TokKind::KwRepeat:
+    return "'repeat'";
+  case TokKind::KwEndRepeat:
+    return "'end_repeat'";
+  case TokKind::KwExitWhen:
+    return "'exit_when'";
+  case TokKind::KwInput:
+    return "'input'";
+  case TokKind::KwOutput:
+    return "'output'";
+  case TokKind::KwConstrain:
+    return "'constrain'";
+  case TokKind::KwAssert:
+    return "'assert'";
+  case TokKind::KwNot:
+    return "'not'";
+  case TokKind::KwAnd:
+    return "'and'";
+  case TokKind::KwOr:
+    return "'or'";
+  }
+  return "token";
+}
+
+static TokKind keywordKind(const std::string &Text) {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"begin", TokKind::KwBegin},
+      {"end", TokKind::KwEnd},
+      {"if", TokKind::KwIf},
+      {"then", TokKind::KwThen},
+      {"else", TokKind::KwElse},
+      {"end_if", TokKind::KwEndIf},
+      {"repeat", TokKind::KwRepeat},
+      {"end_repeat", TokKind::KwEndRepeat},
+      {"exit_when", TokKind::KwExitWhen},
+      {"input", TokKind::KwInput},
+      {"output", TokKind::KwOutput},
+      {"constrain", TokKind::KwConstrain},
+      {"assert", TokKind::KwAssert},
+      {"not", TokKind::KwNot},
+      {"and", TokKind::KwAnd},
+      {"or", TokKind::KwOr},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokKind::Ident : It->second;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = next();
+    bool Done = T.is(TokKind::Eof);
+    Out.push_back(std::move(T));
+    if (Done)
+      return Out;
+  }
+}
+
+Token Lexer::next() {
+  // Skip whitespace and `!` comments.
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '!') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    break;
+  }
+
+  Token T;
+  T.Loc = loc();
+  if (Pos >= Source.size()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  char C = advance();
+
+  // UTF-8 left arrow U+2190 (0xE2 0x86 0x90) as assignment.
+  if (static_cast<unsigned char>(C) == 0xE2 &&
+      static_cast<unsigned char>(peek()) == 0x86 &&
+      static_cast<unsigned char>(peek(1)) == 0x90) {
+    advance();
+    advance();
+    T.Kind = TokKind::Arrow;
+    return T;
+  }
+
+  if (isIdentStart(C)) {
+    std::string Text(1, C);
+    while (isIdentChar(peek()))
+      Text.push_back(advance());
+    // A trailing dot belongs to punctuation, not the identifier.
+    while (!Text.empty() && Text.back() == '.') {
+      Text.pop_back();
+      --Pos;
+      --Col;
+    }
+    T.Kind = keywordKind(Text);
+    if (T.Kind == TokKind::Ident)
+      T.Text = std::move(Text);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = C - '0';
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+    T.Kind = TokKind::Int;
+    T.IntValue = Value;
+    return T;
+  }
+
+  switch (C) {
+  case '\'': {
+    char V = peek();
+    if (V == '\0' || V == '\n') {
+      Diags.error(T.Loc, "unterminated character literal");
+      T.Kind = TokKind::CharLit;
+      T.IntValue = 0;
+      return T;
+    }
+    advance();
+    if (!match('\''))
+      Diags.error(T.Loc, "expected closing quote in character literal");
+    T.Kind = TokKind::CharLit;
+    T.IntValue = static_cast<unsigned char>(V);
+    return T;
+  }
+  case ':':
+    T.Kind = match('=') ? TokKind::ColonEq : TokKind::Colon;
+    return T;
+  case '<':
+    if (match('-'))
+      T.Kind = TokKind::Arrow;
+    else if (match('='))
+      T.Kind = TokKind::LessEq;
+    else if (match('>'))
+      T.Kind = TokKind::LessGreater;
+    else
+      T.Kind = TokKind::Less;
+    return T;
+  case '>':
+    T.Kind = match('=') ? TokKind::GreaterEq : TokKind::Greater;
+    return T;
+  case '=':
+    T.Kind = TokKind::Eq;
+    return T;
+  case '(':
+    T.Kind = TokKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokKind::RParen;
+    return T;
+  case '[':
+    T.Kind = TokKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokKind::RBracket;
+    return T;
+  case ',':
+    T.Kind = TokKind::Comma;
+    return T;
+  case ';':
+    T.Kind = TokKind::Semi;
+    return T;
+  case '+':
+    T.Kind = TokKind::Plus;
+    return T;
+  case '-':
+    T.Kind = TokKind::Minus;
+    return T;
+  case '*':
+    T.Kind = match('*') ? TokKind::StarStar : TokKind::Star;
+    return T;
+  case '/':
+    T.Kind = TokKind::Slash;
+    return T;
+  default:
+    Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}

@@ -1,0 +1,115 @@
+//===- Lexer.h - Tokenizer for the ISDL notation ----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the ISPS-like description notation. Comments start with
+/// `!` and run to end of line. Identifiers may contain dots (`Src.Base`)
+/// and underscores. `<-` (or the UTF-8 arrow `←`) is assignment; `<>`
+/// serves both as the not-equal operator and the one-bit register
+/// declarator — the parser disambiguates by context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ISDL_LEXER_H
+#define EXTRA_ISDL_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace extra {
+namespace isdl {
+
+/// Token kinds for the ISDL notation.
+enum class TokKind {
+  Eof,
+  Ident,
+  Int,
+  CharLit,
+  // Punctuation.
+  ColonEq,   // :=
+  Arrow,     // <- or ←
+  LParen,    // (
+  RParen,    // )
+  LBracket,  // [
+  RBracket,  // ]
+  Less,      // <
+  Greater,   // >
+  LessEq,    // <=
+  GreaterEq, // >=
+  LessGreater, // <> (not-equal, or the flag declarator)
+  Eq,        // =
+  Comma,     // ,
+  Semi,      // ;
+  Colon,     // :
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+  Slash,     // /
+  StarStar,  // ** (section delimiter)
+  // Keywords.
+  KwBegin,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwEndIf,
+  KwRepeat,
+  KwEndRepeat,
+  KwExitWhen,
+  KwInput,
+  KwOutput,
+  KwConstrain,
+  KwAssert,
+  KwNot,
+  KwAnd,
+  KwOr,
+};
+
+/// Spelled name of a token kind, for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;    ///< Identifier spelling; empty otherwise.
+  int64_t IntValue = 0; ///< Value for Int and CharLit tokens.
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Tokenizes an entire description source. Errors (bad characters,
+/// unterminated character literals) are reported to the DiagnosticEngine
+/// and lexing continues so the parser can report more than one problem.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes all tokens including the trailing Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  SourceLoc loc() const { return {Line, Col}; }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace isdl
+} // namespace extra
+
+#endif // EXTRA_ISDL_LEXER_H

@@ -1,0 +1,602 @@
+//===- Parser.cpp - Recursive-descent parser for ISDL -----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Parser.h"
+
+using namespace extra;
+using namespace extra::isdl;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<Description> parseDescription();
+  ExprPtr parseExprTop();
+  StmtList parseStmtsTop();
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind K) const { return peek().is(K); }
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                                " in " + Context + ", found " +
+                                tokKindName(peek().Kind));
+    return false;
+  }
+
+  Section parseSection();
+  void parseItem(Section &S);
+  Routine parseRoutine(std::string Name);
+  TypeRef parseOptionalType(bool &Ok);
+  StmtList parseStmtList(const char *Context);
+  StmtPtr parseStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseNot();
+  ExprPtr parseRel();
+  ExprPtr parseAdd();
+  ExprPtr parseMul();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  bool atStmtStart() const;
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Descriptions, sections, declarations, routines
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Description> Parser::parseDescription() {
+  unsigned ErrorsBefore = Diags.errorCount();
+
+  if (!check(TokKind::Ident)) {
+    Diags.error(peek().Loc, "expected description name");
+    return nullptr;
+  }
+  auto Desc = std::make_unique<Description>(advance().Text);
+  if (!expect(TokKind::ColonEq, "description header") ||
+      !expect(TokKind::KwBegin, "description header"))
+    return nullptr;
+
+  while (check(TokKind::StarStar))
+    Desc->getSections().push_back(parseSection());
+
+  expect(TokKind::KwEnd, "description");
+  if (Diags.errorCount() != ErrorsBefore)
+    return nullptr;
+  return Desc;
+}
+
+Section Parser::parseSection() {
+  Section S;
+  expect(TokKind::StarStar, "section header");
+  if (check(TokKind::Ident))
+    S.Name = advance().Text;
+  else
+    Diags.error(peek().Loc, "expected section name");
+  expect(TokKind::StarStar, "section header");
+
+  while (check(TokKind::Ident))
+    parseItem(S);
+  return S;
+}
+
+void Parser::parseItem(Section &S) {
+  SourceLoc Loc = peek().Loc;
+  std::string Name = advance().Text;
+
+  // Routine forms:   name() ... := begin   |   name := begin
+  // Declaration:     name<hi:lo>  |  name<>  |  name : typename
+  bool IsRoutine = false;
+  if (check(TokKind::LParen))
+    IsRoutine = true;
+  else if (check(TokKind::ColonEq))
+    IsRoutine = true;
+
+  if (IsRoutine) {
+    Routine R = parseRoutine(std::move(Name));
+    R.Loc = Loc;
+    S.Items.push_back(SectionItem::routine(std::move(R)));
+    return;
+  }
+
+  Decl D;
+  D.Name = std::move(Name);
+  D.Loc = Loc;
+  if (accept(TokKind::LessGreater)) {
+    D.Type = TypeRef::flag();
+  } else if (accept(TokKind::Less)) {
+    int Hi = 0, Lo = 0;
+    if (check(TokKind::Int))
+      Hi = static_cast<int>(advance().IntValue);
+    else
+      Diags.error(peek().Loc, "expected high bit index in register declaration");
+    expect(TokKind::Colon, "register declaration");
+    if (check(TokKind::Int))
+      Lo = static_cast<int>(advance().IntValue);
+    else
+      Diags.error(peek().Loc, "expected low bit index in register declaration");
+    expect(TokKind::Greater, "register declaration");
+    D.Type = TypeRef::bits(Hi, Lo);
+  } else if (accept(TokKind::Colon)) {
+    if (check(TokKind::Ident)) {
+      std::string TypeName = advance().Text;
+      if (TypeName == "integer")
+        D.Type = TypeRef::integer();
+      else if (TypeName == "character")
+        D.Type = TypeRef::character();
+      else
+        Diags.error(Loc, "unknown type name '" + TypeName + "'");
+    } else {
+      Diags.error(peek().Loc, "expected type name after ':'");
+    }
+  } else {
+    Diags.error(peek().Loc,
+                "expected register width, type, or routine body after '" +
+                    D.Name + "'");
+  }
+  accept(TokKind::Comma);
+  S.Items.push_back(SectionItem::decl(std::move(D)));
+}
+
+TypeRef Parser::parseOptionalType(bool &Ok) {
+  Ok = true;
+  if (accept(TokKind::LessGreater))
+    return TypeRef::flag();
+  if (accept(TokKind::Less)) {
+    int Hi = 0, Lo = 0;
+    if (check(TokKind::Int))
+      Hi = static_cast<int>(advance().IntValue);
+    else
+      Ok = false;
+    if (!expect(TokKind::Colon, "result width"))
+      Ok = false;
+    if (check(TokKind::Int))
+      Lo = static_cast<int>(advance().IntValue);
+    else
+      Ok = false;
+    if (!expect(TokKind::Greater, "result width"))
+      Ok = false;
+    return TypeRef::bits(Hi, Lo);
+  }
+  if (accept(TokKind::Colon)) {
+    if (check(TokKind::Ident)) {
+      std::string TypeName = advance().Text;
+      if (TypeName == "integer")
+        return TypeRef::integer();
+      if (TypeName == "character")
+        return TypeRef::character();
+      Diags.error(peek().Loc, "unknown type name '" + TypeName + "'");
+      Ok = false;
+      return TypeRef::none();
+    }
+    Diags.error(peek().Loc, "expected type name after ':'");
+    Ok = false;
+  }
+  return TypeRef::none();
+}
+
+Routine Parser::parseRoutine(std::string Name) {
+  Routine R;
+  R.Name = std::move(Name);
+  if (accept(TokKind::LParen))
+    expect(TokKind::RParen, "routine parameter list");
+  bool Ok = true;
+  R.ResultType = parseOptionalType(Ok);
+  expect(TokKind::ColonEq, "routine definition");
+  expect(TokKind::KwBegin, "routine body");
+  R.Body = parseStmtList("routine body");
+  expect(TokKind::KwEnd, "routine body");
+  accept(TokKind::Semi);
+  accept(TokKind::Comma);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool Parser::atStmtStart() const {
+  switch (peek().Kind) {
+  case TokKind::Ident:
+  case TokKind::KwIf:
+  case TokKind::KwRepeat:
+  case TokKind::KwExitWhen:
+  case TokKind::KwInput:
+  case TokKind::KwOutput:
+  case TokKind::KwConstrain:
+  case TokKind::KwAssert:
+    return true;
+  default:
+    return false;
+  }
+}
+
+StmtList Parser::parseStmtList(const char *Context) {
+  StmtList Out;
+  unsigned LastErrors = Diags.errorCount();
+  while (atStmtStart()) {
+    StmtPtr S = parseStmt();
+    if (!S) {
+      // Error recovery: skip to the next semicolon or block terminator.
+      while (!check(TokKind::Eof) && !check(TokKind::Semi) &&
+             !check(TokKind::KwEnd) && !check(TokKind::KwEndIf) &&
+             !check(TokKind::KwEndRepeat) && !check(TokKind::KwElse))
+        advance();
+      accept(TokKind::Semi);
+      if (Diags.errorCount() == LastErrors)
+        Diags.error(peek().Loc, std::string("invalid statement in ") + Context);
+      LastErrors = Diags.errorCount();
+      continue;
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  StmtPtr Out;
+
+  switch (peek().Kind) {
+  case TokKind::Ident: {
+    // Assignment to a variable, a routine-name result, or Mb[addr].
+    std::string Name = advance().Text;
+    ExprPtr Target;
+    if (Name == "Mb") {
+      if (!expect(TokKind::LBracket, "memory assignment"))
+        return nullptr;
+      ExprPtr Addr = parseExpr();
+      if (!Addr || !expect(TokKind::RBracket, "memory assignment"))
+        return nullptr;
+      Target = memRef(std::move(Addr));
+    } else {
+      Target = varRef(std::move(Name));
+    }
+    if (!expect(TokKind::Arrow, "assignment"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    expect(TokKind::Semi, "assignment");
+    Out = std::make_unique<AssignStmt>(std::move(Target), std::move(Value));
+    break;
+  }
+  case TokKind::KwIf: {
+    advance();
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::KwThen, "if statement"))
+      return nullptr;
+    StmtList Then = parseStmtList("then branch");
+    StmtList Else;
+    if (accept(TokKind::KwElse))
+      Else = parseStmtList("else branch");
+    expect(TokKind::KwEndIf, "if statement");
+    accept(TokKind::Semi);
+    Out = std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                   std::move(Else));
+    break;
+  }
+  case TokKind::KwRepeat: {
+    advance();
+    StmtList Body = parseStmtList("repeat body");
+    expect(TokKind::KwEndRepeat, "repeat statement");
+    accept(TokKind::Semi);
+    Out = std::make_unique<RepeatStmt>(std::move(Body));
+    break;
+  }
+  case TokKind::KwExitWhen: {
+    advance();
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    expect(TokKind::Semi, "exit_when");
+    Out = std::make_unique<ExitWhenStmt>(std::move(Cond));
+    break;
+  }
+  case TokKind::KwInput: {
+    advance();
+    if (!expect(TokKind::LParen, "input statement"))
+      return nullptr;
+    std::vector<std::string> Targets;
+    if (!check(TokKind::RParen)) {
+      do {
+        if (!check(TokKind::Ident)) {
+          Diags.error(peek().Loc, "expected operand name in input list");
+          return nullptr;
+        }
+        Targets.push_back(advance().Text);
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "input statement");
+    expect(TokKind::Semi, "input statement");
+    Out = std::make_unique<InputStmt>(std::move(Targets));
+    break;
+  }
+  case TokKind::KwOutput: {
+    advance();
+    if (!expect(TokKind::LParen, "output statement"))
+      return nullptr;
+    std::vector<ExprPtr> Values;
+    if (!check(TokKind::RParen)) {
+      do {
+        ExprPtr V = parseExpr();
+        if (!V)
+          return nullptr;
+        Values.push_back(std::move(V));
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "output statement");
+    expect(TokKind::Semi, "output statement");
+    Out = std::make_unique<OutputStmt>(std::move(Values));
+    break;
+  }
+  case TokKind::KwConstrain: {
+    advance();
+    std::string Tag;
+    if (check(TokKind::Ident) && peek(1).is(TokKind::Colon)) {
+      Tag = advance().Text;
+      advance(); // ':'
+    }
+    ExprPtr Pred = parseExpr();
+    if (!Pred)
+      return nullptr;
+    expect(TokKind::Semi, "constrain statement");
+    Out = std::make_unique<ConstrainStmt>(std::move(Tag), std::move(Pred));
+    break;
+  }
+  case TokKind::KwAssert: {
+    advance();
+    ExprPtr Pred = parseExpr();
+    if (!Pred)
+      return nullptr;
+    expect(TokKind::Semi, "assert statement");
+    Out = std::make_unique<AssertStmt>(std::move(Pred));
+    break;
+  }
+  default:
+    Diags.error(Loc, std::string("unexpected ") + tokKindName(peek().Kind) +
+                         " at start of statement");
+    return nullptr;
+  }
+
+  if (Out)
+    Out->setLoc(Loc);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (L && accept(TokKind::KwOr)) {
+    ExprPtr R = parseAnd();
+    if (!R)
+      return nullptr;
+    L = binary(BinaryOp::Or, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseNot();
+  while (L && accept(TokKind::KwAnd)) {
+    ExprPtr R = parseNot();
+    if (!R)
+      return nullptr;
+    L = binary(BinaryOp::And, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseNot() {
+  if (accept(TokKind::KwNot)) {
+    ExprPtr E = parseNot();
+    if (!E)
+      return nullptr;
+    return unary(UnaryOp::Not, std::move(E));
+  }
+  return parseRel();
+}
+
+ExprPtr Parser::parseRel() {
+  ExprPtr L = parseAdd();
+  if (!L)
+    return nullptr;
+  BinaryOp Op;
+  switch (peek().Kind) {
+  case TokKind::Eq:
+    Op = BinaryOp::Eq;
+    break;
+  case TokKind::LessGreater:
+    Op = BinaryOp::Ne;
+    break;
+  case TokKind::Less:
+    Op = BinaryOp::Lt;
+    break;
+  case TokKind::LessEq:
+    Op = BinaryOp::Le;
+    break;
+  case TokKind::Greater:
+    Op = BinaryOp::Gt;
+    break;
+  case TokKind::GreaterEq:
+    Op = BinaryOp::Ge;
+    break;
+  default:
+    return L;
+  }
+  advance();
+  ExprPtr R = parseAdd();
+  if (!R)
+    return nullptr;
+  return binary(Op, std::move(L), std::move(R));
+}
+
+ExprPtr Parser::parseAdd() {
+  ExprPtr L = parseMul();
+  for (;;) {
+    if (!L)
+      return nullptr;
+    BinaryOp Op;
+    if (check(TokKind::Plus))
+      Op = BinaryOp::Add;
+    else if (check(TokKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return L;
+    advance();
+    ExprPtr R = parseMul();
+    if (!R)
+      return nullptr;
+    L = binary(Op, std::move(L), std::move(R));
+  }
+}
+
+ExprPtr Parser::parseMul() {
+  ExprPtr L = parseUnary();
+  for (;;) {
+    if (!L)
+      return nullptr;
+    BinaryOp Op;
+    if (check(TokKind::Star))
+      Op = BinaryOp::Mul;
+    else if (check(TokKind::Slash))
+      Op = BinaryOp::Div;
+    else
+      return L;
+    advance();
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    L = binary(Op, std::move(L), std::move(R));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (accept(TokKind::Minus)) {
+    ExprPtr E = parseUnary();
+    if (!E)
+      return nullptr;
+    return unary(UnaryOp::Neg, std::move(E));
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  ExprPtr Out;
+
+  switch (peek().Kind) {
+  case TokKind::Int:
+    Out = intLit(advance().IntValue);
+    break;
+  case TokKind::CharLit:
+    Out = charLit(static_cast<uint8_t>(advance().IntValue));
+    break;
+  case TokKind::LParen: {
+    advance();
+    Out = parseExpr();
+    if (!Out)
+      return nullptr;
+    expect(TokKind::RParen, "parenthesized expression");
+    break;
+  }
+  case TokKind::Ident: {
+    std::string Name = advance().Text;
+    if (Name == "Mb") {
+      if (!expect(TokKind::LBracket, "memory reference"))
+        return nullptr;
+      ExprPtr Addr = parseExpr();
+      if (!Addr || !expect(TokKind::RBracket, "memory reference"))
+        return nullptr;
+      Out = memRef(std::move(Addr));
+    } else if (accept(TokKind::LParen)) {
+      expect(TokKind::RParen, "routine call");
+      Out = call(std::move(Name));
+    } else {
+      Out = varRef(std::move(Name));
+    }
+    break;
+  }
+  default:
+    Diags.error(Loc, std::string("unexpected ") + tokKindName(peek().Kind) +
+                         " in expression");
+    return nullptr;
+  }
+
+  if (Out)
+    Out->setLoc(Loc);
+  return Out;
+}
+
+ExprPtr Parser::parseExprTop() {
+  ExprPtr E = parseExpr();
+  if (E && !check(TokKind::Eof))
+    Diags.error(peek().Loc, "trailing tokens after expression");
+  return E;
+}
+
+StmtList Parser::parseStmtsTop() {
+  StmtList Out = parseStmtList("statement sequence");
+  if (!check(TokKind::Eof))
+    Diags.error(peek().Loc, "trailing tokens after statements");
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Description>
+isdl::parseDescription(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseDescription();
+}
+
+ExprPtr isdl::parseExpr(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseExprTop();
+}
+
+StmtList isdl::parseStmts(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseStmtsTop();
+}

@@ -1,0 +1,42 @@
+//===- Parser.h - Recursive-descent parser for ISDL -------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the ISPS-like description notation into the AST of AST.h. See
+/// DESIGN.md §4 for the grammar. Parsing never throws; failures are
+/// reported to the DiagnosticEngine and parseDescription returns nullptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ISDL_PARSER_H
+#define EXTRA_ISDL_PARSER_H
+
+#include "isdl/AST.h"
+#include "isdl/Lexer.h"
+
+#include <memory>
+#include <string_view>
+
+namespace extra {
+namespace isdl {
+
+/// Parses one complete description from \p Source.
+///
+/// \returns the parsed description, or nullptr after reporting errors.
+std::unique_ptr<Description> parseDescription(std::string_view Source,
+                                              DiagnosticEngine &Diags);
+
+/// Parses a single expression (used by tests and transformation scripts).
+ExprPtr parseExpr(std::string_view Source, DiagnosticEngine &Diags);
+
+/// Parses a statement list (used by augment scripts, which supply
+/// prologue/epilogue code as source text).
+StmtList parseStmts(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace isdl
+} // namespace extra
+
+#endif // EXTRA_ISDL_PARSER_H

@@ -1,0 +1,265 @@
+//===- Printer.cpp - Pretty-printer for ISDL ASTs ---------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Printer.h"
+
+using namespace extra;
+using namespace extra::isdl;
+
+namespace {
+
+/// Precedence levels used to decide where parentheses are required.
+/// Larger binds tighter.
+enum Precedence {
+  PrecOr = 1,
+  PrecAnd = 2,
+  PrecNot = 3,
+  PrecRel = 4,
+  PrecAdd = 5,
+  PrecMul = 6,
+  PrecNeg = 7,
+  PrecPrimary = 8,
+};
+
+int precedenceOf(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::CharLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::MemRef:
+  case Expr::Kind::Call:
+    return PrecPrimary;
+  case Expr::Kind::Unary:
+    return cast<UnaryExpr>(&E)->getOp() == UnaryOp::Not ? PrecNot : PrecNeg;
+  case Expr::Kind::Binary:
+    switch (cast<BinaryExpr>(&E)->getOp()) {
+    case BinaryOp::Or:
+      return PrecOr;
+    case BinaryOp::And:
+      return PrecAnd;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return PrecAdd;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      return PrecMul;
+    default:
+      return PrecRel;
+    }
+  }
+  return PrecPrimary;
+}
+
+void printExprInto(const Expr &E, int MinPrec, std::string &Out) {
+  int Prec = precedenceOf(E);
+  bool Paren = Prec < MinPrec;
+  if (Paren)
+    Out += '(';
+
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    Out += std::to_string(cast<IntLit>(&E)->getValue());
+    break;
+  case Expr::Kind::CharLit: {
+    Out += '\'';
+    Out += static_cast<char>(cast<CharLit>(&E)->getValue());
+    Out += '\'';
+    break;
+  }
+  case Expr::Kind::VarRef:
+    Out += cast<VarRef>(&E)->getName();
+    break;
+  case Expr::Kind::MemRef:
+    Out += "Mb[";
+    printExprInto(*cast<MemRef>(&E)->getAddress(), PrecOr, Out);
+    Out += ']';
+    break;
+  case Expr::Kind::Call:
+    Out += cast<CallExpr>(&E)->getCallee();
+    Out += "()";
+    break;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    if (U->getOp() == UnaryOp::Not) {
+      Out += "not ";
+      printExprInto(*U->getOperand(), PrecNot, Out);
+    } else {
+      Out += '-';
+      printExprInto(*U->getOperand(), PrecNeg, Out);
+    }
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    // Subtraction and division are left-associative: the right operand of
+    // `a - b - c` needs parens when it is itself additive.
+    int LeftMin = Prec;
+    int RightMin = (B->getOp() == BinaryOp::Sub || B->getOp() == BinaryOp::Div)
+                       ? Prec + 1
+                       : Prec;
+    if (isRelational(B->getOp())) {
+      // Relational operators are non-associative; operands sit one level up.
+      LeftMin = PrecAdd;
+      RightMin = PrecAdd;
+    }
+    printExprInto(*B->getLHS(), LeftMin, Out);
+    Out += ' ';
+    Out += spelling(B->getOp());
+    Out += ' ';
+    printExprInto(*B->getRHS(), RightMin, Out);
+    break;
+  }
+  }
+
+  if (Paren)
+    Out += ')';
+}
+
+std::string indentStr(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+void printStmtInto(const Stmt &S, unsigned Indent, std::string &Out);
+
+void printStmtsInto(const StmtList &Stmts, unsigned Indent, std::string &Out) {
+  for (const StmtPtr &S : Stmts)
+    printStmtInto(*S, Indent, Out);
+}
+
+void printStmtInto(const Stmt &S, unsigned Indent, std::string &Out) {
+  std::string Ind = indentStr(Indent);
+  switch (S.getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    Out += Ind;
+    printExprInto(*A->getTarget(), PrecOr, Out);
+    Out += " <- ";
+    printExprInto(*A->getValue(), PrecOr, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    Out += Ind + "if ";
+    printExprInto(*I->getCond(), PrecOr, Out);
+    Out += " then\n";
+    printStmtsInto(I->getThen(), Indent + 1, Out);
+    if (!I->getElse().empty()) {
+      Out += Ind + "else\n";
+      printStmtsInto(I->getElse(), Indent + 1, Out);
+    }
+    Out += Ind + "end_if;\n";
+    break;
+  }
+  case Stmt::Kind::Repeat: {
+    Out += Ind + "repeat\n";
+    printStmtsInto(cast<RepeatStmt>(&S)->getBody(), Indent + 1, Out);
+    Out += Ind + "end_repeat;\n";
+    break;
+  }
+  case Stmt::Kind::ExitWhen: {
+    Out += Ind + "exit_when (";
+    printExprInto(*cast<ExitWhenStmt>(&S)->getCond(), PrecOr, Out);
+    Out += ");\n";
+    break;
+  }
+  case Stmt::Kind::Input: {
+    const auto *I = cast<InputStmt>(&S);
+    Out += Ind + "input (";
+    for (size_t K = 0; K < I->getTargets().size(); ++K) {
+      if (K != 0)
+        Out += ", ";
+      Out += I->getTargets()[K];
+    }
+    Out += ");\n";
+    break;
+  }
+  case Stmt::Kind::Output: {
+    const auto *O = cast<OutputStmt>(&S);
+    Out += Ind + "output (";
+    for (size_t K = 0; K < O->getValues().size(); ++K) {
+      if (K != 0)
+        Out += ", ";
+      printExprInto(*O->getValues()[K], PrecOr, Out);
+    }
+    Out += ");\n";
+    break;
+  }
+  case Stmt::Kind::Constrain: {
+    const auto *C = cast<ConstrainStmt>(&S);
+    Out += Ind + "constrain ";
+    if (!C->getTag().empty()) {
+      Out += C->getTag();
+      Out += ": ";
+    }
+    printExprInto(*C->getPred(), PrecOr, Out);
+    Out += ";\n";
+    break;
+  }
+  case Stmt::Kind::Assert: {
+    Out += Ind + "assert ";
+    printExprInto(*cast<AssertStmt>(&S)->getPred(), PrecOr, Out);
+    Out += ";\n";
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string isdl::printExpr(const Expr &E) {
+  std::string Out;
+  printExprInto(E, PrecOr, Out);
+  return Out;
+}
+
+std::string isdl::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Out;
+  printStmtInto(S, Indent, Out);
+  return Out;
+}
+
+std::string isdl::printStmts(const StmtList &Stmts, unsigned Indent) {
+  std::string Out;
+  printStmtsInto(Stmts, Indent, Out);
+  return Out;
+}
+
+std::string isdl::printDescription(const Description &D) {
+  std::string Out = D.getName() + " := begin\n";
+  for (const Section &S : D.getSections()) {
+    Out += "  ** " + S.Name + " **\n";
+    for (const SectionItem &I : S.Items) {
+      if (I.K == SectionItem::Kind::Decl) {
+        Out += "    " + I.D.Name;
+        std::string Ty = I.D.Type.str();
+        if (I.D.Type.K == TypeRef::Kind::Integer ||
+            I.D.Type.K == TypeRef::Kind::Character)
+          Out += ": " + Ty;
+        else
+          Out += Ty;
+        Out += ",";
+        if (!I.D.Comment.empty())
+          Out += "  ! " + I.D.Comment;
+        Out += "\n";
+        continue;
+      }
+      const Routine &R = *I.R;
+      Out += "    " + R.Name + "()";
+      if (R.ResultType.K == TypeRef::Kind::Integer ||
+          R.ResultType.K == TypeRef::Kind::Character)
+        Out += ": " + R.ResultType.str();
+      else
+        Out += R.ResultType.str();
+      Out += " := begin";
+      if (!R.Comment.empty())
+        Out += "  ! " + R.Comment;
+      Out += "\n";
+      Out += printStmts(R.Body, 3);
+      Out += "    end\n";
+    }
+  }
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- Printer.h - Pretty-printer for ISDL ASTs -----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders descriptions back to the notation of the paper's figures. The
+/// printer is the inverse of the parser up to whitespace and comments:
+/// parse(print(D)) is structurally equal to D (round-trip property tests
+/// rely on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ISDL_PRINTER_H
+#define EXTRA_ISDL_PRINTER_H
+
+#include "isdl/AST.h"
+
+#include <string>
+
+namespace extra {
+namespace isdl {
+
+/// Renders an expression with minimal parentheses.
+std::string printExpr(const Expr &E);
+
+/// Renders one statement (multi-line for if/repeat) at \p Indent levels.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a statement list at \p Indent levels.
+std::string printStmts(const StmtList &Stmts, unsigned Indent = 0);
+
+/// Renders a whole description in the style of the paper's figures.
+std::string printDescription(const Description &D);
+
+} // namespace isdl
+} // namespace extra
+
+#endif // EXTRA_ISDL_PRINTER_H

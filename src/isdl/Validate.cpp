@@ -1,0 +1,110 @@
+//===- Validate.cpp - Description well-formedness checks --------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Validate.h"
+
+#include "isdl/Traverse.h"
+
+#include <set>
+
+using namespace extra;
+using namespace extra::isdl;
+
+bool isdl::validate(const Description &D, DiagnosticEngine &Diags) {
+  unsigned ErrorsBefore = Diags.errorCount();
+
+  std::set<std::string> DeclNames;
+  std::set<std::string> RoutineNames;
+  for (const Decl *Dl : D.decls()) {
+    if (!DeclNames.insert(Dl->Name).second)
+      Diags.error(Dl->Loc, "duplicate declaration of '" + Dl->Name + "'");
+    if (Dl->Type.K == TypeRef::Kind::Bits &&
+        (Dl->Type.Hi < Dl->Type.Lo || Dl->Type.Lo < 0 || Dl->Type.Hi > 63))
+      Diags.error(Dl->Loc, "register '" + Dl->Name +
+                               "' has an invalid bit range " +
+                               Dl->Type.str());
+  }
+  for (const Routine *R : D.routines()) {
+    if (!RoutineNames.insert(R->Name).second)
+      Diags.error(R->Loc, "duplicate routine '" + R->Name + "'");
+    if (DeclNames.count(R->Name))
+      Diags.error(R->Loc,
+                  "routine '" + R->Name + "' shadows a declaration");
+  }
+
+  if (!D.entryRoutine()) {
+    Diags.error(SourceLoc(), "description '" + D.getName() +
+                                 "' has no routines");
+    return false;
+  }
+
+  for (const Routine *R : D.routines()) {
+    // exit_when nesting check.
+    std::function<void(const StmtList &, unsigned)> CheckExits =
+        [&](const StmtList &Stmts, unsigned LoopDepth) {
+          for (const StmtPtr &S : Stmts) {
+            switch (S->getKind()) {
+            case Stmt::Kind::ExitWhen:
+              if (LoopDepth == 0)
+                Diags.error(S->getLoc(),
+                            "exit_when outside of a repeat loop in routine '" +
+                                R->Name + "'");
+              break;
+            case Stmt::Kind::Repeat:
+              CheckExits(cast<RepeatStmt>(S.get())->getBody(), LoopDepth + 1);
+              break;
+            case Stmt::Kind::If:
+              CheckExits(cast<IfStmt>(S.get())->getThen(), LoopDepth);
+              CheckExits(cast<IfStmt>(S.get())->getElse(), LoopDepth);
+              break;
+            default:
+              break;
+            }
+          }
+        };
+    CheckExits(R->Body, 0);
+
+    // Name resolution: every VarRef must be a declaration or this routine's
+    // own name (result assignment); every call must name a routine.
+    forEachStmt(R->Body, [&](const Stmt &S) {
+      forEachExpr(S, [&](const Expr &E) {
+        if (const auto *V = dyn_cast<VarRef>(&E)) {
+          const std::string &N = V->getName();
+          if (!DeclNames.count(N) && N != R->Name) {
+            if (RoutineNames.count(N))
+              Diags.error(E.getLoc(), "routine '" + N +
+                                          "' used as a variable in '" +
+                                          R->Name + "'");
+            else
+              Diags.error(E.getLoc(), "undeclared name '" + N +
+                                          "' in routine '" + R->Name + "'");
+          }
+        } else if (const auto *C = dyn_cast<CallExpr>(&E)) {
+          if (!RoutineNames.count(C->getCallee()))
+            Diags.error(E.getLoc(), "call of unknown routine '" +
+                                        C->getCallee() + "' in '" + R->Name +
+                                        "'");
+        }
+      });
+      if (const auto *In = dyn_cast<InputStmt>(&S)) {
+        for (const std::string &T : In->getTargets())
+          if (!DeclNames.count(T))
+            Diags.error(S.getLoc(), "undeclared input operand '" + T + "'");
+      }
+      // Aliasing backdoor: assigning some *other* routine's name.
+      if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+        std::string Target = A->targetVarName();
+        if (!Target.empty() && RoutineNames.count(Target) &&
+            Target != R->Name)
+          Diags.error(S.getLoc(), "routine '" + R->Name +
+                                      "' assigns result of routine '" +
+                                      Target + "'");
+      }
+    });
+  }
+
+  return Diags.errorCount() == ErrorsBefore;
+}

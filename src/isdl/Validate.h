@@ -1,0 +1,33 @@
+//===- Validate.h - Description well-formedness checks ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic checks enforcing the paper's restrictions on descriptions
+/// (§3): every referenced name is declared, calls name real routines,
+/// `exit_when` appears only inside `repeat`, routines return by assigning
+/// their own name, and there is exactly one entry routine. Aliasing cannot
+/// arise because the language has no reference parameters; validation
+/// rejects a routine assigning another routine's name, which would be the
+/// one remaining backdoor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ISDL_VALIDATE_H
+#define EXTRA_ISDL_VALIDATE_H
+
+#include "isdl/AST.h"
+
+namespace extra {
+namespace isdl {
+
+/// Checks \p D for well-formedness, reporting problems to \p Diags.
+/// \returns true when no errors were found.
+bool validate(const Description &D, DiagnosticEngine &Diags);
+
+} // namespace isdl
+} // namespace extra
+
+#endif // EXTRA_ISDL_VALIDATE_H

@@ -1,0 +1,41 @@
+//===- Sim8086.h - Intel 8086 subset simulator ------------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the 8086 dialect the code generator emits:
+///
+///   mov/add/sub/cmp R, X     X in {reg, imm, [reg]}; also mov [R], X
+///   inc/dec R                (set zf)
+///   cld / std                direction flag
+///   jmp/jz/jnz/jl/jle/jg/jge label
+///   scasb, movsb, cmpsb, stosb, lodsb
+///   rep movsb | rep stosb | repe cmpsb | repne scasb
+///
+/// Registers: the 8086 set (16-bit masked) plus 8-bit al/bl/cl/dl (no
+/// high/low aliasing with the 16-bit registers — a documented
+/// simplification), plus arbitrary identifiers acting as virtual
+/// registers for front-end symbols. Comments start with ';'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SIM_SIM8086_H
+#define EXTRA_SIM_SIM8086_H
+
+#include "sim/SimCommon.h"
+
+namespace extra {
+namespace sim {
+
+/// Runs \p Asm to completion (falling off the end halts).
+SimResult run8086(const std::vector<std::string> &Asm,
+                  const interp::Memory &InitialMemory = {},
+                  const std::map<std::string, int64_t> &InitialRegs = {},
+                  uint64_t MaxSteps = 1000000);
+
+} // namespace sim
+} // namespace extra
+
+#endif // EXTRA_SIM_SIM8086_H

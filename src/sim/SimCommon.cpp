@@ -1,0 +1,81 @@
+//===- SimCommon.cpp - Shared simulator infrastructure ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimCommon.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+
+using namespace extra;
+using namespace extra::sim;
+
+AsmStmt sim::parseAsmLine(const std::string &Line, char CommentChar) {
+  AsmStmt Out;
+  Out.Raw = Line;
+  std::string Text = Line;
+  size_t Comment = Text.find(CommentChar);
+  if (Comment != std::string::npos)
+    Text = Text.substr(0, Comment);
+  std::string_view T = trim(Text);
+  if (T.empty())
+    return Out;
+
+  // Label line: "name:" (possibly followed by nothing else).
+  if (T.back() == ':' && T.find(' ') == std::string_view::npos &&
+      T.find(',') == std::string_view::npos) {
+    Out.Label = std::string(T.substr(0, T.size() - 1));
+    return Out;
+  }
+
+  // Tokenize on whitespace and commas.
+  std::string Tok;
+  for (char C : T) {
+    if (C == ' ' || C == '\t' || C == ',') {
+      if (!Tok.empty()) {
+        Out.Toks.push_back(Tok);
+        Tok.clear();
+      }
+      continue;
+    }
+    Tok.push_back(C);
+  }
+  if (!Tok.empty())
+    Out.Toks.push_back(Tok);
+  return Out;
+}
+
+bool sim::assemble(const std::vector<std::string> &Lines, char CommentChar,
+                   std::vector<AsmStmt> &Out,
+                   std::map<std::string, size_t> &Labels,
+                   std::string &Error) {
+  Out.clear();
+  Labels.clear();
+  for (const std::string &Line : Lines) {
+    AsmStmt S = parseAsmLine(Line, CommentChar);
+    if (!S.Label.empty()) {
+      if (!Labels.emplace(S.Label, Out.size()).second) {
+        Error = "duplicate label '" + S.Label + "'";
+        return false;
+      }
+      continue; // Labels point at the next statement.
+    }
+    if (!S.Toks.empty())
+      Out.push_back(std::move(S));
+  }
+  return true;
+}
+
+unsigned sim::codeSize(const std::vector<std::string> &Lines,
+                       char CommentChar) {
+  unsigned N = 0;
+  for (const std::string &Line : Lines) {
+    AsmStmt S = parseAsmLine(Line, CommentChar);
+    if (!S.Toks.empty())
+      ++N;
+  }
+  return N;
+}

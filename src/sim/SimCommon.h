@@ -1,0 +1,76 @@
+//===- SimCommon.h - Shared simulator infrastructure ------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared pieces of the three instruction-level simulators (8086, VAX,
+/// 370) that execute the code generator's output. The paper evaluated on
+/// real machines; these simulators substitute for them, giving the
+/// benchmarks an executable target and honest relative cost numbers:
+///
+///  * `Instructions` counts instruction dispatches (fetch/decode), the
+///    quantity exotic instructions amortize over a whole string;
+///  * `MicroOps` counts per-byte data work, which is the same for exotic
+///    and primitive implementations;
+///  * code size is simply the number of emitted instruction lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SIM_SIMCOMMON_H
+#define EXTRA_SIM_SIMCOMMON_H
+
+#include "interp/Interp.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace sim {
+
+/// Outcome of one simulated run.
+struct SimResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Instructions = 0; ///< Dispatches.
+  uint64_t MicroOps = 0;     ///< Per-byte data operations.
+  interp::Memory Mem;
+  std::map<std::string, int64_t> Regs;
+
+  /// Register (or virtual symbol) value; 0 when never written.
+  int64_t reg(const std::string &Name) const {
+    auto It = Regs.find(Name);
+    return It == Regs.end() ? 0 : It->second;
+  }
+};
+
+/// One parsed assembly statement.
+struct AsmStmt {
+  std::string Label;              ///< Set when the line is "name:".
+  std::vector<std::string> Toks;  ///< Mnemonic (and prefix) + operands.
+  std::string Raw;                ///< Original text, for error messages.
+};
+
+/// Strips the comment, splits the label, and tokenizes operands
+/// (separators: whitespace and commas; parenthesized and bracketed
+/// operands stay single tokens).
+AsmStmt parseAsmLine(const std::string &Line, char CommentChar);
+
+/// Parses the program into statements and a label table.
+///
+/// \returns false (with \p Error) on malformed lines or duplicate labels.
+bool assemble(const std::vector<std::string> &Lines, char CommentChar,
+              std::vector<AsmStmt> &Out,
+              std::map<std::string, size_t> &Labels, std::string &Error);
+
+/// Number of instruction lines (non-label, non-comment, non-blank) — the
+/// "space" measure of §1.
+unsigned codeSize(const std::vector<std::string> &Lines, char CommentChar);
+
+} // namespace sim
+} // namespace extra
+
+#endif // EXTRA_SIM_SIMCOMMON_H

@@ -1,0 +1,69 @@
+//===- Diagnostics.h - Error reporting for EXTRA --------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the ISDL front end and
+/// the transformation engine. Library code never aborts on user input; it
+/// reports through a DiagnosticEngine and returns a failure value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SUPPORT_DIAGNOSTICS_H
+#define EXTRA_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace extra {
+
+/// A 1-based line/column position within a description source text.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem, with an optional source position.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while parsing or transforming.
+///
+/// The engine is append-only; callers snapshot \c errorCount() around an
+/// operation to find out whether it failed.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const { return NumErrors != 0; }
+  void clear();
+
+  /// Renders every diagnostic, one per line, for test assertions and tools.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace extra
+
+#endif // EXTRA_SUPPORT_DIAGNOSTICS_H

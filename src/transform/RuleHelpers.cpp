@@ -1,0 +1,126 @@
+//===- RuleHelpers.cpp - Builders for pattern-rewrite rules -----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/RuleHelpers.h"
+
+#include "isdl/Parser.h"
+
+using namespace extra;
+using namespace extra::transform;
+using namespace extra::transform::detail;
+using namespace extra::isdl;
+
+std::optional<int64_t> detail::litValue(const Expr &E) {
+  if (const auto *I = dyn_cast<IntLit>(&E))
+    return I->getValue();
+  if (const auto *C = dyn_cast<CharLit>(&E))
+    return C->getValue();
+  return std::nullopt;
+}
+
+StmtList detail::parseRuleCode(const std::string &Code, std::string &Reason) {
+  DiagnosticEngine Diags;
+  StmtList Out = parseStmts(Code, Diags);
+  if (Diags.hasErrors()) {
+    Reason = "cannot parse rule code: " + Diags.str();
+    return StmtList();
+  }
+  if (Out.empty())
+    Reason = "rule code is empty";
+  return Out;
+}
+
+ApplyResult ExprRule::apply(TransformContext &Ctx) const {
+  std::string Reason;
+  Routine *R = Ctx.routine(Reason);
+  if (!R)
+    return ApplyResult::failure(Reason);
+
+  long WantedOccurrence = -1;
+  if (Ctx.Args.count("occurrence")) {
+    auto N = Ctx.intArg("occurrence", Reason);
+    if (!N)
+      return ApplyResult::failure(Reason);
+    WantedOccurrence = static_cast<long>(*N);
+  }
+
+  long Seen = 0;
+  unsigned Rewritten = 0;
+  const Description &D = Ctx.Desc;
+  forEachExprSlot(R->Body, [&](ExprPtr &Slot) {
+    if (!Match(*Slot, D))
+      return;
+    long Occurrence = Seen++;
+    if (WantedOccurrence >= 0 && Occurrence != WantedOccurrence)
+      return;
+    Rewrite(Slot, D);
+    ++Rewritten;
+  });
+
+  if (Rewritten == 0)
+    return ApplyResult::failure("no matching expression in routine '" +
+                                R->Name + "'");
+  return ApplyResult::success(SemanticsEffect::Preserving,
+                              std::to_string(Rewritten) + " site(s) rewritten");
+}
+
+ApplyResult StmtRule::apply(TransformContext &Ctx) const {
+  std::string Reason;
+  Routine *R = Ctx.routine(Reason);
+  if (!R)
+    return ApplyResult::failure(Reason);
+
+  long WantedOccurrence = -1;
+  if (Ctx.Args.count("occurrence")) {
+    auto N = Ctx.intArg("occurrence", Reason);
+    if (!N)
+      return ApplyResult::failure(Reason);
+    WantedOccurrence = static_cast<long>(*N);
+  }
+
+  long Seen = 0;
+  unsigned Rewritten = 0;
+  const Description &D = Ctx.Desc;
+
+  // Walk all statement lists; splice rewrite results in place. Pre-order:
+  // a statement is offered to the rule before its children, and the
+  // rewrite result is not re-scanned (no self-recursion).
+  std::function<void(StmtList &)> Walk = [&](StmtList &List) {
+    for (size_t I = 0; I < List.size(); ++I) {
+      Stmt *S = List[I].get();
+      bool Matched = Match(*S, D);
+      if (Matched) {
+        long Occurrence = Seen++;
+        if (WantedOccurrence < 0 || Occurrence == WantedOccurrence) {
+          StmtPtr Taken = std::move(List[I]);
+          StmtList Replacement = Rewrite(std::move(Taken), D);
+          List.erase(List.begin() + static_cast<long>(I));
+          for (size_t K = 0; K < Replacement.size(); ++K)
+            List.insert(List.begin() + static_cast<long>(I + K),
+                        std::move(Replacement[K]));
+          ++Rewritten;
+          // Do not descend into the replacement; continue after it.
+          I += Replacement.size();
+          --I; // compensate loop increment
+          continue;
+        }
+      }
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        Walk(If->getThen());
+        Walk(If->getElse());
+      } else if (auto *Rep = dyn_cast<RepeatStmt>(S)) {
+        Walk(Rep->getBody());
+      }
+    }
+  };
+  Walk(R->Body);
+
+  if (Rewritten == 0)
+    return ApplyResult::failure("no matching statement in routine '" +
+                                R->Name + "'");
+  return ApplyResult::success(SemanticsEffect::Preserving,
+                              std::to_string(Rewritten) + " site(s) rewritten");
+}

@@ -1,0 +1,137 @@
+//===- ScriptIO.cpp - Textual derivation scripts ----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ScriptIO.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+
+using namespace extra;
+using namespace extra::transform;
+
+namespace {
+
+bool needsQuoting(const std::string &V) {
+  if (V.empty())
+    return true;
+  for (char C : V)
+    if (std::isspace(static_cast<unsigned char>(C)) || C == '"' ||
+        C == '=' || C == '#' || C == '\\')
+      return true;
+  return false;
+}
+
+std::string quote(const std::string &V) {
+  std::string Out = "\"";
+  for (char C : V) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+std::string transform::printScript(const Script &S) {
+  std::string Out;
+  for (const Step &St : S) {
+    Out += St.Rule;
+    if (!St.Routine.empty())
+      Out += " @" + St.Routine;
+    for (const auto &[K, V] : St.Args) {
+      Out += " " + K + "=";
+      Out += needsQuoting(V) ? quote(V) : V;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<Script> transform::parseScript(std::string_view Text,
+                                             DiagnosticEngine &Diags) {
+  Script Out;
+  unsigned LineNo = 0;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    std::string_view Line =
+        Text.substr(Pos, End == std::string_view::npos ? End : End - Pos);
+    Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
+    ++LineNo;
+
+    std::string_view T = trim(Line);
+    if (T.empty() || T[0] == '#')
+      continue;
+
+    // Tokenize respecting quotes.
+    Step St;
+    size_t I = 0;
+    auto Error = [&](const std::string &Why) {
+      Diags.error({LineNo, static_cast<unsigned>(I + 1)}, Why);
+      Failed = true;
+    };
+    auto SkipWs = [&] {
+      while (I < T.size() && std::isspace(static_cast<unsigned char>(T[I])))
+        ++I;
+    };
+    auto ReadToken = [&](bool StopAtEq) {
+      std::string Tok;
+      if (I < T.size() && T[I] == '"') {
+        ++I;
+        while (I < T.size() && T[I] != '"') {
+          if (T[I] == '\\' && I + 1 < T.size())
+            ++I;
+          Tok += T[I++];
+        }
+        if (I >= T.size()) {
+          Error("unterminated quoted value");
+          return Tok;
+        }
+        ++I; // closing quote
+        return Tok;
+      }
+      while (I < T.size() &&
+             !std::isspace(static_cast<unsigned char>(T[I])) &&
+             !(StopAtEq && T[I] == '='))
+        Tok += T[I++];
+      return Tok;
+    };
+
+    SkipWs();
+    St.Rule = ReadToken(false);
+    if (St.Rule.empty()) {
+      Error("missing rule name");
+      continue;
+    }
+    SkipWs();
+    if (I < T.size() && T[I] == '@') {
+      ++I;
+      St.Routine = ReadToken(false);
+      SkipWs();
+    }
+    while (I < T.size()) {
+      std::string Key = ReadToken(true);
+      if (Key.empty() || I >= T.size() || T[I] != '=') {
+        Error("expected key=value");
+        break;
+      }
+      ++I; // '='
+      std::string Value = ReadToken(false);
+      St.Args[Key] = std::move(Value);
+      SkipWs();
+    }
+    Out.push_back(std::move(St));
+  }
+
+  if (Failed)
+    return std::nullopt;
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- ScriptIO.h - Textual derivation scripts ------------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual exchange format for derivation scripts, so recorded analyses
+/// can live in files and be replayed (`extra-cli replay`). One step per
+/// line:
+///
+///     # comment
+///     rule-name [@routine] key=value key="value with spaces"
+///
+/// Values containing whitespace, quotes, or '=' are double-quoted with
+/// backslash escapes for `"` and `\`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_TRANSFORM_SCRIPTIO_H
+#define EXTRA_TRANSFORM_SCRIPTIO_H
+
+#include "support/Diagnostics.h"
+#include "transform/Transform.h"
+
+#include <optional>
+#include <string_view>
+
+namespace extra {
+namespace transform {
+
+/// Renders a script in the textual format (ends with a newline).
+std::string printScript(const Script &S);
+
+/// Parses the textual format. Reports problems to \p Diags and returns
+/// nullopt on any error.
+std::optional<Script> parseScript(std::string_view Text,
+                                  DiagnosticEngine &Diags);
+
+} // namespace transform
+} // namespace extra
+
+#endif // EXTRA_TRANSFORM_SCRIPTIO_H

@@ -1,0 +1,352 @@
+//===- Transform.cpp - Transformation framework -----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transform.h"
+
+#include "isdl/Traverse.h"
+
+using namespace extra;
+using namespace extra::transform;
+using namespace extra::isdl;
+
+const char *transform::categoryName(Category C) {
+  switch (C) {
+  case Category::Local:
+    return "local";
+  case Category::CodeMotion:
+    return "code motion";
+  case Category::Loop:
+    return "loop";
+  case Category::Global:
+    return "global";
+  case Category::RoutineStructuring:
+    return "routine structuring";
+  case Category::ConstraintOp:
+    return "constraint/assertion";
+  case Category::Augment:
+    return "augment producing";
+  }
+  return "?";
+}
+
+Transformation::~Transformation() = default;
+
+//===----------------------------------------------------------------------===//
+// TransformContext
+//===----------------------------------------------------------------------===//
+
+Routine *TransformContext::routine(std::string &Reason) const {
+  Routine *R = RoutineName.empty() ? Desc.entryRoutine()
+                                   : Desc.findRoutine(RoutineName);
+  if (!R)
+    Reason = "no routine named '" + RoutineName + "' in description '" +
+             Desc.getName() + "'";
+  return R;
+}
+
+std::string TransformContext::arg(const std::string &Key,
+                                  std::string &Reason) const {
+  auto It = Args.find(Key);
+  if (It == Args.end() || It->second.empty()) {
+    Reason = "missing required argument '" + Key + "'";
+    return std::string();
+  }
+  return It->second;
+}
+
+std::string TransformContext::argOr(const std::string &Key,
+                                    std::string Default) const {
+  auto It = Args.find(Key);
+  return It == Args.end() ? Default : It->second;
+}
+
+std::optional<int64_t> TransformContext::intArg(const std::string &Key,
+                                                std::string &Reason) const {
+  std::string S = arg(Key, Reason);
+  if (S.empty())
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  long long V = strtoll(S.c_str(), &End, 10);
+  if (End == S.c_str() || *End != '\0') {
+    Reason = "argument '" + Key + "' is not an integer: '" + S + "'";
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const Registry &Registry::instance() {
+  static Registry *R = [] {
+    auto *Reg = new Registry();
+    registerLocalTransforms(*Reg);
+    registerCodeMotionTransforms(*Reg);
+    registerLoopTransforms(*Reg);
+    registerGlobalTransforms(*Reg);
+    registerRoutineTransforms(*Reg);
+    registerConstraintTransforms(*Reg);
+    registerAugmentTransforms(*Reg);
+    return Reg;
+  }();
+  return *R;
+}
+
+const Transformation *Registry::lookup(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? nullptr : It->second.get();
+}
+
+std::vector<const Transformation *> Registry::all() const { return Order; }
+
+std::vector<const Transformation *> Registry::inCategory(Category C) const {
+  std::vector<const Transformation *> Out;
+  for (const Transformation *T : Order)
+    if (T->category() == C)
+      Out.push_back(T);
+  return Out;
+}
+
+void Registry::add(std::unique_ptr<Transformation> T) {
+  assert(T && "null transformation");
+  const Transformation *Raw = T.get();
+  auto [It, Inserted] = ByName.emplace(T->name(), std::move(T));
+  (void)It;
+  assert(Inserted && "duplicate transformation name");
+  (void)Inserted;
+  Order.push_back(Raw);
+}
+
+//===----------------------------------------------------------------------===//
+// Steps and the engine
+//===----------------------------------------------------------------------===//
+
+std::string Step::str() const {
+  std::string Out = Rule;
+  if (!Routine.empty())
+    Out += " @" + Routine;
+  for (const auto &[K, V] : Args)
+    Out += " " + K + "=" + V;
+  return Out;
+}
+
+Engine::Engine(Description Initial) : Desc(std::move(Initial)) {}
+
+ApplyResult Engine::apply(const Step &S) {
+  const Transformation *T = Registry::instance().lookup(S.Rule);
+  if (!T)
+    return ApplyResult::failure("unknown transformation '" + S.Rule + "'");
+
+  // Work on a copy so a refused or failed application leaves the session
+  // state untouched, so the verifier can compare before/after, and so
+  // undo() can restore it.
+  Description Before = Desc.clone();
+  size_t ConstraintsBefore = Constraints.size();
+  TransformContext Ctx{Desc, S.Routine, S.Args, &Constraints};
+  ApplyResult R = T->apply(Ctx);
+  if (!R.Applied) {
+    Desc = std::move(Before);
+    return R;
+  }
+
+  if (Verifier) {
+    std::string Error;
+    StepObservation Obs{S, Before, Desc, R.Effect, R.Adapter};
+    if (!Verifier(Obs, Error)) {
+      Desc = std::move(Before);
+      return ApplyResult::failure("step verification failed for '" + S.Rule +
+                                  "': " + Error);
+    }
+  }
+
+  Log.push_back({S, R.Effect, R.Note, std::move(Before),
+                 ConstraintsBefore});
+  return R;
+}
+
+bool Engine::undo() {
+  if (Log.empty())
+    return false;
+  Desc = std::move(Log.back().Before);
+  Constraints.truncate(Log.back().ConstraintsBefore);
+  Log.pop_back();
+  return true;
+}
+
+size_t Engine::applyScript(const Script &Steps, std::string *FirstError) {
+  size_t Applied = 0;
+  for (const Step &S : Steps) {
+    ApplyResult R = apply(S);
+    if (!R.Applied) {
+      if (FirstError)
+        *FirstError = "step " + std::to_string(Applied + 1) + " (" + S.str() +
+                      "): " + R.Reason;
+      return Applied;
+    }
+    ++Applied;
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+bool detail::isBooleanExpr(const Description &D, const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit: {
+    int64_t V = cast<IntLit>(&E)->getValue();
+    return V == 0 || V == 1;
+  }
+  case Expr::Kind::VarRef: {
+    const Decl *Dl = D.findDecl(cast<VarRef>(&E)->getName());
+    return Dl && Dl->Type.isFlag();
+  }
+  case Expr::Kind::Unary:
+    return cast<UnaryExpr>(&E)->getOp() == UnaryOp::Not;
+  case Expr::Kind::Binary: {
+    BinaryOp Op = cast<BinaryExpr>(&E)->getOp();
+    return isRelational(Op) || Op == BinaryOp::And || Op == BinaryOp::Or;
+  }
+  default:
+    return false;
+  }
+}
+
+RepeatStmt *detail::findUniqueLoop(Routine &R, std::string &Reason) {
+  RepeatStmt *Found = nullptr;
+  bool Ambiguous = false;
+  forEachStmt(R.Body, [&](const Stmt &S) {
+    if (const auto *Rep = dyn_cast<RepeatStmt>(&S)) {
+      if (Found)
+        Ambiguous = true;
+      else
+        Found = const_cast<RepeatStmt *>(Rep);
+    }
+  });
+  if (!Found)
+    Reason = "routine '" + R.Name + "' contains no repeat loop";
+  else if (Ambiguous) {
+    Reason = "routine '" + R.Name + "' contains more than one repeat loop";
+    Found = nullptr;
+  }
+  return Found;
+}
+
+StmtLocus detail::findUniqueAssign(Routine &R, const std::string &Var,
+                                   std::string &Reason) {
+  // Search every statement list reachable from the body.
+  StmtLocus Found;
+  bool Ambiguous = false;
+  std::function<void(StmtList &)> Walk = [&](StmtList &List) {
+    for (size_t I = 0; I < List.size(); ++I) {
+      Stmt *S = List[I].get();
+      if (auto *A = dyn_cast<AssignStmt>(S)) {
+        if (A->targetVarName() == Var) {
+          if (Found.isValid())
+            Ambiguous = true;
+          else
+            Found = StmtLocus{&List, I};
+        }
+      } else if (auto *If = dyn_cast<IfStmt>(S)) {
+        Walk(If->getThen());
+        Walk(If->getElse());
+      } else if (auto *Rep = dyn_cast<RepeatStmt>(S)) {
+        Walk(Rep->getBody());
+      }
+    }
+  };
+  Walk(R.Body);
+  if (!Found.isValid())
+    Reason = "no assignment to '" + Var + "' in routine '" + R.Name + "'";
+  else if (Ambiguous) {
+    Reason = "more than one assignment to '" + Var + "' in routine '" +
+             R.Name + "'";
+    Found = StmtLocus();
+  }
+  return Found;
+}
+
+unsigned detail::countWrites(const Description &D, const std::string &Var) {
+  unsigned Count = 0;
+  for (const Routine *R : D.routines())
+    forEachStmt(R->Body, [&](const Stmt &S) {
+      if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+        if (A->targetVarName() == Var)
+          ++Count;
+      } else if (const auto *In = dyn_cast<InputStmt>(&S)) {
+        for (const std::string &T : In->getTargets())
+          if (T == Var)
+            ++Count;
+      }
+    });
+  return Count;
+}
+
+unsigned detail::countReads(const Description &D, const std::string &Var) {
+  unsigned N = 0;
+  auto CountInExpr = [&](const Expr &E) {
+    forEachExpr(E, [&](const Expr &Sub) {
+      if (const auto *V = dyn_cast<VarRef>(&Sub))
+        if (V->getName() == Var)
+          ++N;
+    });
+  };
+  for (const Routine *R : D.routines())
+    forEachStmt(R->Body, [&](const Stmt &S) {
+      switch (S.getKind()) {
+      case Stmt::Kind::Assign: {
+        const auto *A = cast<AssignStmt>(&S);
+        if (const auto *M = dyn_cast<MemRef>(A->getTarget()))
+          CountInExpr(*M->getAddress());
+        CountInExpr(*A->getValue());
+        break;
+      }
+      case Stmt::Kind::If:
+        CountInExpr(*cast<IfStmt>(&S)->getCond());
+        break;
+      case Stmt::Kind::ExitWhen:
+        CountInExpr(*cast<ExitWhenStmt>(&S)->getCond());
+        break;
+      case Stmt::Kind::Output:
+        for (const ExprPtr &V : cast<OutputStmt>(&S)->getValues())
+          CountInExpr(*V);
+        break;
+      case Stmt::Kind::Assert:
+        CountInExpr(*cast<AssertStmt>(&S)->getPred());
+        break;
+      default:
+        break;
+      }
+    });
+  return N;
+}
+
+bool detail::isReferenced(const Description &D, const std::string &Name) {
+  for (const Routine *R : D.routines()) {
+    bool Hit = false;
+    forEachStmt(R->Body, [&](const Stmt &S) {
+      forEachExpr(S, [&](const Expr &E) {
+        if (const auto *V = dyn_cast<VarRef>(&E)) {
+          if (V->getName() == Name)
+            Hit = true;
+        } else if (const auto *C = dyn_cast<CallExpr>(&E)) {
+          if (C->getCallee() == Name)
+            Hit = true;
+        }
+      });
+      if (const auto *In = dyn_cast<InputStmt>(&S))
+        for (const std::string &T : In->getTargets())
+          if (T == Name)
+            Hit = true;
+    });
+    if (Hit)
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,279 @@
+//===- Transform.h - Source-to-source transformation framework --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation framework at the heart of EXTRA (§3, §5). A
+/// Transformation rewrites a description in place after checking its
+/// syntactic and data-flow applicability conditions. The library mirrors
+/// the paper's seven categories:
+///
+///   local, code motion, loop, global, routine structuring,
+///   constraint/assertion, and augment producing.
+///
+/// In the 1982 system the *user* chose each transformation with a
+/// structure editor and EXTRA verified and applied it. Here a Step names
+/// the rule, the routine to work in, and rule-specific arguments (the
+/// role of the cursor); the engine verifies and applies exactly as the
+/// paper describes, and records a replayable log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_TRANSFORM_TRANSFORM_H
+#define EXTRA_TRANSFORM_TRANSFORM_H
+
+#include "constraint/Constraint.h"
+#include "isdl/AST.h"
+#include "isdl/Traverse.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace transform {
+
+/// The paper's seven transformation categories (§5).
+enum class Category {
+  Local,
+  CodeMotion,
+  Loop,
+  Global,
+  RoutineStructuring,
+  ConstraintOp,
+  Augment,
+};
+
+/// Spelled name of a category, for reports.
+const char *categoryName(Category C);
+
+/// How a rule relates the semantics of the description before and after.
+enum class SemanticsEffect {
+  /// Observationally identical on every input.
+  Preserving,
+  /// The input signature or input domain changed (operand fixed to a
+  /// value, offset-encoded, or range-restricted); an adapter maps new
+  /// inputs back to old ones so a differential check still applies.
+  InputRefining,
+  /// Deliberately changes observables (prologue/epilogue augments). The
+  /// end-to-end check against the language operator covers these.
+  Augmenting,
+};
+
+/// Maps an input vector of the transformed description to the equivalent
+/// input vector of the original (for InputRefining steps).
+using InputAdapter =
+    std::function<std::vector<int64_t>(const std::vector<int64_t> &)>;
+
+/// Everything a rule may touch while applying.
+struct TransformContext {
+  isdl::Description &Desc;
+  /// Routine to operate in; empty selects the entry routine. A few global
+  /// rules ignore it and work on the whole description.
+  std::string RoutineName;
+  /// Rule-specific arguments (operand names, values, code text, ...).
+  std::map<std::string, std::string> Args;
+  /// Constraints uncovered so far; rules append (may be null).
+  constraint::ConstraintSet *Constraints = nullptr;
+
+  /// Resolves RoutineName (entry when empty); null + Reason when absent.
+  isdl::Routine *routine(std::string &Reason) const;
+
+  /// Required string argument; empty + Reason when missing.
+  std::string arg(const std::string &Key, std::string &Reason) const;
+  /// Optional argument with default.
+  std::string argOr(const std::string &Key, std::string Default) const;
+  /// Required integer argument.
+  std::optional<int64_t> intArg(const std::string &Key,
+                                std::string &Reason) const;
+};
+
+/// Outcome of one application attempt.
+struct ApplyResult {
+  bool Applied = false;
+  /// Why the rule refused, when !Applied.
+  std::string Reason;
+  SemanticsEffect Effect = SemanticsEffect::Preserving;
+  /// For InputRefining steps: adapter from new inputs to old inputs.
+  InputAdapter Adapter;
+  /// Human-readable note about what was done.
+  std::string Note;
+
+  static ApplyResult failure(std::string Reason) {
+    ApplyResult R;
+    R.Reason = std::move(Reason);
+    return R;
+  }
+  static ApplyResult success(SemanticsEffect Effect, std::string Note = "") {
+    ApplyResult R;
+    R.Applied = true;
+    R.Effect = Effect;
+    R.Note = std::move(Note);
+    return R;
+  }
+};
+
+/// Base class of all transformations.
+class Transformation {
+public:
+  Transformation(std::string Name, Category C, std::string Description)
+      : Name(std::move(Name)), Cat(C), Desc(std::move(Description)) {}
+  virtual ~Transformation();
+
+  const std::string &name() const { return Name; }
+  Category category() const { return Cat; }
+  const std::string &description() const { return Desc; }
+
+  /// Verifies applicability and applies, mutating the description.
+  virtual ApplyResult apply(TransformContext &Ctx) const = 0;
+
+private:
+  std::string Name;
+  Category Cat;
+  std::string Desc;
+};
+
+/// The transformation library: all registered rules by name.
+class Registry {
+public:
+  /// The process-wide library, populated on first use with the full
+  /// 75-rule catalog.
+  static const Registry &instance();
+
+  const Transformation *lookup(const std::string &Name) const;
+  std::vector<const Transformation *> all() const;
+  size_t size() const { return ByName.size(); }
+  /// Rules in one category, in registration order.
+  std::vector<const Transformation *> inCategory(Category C) const;
+
+  /// Adds a rule (takes ownership). Asserts on duplicate names.
+  void add(std::unique_ptr<Transformation> T);
+
+private:
+  Registry() = default;
+  std::map<std::string, std::unique_ptr<Transformation>> ByName;
+  std::vector<const Transformation *> Order;
+};
+
+// Registration hooks, one per category source file.
+void registerLocalTransforms(Registry &R);
+void registerCodeMotionTransforms(Registry &R);
+void registerLoopTransforms(Registry &R);
+void registerGlobalTransforms(Registry &R);
+void registerRoutineTransforms(Registry &R);
+void registerConstraintTransforms(Registry &R);
+void registerAugmentTransforms(Registry &R);
+
+/// One scripted application: rule name, routine, arguments.
+struct Step {
+  std::string Rule;
+  std::string Routine;
+  std::map<std::string, std::string> Args;
+
+  std::string str() const;
+};
+
+/// A replayable derivation (the recorded role of the 1982 user session).
+using Script = std::vector<Step>;
+
+/// Hook invoked after every successful step; used by the analysis driver
+/// to differentially test semantic preservation.
+struct StepObservation {
+  const Step &S;
+  const isdl::Description &Before;
+  const isdl::Description &After;
+  SemanticsEffect Effect;
+  const InputAdapter &Adapter; ///< Valid only for InputRefining steps.
+};
+using StepVerifier = std::function<bool(const StepObservation &,
+                                        std::string &Error)>;
+
+/// Applies scripted steps to a working copy of a description, keeping a
+/// log and the constraint set. This is the EXTRA session object.
+class Engine {
+public:
+  explicit Engine(isdl::Description Initial);
+
+  /// Verifies and applies one step. On failure the description is left
+  /// unchanged and the failure reason is returned in the result.
+  ApplyResult apply(const Step &S);
+
+  /// Applies a whole script, stopping at the first failure. Returns the
+  /// number of successfully applied steps.
+  size_t applyScript(const Script &S, std::string *FirstError = nullptr);
+
+  const isdl::Description &current() const { return Desc; }
+  isdl::Description takeDescription() { return std::move(Desc); }
+  const constraint::ConstraintSet &constraints() const { return Constraints; }
+  size_t stepsApplied() const { return Log.size(); }
+
+  struct LogEntry {
+    Step S;
+    SemanticsEffect Effect;
+    std::string Note;
+    /// Snapshot for undo: the description before the step and the
+    /// constraint-set size before it.
+    isdl::Description Before;
+    size_t ConstraintsBefore = 0;
+  };
+  const std::vector<LogEntry> &log() const { return Log; }
+
+  /// Reverts the most recent step (description and recorded
+  /// constraints), like backing out of an edit in the 1982 structure
+  /// editor. Returns false when nothing has been applied.
+  bool undo();
+
+  /// Installs a per-step verifier (differential semantic check).
+  void setVerifier(StepVerifier V) { Verifier = std::move(V); }
+
+private:
+  isdl::Description Desc;
+  constraint::ConstraintSet Constraints;
+  std::vector<LogEntry> Log;
+  StepVerifier Verifier;
+};
+
+//===----------------------------------------------------------------------===//
+// Shared rule helpers (used across category implementation files)
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// True if \p E is boolean-valued: a relational or logical operator, a
+/// `not`, a literal 0/1, or a reference to a declared 1-bit flag.
+bool isBooleanExpr(const isdl::Description &D, const isdl::Expr &E);
+
+/// Finds the unique RepeatStmt in \p R at any nesting depth; null + Reason
+/// when absent or ambiguous.
+isdl::RepeatStmt *findUniqueLoop(isdl::Routine &R, std::string &Reason);
+
+/// Finds the unique assignment to variable \p Var in \p R; invalid locus +
+/// Reason when absent or ambiguous.
+isdl::StmtLocus findUniqueAssign(isdl::Routine &R, const std::string &Var,
+                                 std::string &Reason);
+
+/// Counts writes of \p Var across the whole description (assignment
+/// targets and input lists).
+unsigned countWrites(const isdl::Description &D, const std::string &Var);
+
+/// Counts read references of \p Var across the whole description. Plain
+/// assignment targets and input lists are writes, not reads; a memory
+/// target's address expression is a read. `assert` predicates count;
+/// `constrain` annotations do not.
+unsigned countReads(const isdl::Description &D, const std::string &Var);
+
+/// True when \p Var or routine \p Var is referenced anywhere.
+bool isReferenced(const isdl::Description &D, const std::string &Name);
+
+} // namespace detail
+
+} // namespace transform
+} // namespace extra
+
+#endif // EXTRA_TRANSFORM_TRANSFORM_H

@@ -1,0 +1,97 @@
+//===- TestSources.h - Shared ISDL fixtures for unit tests ------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_TESTS_TESTSOURCES_H
+#define EXTRA_TESTS_TESTSOURCES_H
+
+namespace extra {
+namespace testing {
+
+/// The Rigel index operator, Figure 2 of the paper.
+inline constexpr const char *RigelIndexSource = R"(
+index.operation := begin
+  ** SOURCE.ACCESS **
+    Src.Base: integer,    ! string base address
+    Src.Index: integer,   ! string index
+    Src.Length: integer,  ! string length
+    read(): integer := begin
+      read <- Mb[Src.Base + Src.Index];
+      Src.Index <- Src.Index + 1;
+    end
+  ** STATE **
+    ch: character          ! character sought
+  ** STRING.PROCESS **
+    index.execute := begin
+      input (Src.Base, Src.Length, ch);
+      Src.Index <- 0;
+      repeat
+        ! exit when string exhausted
+        exit_when (Src.Length = 0);
+        ! exit if char is found
+        exit_when (ch = read());
+        Src.Length <- Src.Length - 1;
+      end_repeat;
+      if Src.Length = 0 then
+        output (0);          ! char not found
+      else
+        output (Src.Index);  ! char found
+      end_if;
+    end
+end
+)";
+
+/// The Intel 8086 scasb instruction, Figure 3 of the paper.
+inline constexpr const char *ScasbSource = R"(
+scasb.instruction := begin
+  ! segment addressing ignored in this description
+  ** SOURCE.ACCESS **
+    di<15:0>,   ! source string address
+    cx<15:0>,   ! source string length
+    fetch()<7:0> := begin   ! fetch source character
+      fetch <- Mb[di];
+      if df then
+        di <- di - 1;   ! high-to-low addresses
+      else
+        di <- di + 1;   ! low-to-high addresses
+      end_if;
+    end
+  ** STATE **
+    rf<>,      ! repeat flag
+    df<>,      ! direction flag
+    rfz<>,     ! exit condition flag
+    zf<>,      ! last compare zero flag
+    al<7:0>    ! character sought
+  ** STRING.PROCESS **
+    scasb.execute := begin
+      input (rf, rfz, df, zf, di, cx, al);
+      if not rf then   ! no repetition
+        if (al - fetch()) = 0 then
+          zf <- 1;
+        else
+          zf <- 0;
+        end_if;
+      else             ! repeat mode
+        repeat
+          exit_when (cx = 0);
+          cx <- cx - 1;
+          if (al - fetch()) = 0 then
+            zf <- 1;
+          else
+            zf <- 0;
+          end_if;
+          ! exit on condition
+          exit_when (rfz and (not zf)) or ((not rfz) and zf);
+        end_repeat;
+      end_if;
+      output (zf, di, cx);
+    end
+end
+)";
+
+} // namespace testing
+} // namespace extra
+
+#endif // EXTRA_TESTS_TESTSOURCES_H

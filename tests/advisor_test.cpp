@@ -1,0 +1,105 @@
+//===- advisor_test.cpp - Analysis advisor tests ----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Advisor.h"
+
+#include "analysis/Derivations.h"
+#include "descriptions/Descriptions.h"
+#include "isdl/Equiv.h"
+#include "isdl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::analysis;
+
+namespace {
+
+TEST(StructuralDistanceTest, ZeroOnIdenticalAndRenamed) {
+  auto A = descriptions::load("rigel.index");
+  EXPECT_EQ(structuralDistance(*A, *A), 0u);
+  // Renaming does not change the structure.
+  auto B = descriptions::load("rigel.index");
+  transform::Engine E(B->clone());
+  ASSERT_TRUE(E.apply({"rename-variable", "",
+                       {{"from", "Src.Length"}, {"to", "n"}}})
+                  .Applied);
+  EXPECT_EQ(structuralDistance(*A, E.current()), 0u);
+}
+
+TEST(StructuralDistanceTest, SensitiveToStructure) {
+  auto A = descriptions::load("rigel.index");
+  auto B = descriptions::load("i8086.scasb");
+  EXPECT_GT(structuralDistance(*A, *B), 0u);
+}
+
+TEST(AdvisorTest, SuggestsOnlyApplicableSteps) {
+  auto Current = descriptions::load("i8086.scasb");
+  auto Target = descriptions::load("rigel.index");
+  std::vector<Suggestion> Sugg = suggestSteps(*Current, *Target, 12);
+  ASSERT_FALSE(Sugg.empty());
+  for (const Suggestion &S : Sugg) {
+    transform::Engine E(Current->clone());
+    EXPECT_TRUE(E.apply(S.S).Applied) << S.S.str();
+  }
+}
+
+TEST(AdvisorTest, FlagFixingRanksHighForScasb) {
+  // Moving scasb toward the (already flag-free) index operator: pinning
+  // one of the instruction's flag operands should be among the top
+  // suggestions, since it unlocks the §4.1 simplification chain.
+  auto Current = descriptions::load("i8086.scasb");
+  auto Target = descriptions::load("rigel.index");
+  std::vector<Suggestion> Sugg = suggestSteps(*Current, *Target, 8);
+  bool SawFlagFix = false;
+  for (const Suggestion &S : Sugg)
+    if (S.S.Rule == "fix-operand-value")
+      SawFlagFix = true;
+  EXPECT_TRUE(SawFlagFix);
+}
+
+TEST(AdvisorTest, GuidedGreedySearchMakesProgress) {
+  // Greedy advisor-guided search from simplified-scasb territory: start
+  // the instruction script, then let the advisor finish simplification.
+  // It will not reproduce augments (those need user intent), but it must
+  // strictly reduce the structural distance.
+  const AnalysisCase *Case = findCase("i8086.scasb/rigel.index");
+  auto Instr = descriptions::load(Case->InstructionId);
+
+  // Operator side fully derived (the target of the instruction session).
+  auto Oper = descriptions::load(Case->OperatorId);
+  transform::Engine OperE(std::move(*Oper));
+  std::string Error;
+  ASSERT_EQ(OperE.applyScript(Case->OperatorScript, &Error),
+            Case->OperatorScript.size())
+      << Error;
+  const isdl::Description &Target = OperE.current();
+
+  transform::Engine E(Instr->clone());
+  unsigned Distance = structuralDistance(E.current(), Target);
+  for (int Round = 0; Round < 24; ++Round) {
+    std::vector<Suggestion> Sugg = suggestSteps(E.current(), Target, 4);
+    if (Sugg.empty() || Sugg.front().DistanceAfter >= Distance)
+      break;
+    ASSERT_TRUE(E.apply(Sugg.front().S).Applied);
+    Distance = Sugg.front().DistanceAfter;
+  }
+  EXPECT_LT(Distance, structuralDistance(*descriptions::load("i8086.scasb"),
+                                         Target));
+}
+
+TEST(AdvisorTest, IndexToPointerSuggestedForBaseIndexAccess) {
+  auto Current = descriptions::load("rigel.index");
+  auto Target = descriptions::load("vax.locc");
+  std::vector<Suggestion> Sugg = suggestSteps(*Current, *Target, 16);
+  bool Saw = false;
+  for (const Suggestion &S : Sugg)
+    if (S.S.Rule == "index-to-pointer")
+      Saw = true;
+  EXPECT_TRUE(Saw);
+}
+
+} // namespace

@@ -1,0 +1,331 @@
+//===- dataflow_test.cpp - CFG / liveness / reaching defs tests -*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/CFG.h"
+#include "dataflow/Liveness.h"
+#include "dataflow/ReachingDefs.h"
+
+#include "TestSources.h"
+#include "isdl/Parser.h"
+#include "isdl/Traverse.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::dataflow;
+using namespace extra::isdl;
+
+namespace {
+
+std::unique_ptr<Description> desc(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(Src, Diags);
+  EXPECT_TRUE(D && !Diags.hasErrors()) << Diags.str();
+  return D;
+}
+
+TEST(EffectSummaryTest, FetchRoutineEffects) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  EffectSummary Sum = summarizeRoutine(*D, *D->findRoutine("fetch"));
+  EXPECT_TRUE(Sum.Reads.count("di"));
+  EXPECT_TRUE(Sum.Reads.count("df"));
+  EXPECT_TRUE(Sum.readsMemory());
+  EXPECT_TRUE(Sum.Writes.count("di"));
+  EXPECT_TRUE(Sum.Writes.count("fetch"));
+  EXPECT_FALSE(Sum.writesMemory());
+}
+
+TEST(EffectSummaryTest, TransitiveThroughCalls) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    b: integer,
+    inner(): integer := begin inner <- a; a <- a + 1; end
+    outer(): integer := begin outer <- inner() + b; end
+    x.execute := begin input (a, b); b <- outer(); output (b); end
+end
+)");
+  EffectSummary Sum = summarizeRoutine(*D, *D->findRoutine("outer"));
+  EXPECT_TRUE(Sum.Reads.count("a"));
+  EXPECT_TRUE(Sum.Reads.count("b"));
+  EXPECT_TRUE(Sum.Writes.count("a"));
+}
+
+TEST(EffectSummaryTest, CallEffectsInsideStatement) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  StmtList S = parseStmts("zf <- al - fetch();", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EffectSummary Sum = summarizeStmt(*D, *S[0]);
+  EXPECT_TRUE(Sum.Writes.count("zf"));
+  EXPECT_TRUE(Sum.Writes.count("di")); // via fetch()
+  EXPECT_TRUE(Sum.Reads.count(MemoryVar));
+}
+
+TEST(IndependenceTest, DisjointAssignments) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer, b: integer, c: integer, d: integer,
+    x.execute := begin input (a, b); c <- a; d <- b; output (c, d); end
+end
+)");
+  DiagnosticEngine Diags;
+  StmtList S = parseStmts("c <- a; d <- b; a <- d;", Diags);
+  EXPECT_TRUE(independent(*D, *S[0], *S[1]));
+  EXPECT_FALSE(independent(*D, *S[1], *S[2])); // d written then read
+  EXPECT_FALSE(independent(*D, *S[0], *S[2])); // a read then written
+}
+
+TEST(IndependenceTest, MemoryConflicts) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    p: integer, q: integer, v: integer,
+    x.execute := begin input (p, q, v); output (v); end
+end
+)");
+  DiagnosticEngine Diags;
+  StmtList S = parseStmts("Mb[p] <- v; v <- Mb[q]; p <- p + 1;", Diags);
+  EXPECT_FALSE(independent(*D, *S[0], *S[1])); // write Mb vs read Mb
+  EXPECT_FALSE(independent(*D, *S[0], *S[2])); // reads p vs writes p
+  EXPECT_TRUE(independent(*D, *S[1], *S[2]));
+}
+
+TEST(IndependenceTest, ExitWhenNeverIndependent) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer, b: integer,
+    x.execute := begin
+      input (a, b);
+      repeat exit_when (a = 0); b <- b + 1; a <- a - 1; end_repeat;
+      output (b);
+    end
+end
+)");
+  DiagnosticEngine Diags;
+  StmtList S = parseStmts("exit_when (a = 0); b <- b + 1;", Diags);
+  EXPECT_FALSE(independent(*D, *S[0], *S[1]));
+}
+
+TEST(CFGTest, StraightLineShape) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin input (a); a <- a + 1; output (a); end
+end
+)");
+  CFG G = CFG::build(*D, *D->entryRoutine());
+  // entry, exit, input, assign, output
+  EXPECT_EQ(G.nodes().size(), 5u);
+  // Entry reaches exit.
+  std::set<int> Seen;
+  std::vector<int> Work = {G.entry()};
+  while (!Work.empty()) {
+    int N = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    for (int S : G.nodes()[N].Succs)
+      Work.push_back(S);
+  }
+  EXPECT_TRUE(Seen.count(G.exit()));
+}
+
+TEST(CFGTest, LoopBackEdgeAndExit) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    n: integer,
+    x.execute := begin
+      input (n);
+      repeat
+        exit_when (n = 0);
+        n <- n - 1;
+      end_repeat;
+      output (n);
+    end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  const auto *Rep = cast<RepeatStmt>(Entry->Body[1].get());
+  const auto *Exit = cast<ExitWhenStmt>(Rep->getBody()[0].get());
+  int ExitNode = G.nodeFor(Exit);
+  ASSERT_GE(ExitNode, 0);
+  const CFGNode &N = G.nodes()[ExitNode];
+  ASSERT_EQ(N.Succs.size(), 2u);
+  // Taken edge leaves the loop and reaches the output node.
+  int Taken = N.TakenSucc;
+  const CFGNode &Target = G.nodes()[Taken];
+  ASSERT_NE(Target.S, nullptr);
+  EXPECT_EQ(Target.S->getKind(), Stmt::Kind::Output);
+}
+
+TEST(LivenessTest, DeadAfterLastUse) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer, b: integer,
+    x.execute := begin input (a); b <- a + 1; output (b); end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  Liveness L(G);
+  const Stmt *AssignB = Entry->Body[1].get();
+  EXPECT_TRUE(L.deadAfter(AssignB, "a"));
+  EXPECT_FALSE(L.deadAfter(AssignB, "b"));
+}
+
+TEST(LivenessTest, LoopKeepsCounterLive) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    n: integer, s: integer,
+    x.execute := begin
+      input (n);
+      s <- 0;
+      repeat
+        exit_when (n = 0);
+        s <- s + 1;
+        n <- n - 1;
+      end_repeat;
+      output (s);
+    end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  Liveness L(G);
+  const auto *Rep = cast<RepeatStmt>(Entry->Body[2].get());
+  const Stmt *Bump = Rep->getBody()[1].get(); // s <- s + 1
+  // n is still needed (checked again next iteration).
+  EXPECT_FALSE(L.deadAfter(Bump, "n"));
+  // At the loop exit, only s matters.
+  const auto *ExitW = cast<ExitWhenStmt>(Rep->getBody()[0].get());
+  EXPECT_TRUE(L.liveAtExitOf(ExitW).count("s"));
+  EXPECT_FALSE(L.liveAtExitOf(ExitW).count("n"));
+}
+
+TEST(LivenessTest, ExitPathLivenessDistinguishesExits) {
+  // `k` is read after the loop, so it is live on every exit edge; `t` is
+  // only used inside the loop.
+  auto D = desc(R"(
+x := begin
+  ** S **
+    n: integer, k: integer, t: integer,
+    x.execute := begin
+      input (n, k);
+      repeat
+        exit_when (n = 0);
+        t <- n + k;
+        exit_when (t = 7);
+        n <- n - 1;
+      end_repeat;
+      output (k);
+    end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  Liveness L(G);
+  const auto *Rep = cast<RepeatStmt>(Entry->Body[1].get());
+  const auto *Exit1 = cast<ExitWhenStmt>(Rep->getBody()[0].get());
+  const auto *Exit2 = cast<ExitWhenStmt>(Rep->getBody()[2].get());
+  EXPECT_TRUE(L.liveAtExitOf(Exit1).count("k"));
+  EXPECT_TRUE(L.liveAtExitOf(Exit2).count("k"));
+  EXPECT_FALSE(L.liveAtExitOf(Exit1).count("t"));
+  EXPECT_FALSE(L.liveAtExitOf(Exit2).count("t"));
+  EXPECT_FALSE(L.liveAtExitOf(Exit1).count("n"));
+}
+
+TEST(ReachingDefsTest, UniqueConstantPropagates) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    rf<>, a: integer,
+    x.execute := begin
+      input (a);
+      rf <- 1;
+      if rf then a <- a + 1; end_if;
+      output (a);
+    end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  ReachingDefs RD(G);
+  const Stmt *If = Entry->Body[2].get();
+  auto K = RD.constantAt(If, "rf");
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 1);
+}
+
+TEST(ReachingDefsTest, TwoDefsBlockConstant) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    f<>, a: integer,
+    x.execute := begin
+      input (a);
+      if a = 0 then f <- 1; else f <- 0; end_if;
+      output (f);
+    end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  ReachingDefs RD(G);
+  const Stmt *Out = Entry->Body[2].get();
+  EXPECT_FALSE(RD.constantAt(Out, "f").has_value());
+}
+
+TEST(ReachingDefsTest, InputDefBlocksConstant) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    f<>,
+    x.execute := begin input (f); output (f); end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  ReachingDefs RD(G);
+  EXPECT_FALSE(RD.constantAt(Entry->Body[1].get(), "f").has_value());
+}
+
+TEST(ReachingDefsTest, RedefinitionInLoopBlocksConstant) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    c: integer, n: integer,
+    x.execute := begin
+      input (n);
+      c <- 0;
+      repeat
+        exit_when (n = 0);
+        c <- c + 1;
+        n <- n - 1;
+      end_repeat;
+      output (c);
+    end
+end
+)");
+  const Routine *Entry = D->entryRoutine();
+  CFG G = CFG::build(*D, *Entry);
+  ReachingDefs RD(G);
+  // At the output, both `c <- 0` and the loop increment reach.
+  EXPECT_FALSE(RD.constantAt(Entry->Body[3].get(), "c").has_value());
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- eclipse_failure_test.cpp - The §5 Eclipse failure study --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5 reports a second failure besides movc3/sassign: the DG Eclipse
+/// string instructions encode the processing *direction in the sign of
+/// the length operand*, so "the length operand is now used for two
+/// unrelated purposes and it is difficult to formulate transformations
+/// to separate the two functions. ... Instructions that use a clever
+/// coding trick make analysis difficult or impossible."
+///
+/// These tests reproduce the diagnosis mechanically: the simplification
+/// avenue that works for the 8086 (fix the direction flag, propagate,
+/// fold) has no purchase on cmv, because there is no separate direction
+/// operand to fix, and fixing the dual-purpose length is rejected by the
+/// engine's conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DiffCheck.h"
+#include "descriptions/Descriptions.h"
+#include "isdl/Equiv.h"
+#include "transform/Transform.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+
+namespace {
+
+TEST(EclipseFailureTest, DescriptionBehavesLikeTheManual) {
+  auto Cmv = descriptions::load("eclipse.cmv");
+  interp::Memory M;
+  interp::storeBytes(M, 100, "abc");
+  // Forward/forward: a plain move.
+  auto Fwd = interp::run(*Cmv, {100, 200, 3, 3}, M);
+  ASSERT_TRUE(Fwd.Ok) << Fwd.Error;
+  EXPECT_EQ(interp::loadBytes(Fwd.FinalMemory, 200, 3), "abc");
+  // Backward source (negative slen), forward destination: reverses.
+  auto Rev = interp::run(*Cmv, {102, 200, -3, 3}, M);
+  ASSERT_TRUE(Rev.Ok) << Rev.Error;
+  EXPECT_EQ(interp::loadBytes(Rev.FinalMemory, 200, 3), "cba");
+}
+
+TEST(EclipseFailureTest, NoDirectionFlagToFix) {
+  // The 8086 recipe starts with fix-operand-value on the direction flag.
+  // cmv has no such operand: every input is a multi-bit register or
+  // integer, so there is no flag to pin.
+  auto Cmv = descriptions::load("eclipse.cmv");
+  for (const isdl::Decl *D : Cmv->decls())
+    EXPECT_FALSE(D->Type.isFlag()) << D->Name;
+}
+
+TEST(EclipseFailureTest, FixingTheDualPurposeLengthLosesTheOperand) {
+  // One could pin the length itself (it carries the direction), but that
+  // pins the byte count too — the dual-purpose problem. The engine allows
+  // the fix (it is a legal value constraint) but the result can no longer
+  // implement a general string move: the length operand is gone from the
+  // interface entirely.
+  auto Cmv = descriptions::load("eclipse.cmv");
+  transform::Engine E(Cmv->clone());
+  ASSERT_TRUE(E.apply({"fix-operand-value", "",
+                       {{"operand", "slen"}, {"value", "3"}}})
+                  .Applied);
+  auto Inputs = interp::inputOperands(E.current());
+  EXPECT_EQ(std::count(Inputs.begin(), Inputs.end(), "slen"), 0);
+}
+
+TEST(EclipseFailureTest, ConstantPropagationCannotSeparateTheSign) {
+  // After pinning slen the 8086-style chain continues with
+  // global-constant-propagate — which the engine refuses here, because
+  // the pinned operand is still *written* inside the loop (it is the
+  // live count, decremented every iteration). The two functions of the
+  // operand cannot be separated by the simplification machinery.
+  auto Cmv = descriptions::load("eclipse.cmv");
+  transform::Engine E(Cmv->clone());
+  ASSERT_TRUE(E.apply({"fix-operand-value", "",
+                       {{"operand", "slen"}, {"value", "3"}}})
+                  .Applied);
+  transform::ApplyResult R =
+      E.apply({"global-constant-propagate", "", {{"var", "slen"}}});
+  EXPECT_FALSE(R.Applied);
+  EXPECT_NE(R.Reason.find("exactly one write"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(EclipseFailureTest, NoCommonFormWithPascalMove) {
+  // Directly matching cmv against the (direction-free) Pascal move's
+  // derived pointer form fails, as expected.
+  auto Cmv = descriptions::load("eclipse.cmv");
+  auto Smove = descriptions::load("pascal.smove");
+  isdl::MatchResult M = isdl::matchDescriptions(*Smove, *Cmv);
+  EXPECT_FALSE(M.Matched);
+  EXPECT_FALSE(M.Mismatch.empty());
+}
+
+} // namespace

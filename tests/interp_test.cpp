@@ -1,0 +1,309 @@
+//===- interp_test.cpp - Interpreter unit tests -----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "TestSources.h"
+#include "isdl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::interp;
+using namespace extra::isdl;
+
+namespace {
+
+std::unique_ptr<Description> desc(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(Src, Diags);
+  EXPECT_TRUE(D && !Diags.hasErrors()) << Diags.str();
+  return D;
+}
+
+TEST(InterpTest, RigelIndexFindsCharacter) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::RigelIndexSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 100, "hello");
+  // index("hello", 'l') -> 3 (1-based index of first 'l').
+  ExecResult R = run(*D, {100, 5, 'l'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Outputs.size(), 1u);
+  EXPECT_EQ(R.Outputs[0], 3);
+}
+
+TEST(InterpTest, RigelIndexCharacterNotFound) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::RigelIndexSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 100, "hello");
+  ExecResult R = run(*D, {100, 5, 'z'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs, std::vector<int64_t>{0});
+}
+
+TEST(InterpTest, RigelIndexEmptyString) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::RigelIndexSource, Diags);
+  ASSERT_TRUE(D);
+  ExecResult R = run(*D, {100, 0, 'a'});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs, std::vector<int64_t>{0});
+}
+
+TEST(InterpTest, RigelIndexFirstAndLastPosition) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::RigelIndexSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 50, "abc");
+  EXPECT_EQ(run(*D, {50, 3, 'a'}, M).Outputs, std::vector<int64_t>{1});
+  EXPECT_EQ(run(*D, {50, 3, 'c'}, M).Outputs, std::vector<int64_t>{3});
+}
+
+TEST(InterpTest, ScasbRepeatModeFindsCharacter) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 200, "hello");
+  // rf=1 (repeat), rfz=0 (stop on match), df=0 (forward), zf=0.
+  ExecResult R = run(*D, {1, 0, 0, 0, 200, 5, 'l'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Outputs: zf, di, cx. di points one past the found 'l' (index 2 ->
+  // address 202, post-incremented to 203).
+  ASSERT_EQ(R.Outputs.size(), 3u);
+  EXPECT_EQ(R.Outputs[0], 1);   // zf: found
+  EXPECT_EQ(R.Outputs[1], 203); // di
+  EXPECT_EQ(R.Outputs[2], 2);   // cx: 5 - 3 consumed... cx decremented per trip
+}
+
+TEST(InterpTest, ScasbNotFoundExhaustsString) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 200, "hello");
+  ExecResult R = run(*D, {1, 0, 0, 0, 200, 5, 'z'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs[0], 0);   // zf: not found
+  EXPECT_EQ(R.Outputs[1], 205); // scanned all five bytes
+  EXPECT_EQ(R.Outputs[2], 0);
+}
+
+TEST(InterpTest, ScasbBackwardDirection) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 200, "abc");
+  // df=1: scan from address 202 down.
+  ExecResult R = run(*D, {1, 0, 1, 0, 202, 3, 'b'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs[0], 1);
+  EXPECT_EQ(R.Outputs[1], 200); // one past 'b' going downward
+}
+
+TEST(InterpTest, ScasbNonRepeatMode) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 200, "x");
+  ExecResult R = run(*D, {0, 0, 0, 0, 200, 5, 'x'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs[0], 1);   // single compare, matched
+  EXPECT_EQ(R.Outputs[1], 201); // one advance
+  EXPECT_EQ(R.Outputs[2], 5);   // cx untouched
+}
+
+TEST(InterpTest, ScasbScanWhileEqual) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  Memory M;
+  storeBytes(M, 200, "aaab");
+  // rfz=1: loop while matching; exits at first non-match.
+  ExecResult R = run(*D, {1, 1, 0, 0, 200, 4, 'a'}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs[0], 0);   // zf clear at exit (mismatch)
+  EXPECT_EQ(R.Outputs[1], 204); // stopped after 'b'
+}
+
+TEST(InterpTest, RegisterWidthWraparound) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    c<7:0>,
+    x.execute := begin input (c); c <- c + 1; output (c); end
+end
+)");
+  ExecResult R = run(*D, {255});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs, std::vector<int64_t>{0});
+}
+
+TEST(InterpTest, InputValuesMaskedOnIntake) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    c<3:0>,
+    x.execute := begin input (c); output (c); end
+end
+)");
+  ExecResult R = run(*D, {0xFF});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs, std::vector<int64_t>{0xF});
+}
+
+TEST(InterpTest, MemoryWriteAndFinalMemory) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    p: integer, v: integer,
+    x.execute := begin input (p, v); Mb[p] <- v; output (Mb[p]); end
+end
+)");
+  ExecResult R = run(*D, {10, 0x1FF});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs, std::vector<int64_t>{0xFF}); // bytes are 8-bit
+  EXPECT_EQ(loadBytes(R.FinalMemory, 10, 1), std::string(1, '\xff'));
+}
+
+TEST(InterpTest, RoutineReturnAccumulatorIsPerInvocation) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    f(): integer := begin f <- a; a <- a + 1; end
+    x.execute := begin input (a); output (f() + f()); end
+end
+)");
+  // First call returns 5, second 6.
+  ExecResult R = run(*D, {5});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outputs, std::vector<int64_t>{11});
+}
+
+TEST(InterpTest, InputExhaustionIsAnError) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer, b: integer,
+    x.execute := begin input (a, b); output (a); end
+end
+)");
+  ExecResult R = run(*D, {1});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("input exhausted"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroIsAnError) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin input (a); output (1 / a); end
+end
+)");
+  EXPECT_FALSE(run(*D, {0}).Ok);
+  EXPECT_TRUE(run(*D, {2}).Ok);
+}
+
+TEST(InterpTest, StepLimitStopsInfiniteLoop) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin
+      repeat
+        a <- a + 1;
+        exit_when (a < 0);
+      end_repeat;
+      output (a);
+    end
+end
+)");
+  ExecOptions Opts;
+  Opts.MaxSteps = 1000;
+  ExecResult R = run(*D, {}, {}, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpTest, AssertFailureStopsExecution) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin input (a); assert a > 0; output (a); end
+end
+)");
+  EXPECT_TRUE(run(*D, {3}).Ok);
+  ExecResult R = run(*D, {0});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("assertion failed"), std::string::npos);
+}
+
+TEST(InterpTest, ConstrainIsARuntimeNoOp) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin input (a); constrain range: a <= 2; output (a); end
+end
+)");
+  // Violating the constraint does not abort execution: constraints are
+  // obligations for the code generator, not run-time checks.
+  EXPECT_TRUE(run(*D, {100}).Ok);
+}
+
+TEST(InterpTest, LogicalOperatorsAreNonZeroTests) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    a: integer, b: integer,
+    x.execute := begin
+      input (a, b);
+      output (a and b, a or b, not a);
+    end
+end
+)");
+  ExecResult R = run(*D, {5, 0});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Outputs, (std::vector<int64_t>{0, 1, 0}));
+}
+
+TEST(InterpTest, InputOperandsHelper) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::ScasbSource, Diags);
+  ASSERT_TRUE(D);
+  auto Ops = inputOperands(*D);
+  ASSERT_EQ(Ops.size(), 7u);
+  EXPECT_EQ(Ops[0], "rf");
+  EXPECT_EQ(inputWidth(*D, "di"), 16u);
+  EXPECT_EQ(inputWidth(*D, "rf"), 1u);
+}
+
+TEST(InterpTest, SameObservableComparesMemory) {
+  auto D = desc(R"(
+x := begin
+  ** S **
+    p: integer,
+    x.execute := begin input (p); Mb[p] <- 7; output (0); end
+end
+)");
+  ExecResult A = run(*D, {10});
+  ExecResult B = run(*D, {10});
+  ExecResult C = run(*D, {11});
+  EXPECT_TRUE(A.sameObservable(B));
+  EXPECT_FALSE(A.sameObservable(C));
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- isdl_ast_test.cpp - AST utilities unit tests -------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/AST.h"
+
+#include "TestSources.h"
+#include "isdl/Equiv.h"
+#include "isdl/Parser.h"
+#include "isdl/Traverse.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::isdl;
+
+namespace {
+
+TEST(TypeRefTest, Widths) {
+  EXPECT_EQ(TypeRef::bits(15, 0).widthInBits(), 16u);
+  EXPECT_EQ(TypeRef::bits(7, 0).widthInBits(), 8u);
+  EXPECT_EQ(TypeRef::flag().widthInBits(), 1u);
+  EXPECT_EQ(TypeRef::character().widthInBits(), 8u);
+  EXPECT_EQ(TypeRef::integer().widthInBits(), 0u);
+}
+
+TEST(TypeRefTest, Printing) {
+  EXPECT_EQ(TypeRef::bits(15, 0).str(), "<15:0>");
+  EXPECT_EQ(TypeRef::flag().str(), "<>");
+  EXPECT_EQ(TypeRef::integer().str(), "integer");
+}
+
+TEST(OperatorsTest, RelationalHelpers) {
+  EXPECT_TRUE(isRelational(BinaryOp::Eq));
+  EXPECT_TRUE(isRelational(BinaryOp::Ge));
+  EXPECT_FALSE(isRelational(BinaryOp::Add));
+  EXPECT_EQ(negateRelational(BinaryOp::Eq), BinaryOp::Ne);
+  EXPECT_EQ(negateRelational(BinaryOp::Lt), BinaryOp::Ge);
+  EXPECT_EQ(swapRelational(BinaryOp::Lt), BinaryOp::Gt);
+  EXPECT_EQ(swapRelational(BinaryOp::Eq), BinaryOp::Eq);
+}
+
+TEST(CloneTest, ExpressionDeepCopy) {
+  ExprPtr E = binary(BinaryOp::Add, varRef("a"), memRef(varRef("b")));
+  ExprPtr C = E->clone();
+  EXPECT_TRUE(exactEqual(*E, *C));
+  // Mutating the clone leaves the original intact.
+  cast<VarRef>(cast<BinaryExpr>(C.get())->getLHS())->setName("z");
+  EXPECT_FALSE(exactEqual(*E, *C));
+  EXPECT_EQ(cast<VarRef>(cast<BinaryExpr>(E.get())->getLHS())->getName(), "a");
+}
+
+TEST(CloneTest, DescriptionDeepCopy) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(extra::testing::RigelIndexSource, Diags);
+  ASSERT_TRUE(D && !Diags.hasErrors());
+  Description C = D->clone();
+  MatchResult R = matchDescriptions(*D, C);
+  EXPECT_TRUE(R.Matched) << R.Mismatch;
+
+  // Structural independence: removing a statement from the clone does not
+  // affect the original.
+  C.entryRoutine()->Body.pop_back();
+  EXPECT_EQ(D->entryRoutine()->Body.size(), 4u);
+  EXPECT_FALSE(matchDescriptions(*D, C).Matched);
+}
+
+TEST(TraverseTest, MentionsVar) {
+  ExprPtr E = binary(BinaryOp::Add, varRef("a"), memRef(varRef("b")));
+  EXPECT_TRUE(mentionsVar(*E, "a"));
+  EXPECT_TRUE(mentionsVar(*E, "b"));
+  EXPECT_FALSE(mentionsVar(*E, "c"));
+}
+
+TEST(TraverseTest, ReferencedVarsIncludesInputs) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("input (a, b); c <- a + 1;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::set<std::string> Vars;
+  for (auto &S : Stmts) {
+    auto Sub = referencedVars(*S);
+    Vars.insert(Sub.begin(), Sub.end());
+  }
+  EXPECT_EQ(Vars, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(TraverseTest, CalledRoutines) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("x <- read() + fetch();", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(calledRoutines(Stmts),
+            (std::set<std::string>{"read", "fetch"}));
+}
+
+TEST(TraverseTest, RenameVarCoversTargetsAndInputs) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("input (a); a <- a + 1; Mb[a] <- a;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  renameVar(Stmts, "a", "z");
+  std::set<std::string> Vars;
+  for (auto &S : Stmts) {
+    auto Sub = referencedVars(*S);
+    Vars.insert(Sub.begin(), Sub.end());
+  }
+  EXPECT_EQ(Vars, (std::set<std::string>{"z"}));
+}
+
+TEST(TraverseTest, RenameCall) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("x <- read();", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  renameCall(Stmts, "read", "fetch");
+  EXPECT_EQ(calledRoutines(Stmts), (std::set<std::string>{"fetch"}));
+}
+
+TEST(TraverseTest, HasCallOrMem) {
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(hasCallOrMem(*parseExpr("Mb[a]", Diags)));
+  EXPECT_TRUE(hasCallOrMem(*parseExpr("f()", Diags)));
+  EXPECT_FALSE(hasCallOrMem(*parseExpr("a + b * 2", Diags)));
+}
+
+TEST(TraverseTest, ResolvePathTopLevel) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("a <- 1; b <- 2; c <- 3;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  StmtLocus L = resolvePath(Stmts, {1});
+  ASSERT_TRUE(L.isValid());
+  EXPECT_EQ(cast<AssignStmt>(L.get())->targetVarName(), "b");
+}
+
+TEST(TraverseTest, ResolvePathIntoIfArms) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts(
+      "if c then a <- 1; b <- 2; else d <- 3; end_if;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  StmtLocus ThenB = resolvePath(Stmts, {0, 0, 1});
+  ASSERT_TRUE(ThenB.isValid());
+  EXPECT_EQ(cast<AssignStmt>(ThenB.get())->targetVarName(), "b");
+  StmtLocus ElseD = resolvePath(Stmts, {0, 1, 0});
+  ASSERT_TRUE(ElseD.isValid());
+  EXPECT_EQ(cast<AssignStmt>(ElseD.get())->targetVarName(), "d");
+}
+
+TEST(TraverseTest, ResolvePathIntoRepeat) {
+  DiagnosticEngine Diags;
+  StmtList Stmts =
+      parseStmts("repeat exit_when (a = 0); a <- a - 1; end_repeat;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  StmtLocus L = resolvePath(Stmts, {0, 1});
+  ASSERT_TRUE(L.isValid());
+  EXPECT_EQ(cast<AssignStmt>(L.get())->targetVarName(), "a");
+}
+
+TEST(TraverseTest, ResolvePathOutOfRangeIsInvalid) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("a <- 1;", Diags);
+  EXPECT_FALSE(resolvePath(Stmts, {3}).isValid());
+  EXPECT_FALSE(resolvePath(Stmts, {0, 0}).isValid());
+  EXPECT_FALSE(resolvePath(Stmts, {}).isValid());
+}
+
+TEST(TraverseTest, ExprSlotRewrite) {
+  DiagnosticEngine Diags;
+  StmtList Stmts = parseStmts("x <- a + 0;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  // Rewrite every `e + 0` into `e`.
+  forEachExprSlot(*Stmts[0], [](ExprPtr &Slot) {
+    auto *B = dyn_cast<BinaryExpr>(Slot.get());
+    if (!B || B->getOp() != BinaryOp::Add)
+      return;
+    auto *R = dyn_cast<IntLit>(B->getRHS());
+    if (R && R->getValue() == 0)
+      Slot = B->takeLHS();
+  });
+  const auto *A = cast<AssignStmt>(Stmts[0].get());
+  EXPECT_EQ(A->getValue()->getKind(), Expr::Kind::VarRef);
+}
+
+TEST(DescriptionTest, AddAndRemoveDecl) {
+  Description D("d");
+  D.addDecl("STATE", Decl{"temp", TypeRef::bits(15, 0), "", {}});
+  ASSERT_NE(D.findDecl("temp"), nullptr);
+  EXPECT_TRUE(D.removeDecl("temp"));
+  EXPECT_EQ(D.findDecl("temp"), nullptr);
+  EXPECT_FALSE(D.removeDecl("temp"));
+}
+
+TEST(DescriptionTest, EntryRoutinePreference) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(
+      "x := begin ** S ** helper() := begin helper <- 1; end "
+      "x.execute := begin a <- helper(); end ** T ** a<7:0>, end",
+      Diags);
+  // Note: decl after routines in section T.
+  ASSERT_TRUE(D) << Diags.str();
+  EXPECT_EQ(D->entryRoutine()->Name, "x.execute");
+}
+
+} // namespace

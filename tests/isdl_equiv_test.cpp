@@ -1,0 +1,227 @@
+//===- isdl_equiv_test.cpp - Common-form matcher tests ----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Equiv.h"
+
+#include "isdl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::isdl;
+
+namespace {
+
+ExprPtr expr(std::string_view Src) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExpr(Src, Diags);
+  EXPECT_TRUE(E && !Diags.hasErrors()) << Diags.str();
+  return E;
+}
+
+std::unique_ptr<Description> desc(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(Src, Diags);
+  EXPECT_TRUE(D && !Diags.hasErrors()) << Diags.str();
+  return D;
+}
+
+TEST(NameBindingTest, BijectionEnforced) {
+  NameBinding B;
+  EXPECT_TRUE(B.bind("a", "x"));
+  EXPECT_TRUE(B.bind("a", "x"));  // Re-binding the same pair is fine.
+  EXPECT_FALSE(B.bind("a", "y")); // a already bound to x.
+  EXPECT_FALSE(B.bind("b", "x")); // x already bound to a.
+  EXPECT_TRUE(B.bind("b", "y"));
+  EXPECT_EQ(B.lookupA("a"), "x");
+  EXPECT_EQ(B.lookupB("y"), "b");
+  EXPECT_EQ(B.lookupA("zzz"), "");
+}
+
+TEST(MatchExprTest, RenamedOperands) {
+  NameBinding B;
+  EXPECT_TRUE(matchExpr(*expr("Src.Length - 1"), *expr("cx - 1"), B));
+  EXPECT_EQ(B.lookupA("Src.Length"), "cx");
+}
+
+TEST(MatchExprTest, LiteralMismatch) {
+  NameBinding B;
+  std::string Why;
+  EXPECT_FALSE(matchExpr(*expr("a + 1"), *expr("b + 2"), B, &Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+TEST(MatchExprTest, OperatorMismatch) {
+  NameBinding B;
+  EXPECT_FALSE(matchExpr(*expr("a + b"), *expr("a - b"), B));
+  EXPECT_FALSE(matchExpr(*expr("a = b"), *expr("a <> b"), B));
+}
+
+TEST(MatchExprTest, ConsistentRenamingRequired) {
+  NameBinding B;
+  // a must map to x both times; the second use maps it to y.
+  EXPECT_FALSE(matchExpr(*expr("a + a"), *expr("x + y"), B));
+  NameBinding B2;
+  EXPECT_TRUE(matchExpr(*expr("a + a"), *expr("x + x"), B2));
+}
+
+TEST(MatchExprTest, CallsBindRoutineNames) {
+  NameBinding B;
+  EXPECT_TRUE(matchExpr(*expr("ch = read()"), *expr("al = fetch()"), B));
+  EXPECT_EQ(B.lookupA("read"), "fetch");
+}
+
+TEST(MatchStmtTest, AssignAndMemTargets) {
+  DiagnosticEngine Diags;
+  StmtList A = parseStmts("Mb[p] <- v; p <- p + 1;", Diags);
+  StmtList B = parseStmts("Mb[di] <- al; di <- di + 1;", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  NameBinding Bind;
+  EXPECT_TRUE(matchStmts(A, B, Bind));
+  EXPECT_EQ(Bind.lookupA("p"), "di");
+  EXPECT_EQ(Bind.lookupA("v"), "al");
+}
+
+TEST(MatchStmtTest, StatementCountMismatch) {
+  DiagnosticEngine Diags;
+  StmtList A = parseStmts("a <- 1;", Diags);
+  StmtList B = parseStmts("x <- 1; y <- 2;", Diags);
+  NameBinding Bind;
+  std::string Why;
+  EXPECT_FALSE(matchStmts(A, B, Bind, &Why));
+  EXPECT_NE(Why.find("statement counts differ"), std::string::npos);
+}
+
+TEST(MatchStmtTest, InputPositionalBinding) {
+  DiagnosticEngine Diags;
+  StmtList A = parseStmts("input (Src.Base, Src.Length, ch);", Diags);
+  StmtList B = parseStmts("input (di, cx, al);", Diags);
+  NameBinding Bind;
+  EXPECT_TRUE(matchStmts(A, B, Bind));
+  EXPECT_EQ(Bind.lookupA("Src.Base"), "di");
+  EXPECT_EQ(Bind.lookupA("Src.Length"), "cx");
+  EXPECT_EQ(Bind.lookupA("ch"), "al");
+}
+
+TEST(MatchStmtTest, InputArityMismatch) {
+  DiagnosticEngine Diags;
+  StmtList A = parseStmts("input (a, b);", Diags);
+  StmtList B = parseStmts("input (x, y, z);", Diags);
+  NameBinding Bind;
+  EXPECT_FALSE(matchStmts(A, B, Bind));
+}
+
+TEST(ExactEqualTest, RequiresIdenticalNames) {
+  EXPECT_TRUE(exactEqual(*expr("a + b"), *expr("a + b")));
+  EXPECT_FALSE(exactEqual(*expr("a + b"), *expr("a + c")));
+}
+
+// Two whole descriptions that are the same program modulo names.
+constexpr const char *CopyA = R"(
+copy.operation := begin
+  ** ACCESS **
+    p: integer,
+    n: integer,
+  ** PROCESS **
+    copy.execute := begin
+      input (p, n);
+      repeat
+        exit_when (n = 0);
+        Mb[p] <- 0;
+        p <- p + 1;
+        n <- n - 1;
+      end_repeat;
+      output (p);
+    end
+end
+)";
+
+constexpr const char *CopyB = R"(
+clear.instruction := begin
+  ** ACCESS **
+    r3<15:0>,
+    r0<15:0>,
+  ** PROCESS **
+    clear.execute := begin
+      input (r3, r0);
+      repeat
+        exit_when (r0 = 0);
+        Mb[r3] <- 0;
+        r3 <- r3 + 1;
+        r0 <- r0 - 1;
+      end_repeat;
+      output (r3);
+    end
+end
+)";
+
+TEST(MatchDescriptionsTest, CommonFormModuloRenaming) {
+  auto A = desc(CopyA);
+  auto B = desc(CopyB);
+  MatchResult R = matchDescriptions(*A, *B);
+  ASSERT_TRUE(R.Matched) << R.Mismatch;
+  EXPECT_EQ(R.Binding.lookupA("p"), "r3");
+  EXPECT_EQ(R.Binding.lookupA("n"), "r0");
+  EXPECT_EQ(R.Binding.lookupA("copy.execute"), "clear.execute");
+}
+
+TEST(MatchDescriptionsTest, RoutineBodiesMustMatch) {
+  auto A = desc(R"(
+a := begin
+  ** S **
+    x: integer,
+    f(): integer := begin f <- Mb[x]; x <- x + 1; end
+    a.execute := begin input (x); x <- f(); output (x); end
+end
+)");
+  auto B = desc(R"(
+b := begin
+  ** S **
+    r<15:0>,
+    g()<7:0> := begin g <- Mb[r]; r <- r - 1; end
+    b.execute := begin input (r); r <- g(); output (r); end
+end
+)");
+  // Entry bodies match and bind f<->g, but the routine bodies differ
+  // (increment vs decrement).
+  MatchResult R = matchDescriptions(*A, *B);
+  EXPECT_FALSE(R.Matched);
+  EXPECT_FALSE(R.Mismatch.empty());
+}
+
+TEST(MatchDescriptionsTest, WidthDifferencesDoNotBlockMatching) {
+  // Same structure; operator side declares `integer`, instruction side a
+  // 16-bit register. The match succeeds; constraint derivation handles the
+  // width difference elsewhere.
+  auto A = desc(CopyA);
+  auto B = desc(CopyB);
+  EXPECT_TRUE(matchDescriptions(*A, *B).Matched);
+}
+
+TEST(MatchDescriptionsTest, UndeclaredNameFailsMatch) {
+  auto A = desc(R"(
+a := begin
+  ** S **
+    x: integer,
+    a.execute := begin input (x); output (x + y); end
+end
+)");
+  // `y` is undeclared on the A side (validation would reject it, but the
+  // matcher must also notice).
+  auto B = desc(R"(
+b := begin
+  ** S **
+    r<15:0>,
+    q<15:0>,
+    b.execute := begin input (r); output (r + q); end
+end
+)");
+  MatchResult R = matchDescriptions(*A, *B);
+  EXPECT_FALSE(R.Matched);
+  EXPECT_NE(R.Mismatch.find("undeclared"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- isdl_lexer_test.cpp - Lexer unit tests -------------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::isdl;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Toks;
+}
+
+std::vector<TokKind> kindsOf(const std::vector<Token> &Toks) {
+  std::vector<TokKind> Out;
+  for (const Token &T : Toks)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Toks = lexOk("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, DottedIdentifiers) {
+  auto Toks = lexOk("Src.Base index.execute SOURCE.ACCESS");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "Src.Base");
+  EXPECT_EQ(Toks[1].Text, "index.execute");
+  EXPECT_EQ(Toks[2].Text, "SOURCE.ACCESS");
+}
+
+TEST(LexerTest, KeywordsAreNotIdentifiers) {
+  auto Toks = lexOk("begin end if then else end_if repeat end_repeat "
+                    "exit_when input output not and or constrain assert");
+  std::vector<TokKind> Expected = {
+      TokKind::KwBegin,     TokKind::KwEnd,      TokKind::KwIf,
+      TokKind::KwThen,      TokKind::KwElse,     TokKind::KwEndIf,
+      TokKind::KwRepeat,    TokKind::KwEndRepeat, TokKind::KwExitWhen,
+      TokKind::KwInput,     TokKind::KwOutput,   TokKind::KwNot,
+      TokKind::KwAnd,       TokKind::KwOr,       TokKind::KwConstrain,
+      TokKind::KwAssert,    TokKind::Eof};
+  EXPECT_EQ(kindsOf(Toks), Expected);
+}
+
+TEST(LexerTest, RegisterDeclarationPunctuation) {
+  auto Toks = lexOk("di<15:0>, rf<>");
+  std::vector<TokKind> Expected = {
+      TokKind::Ident, TokKind::Less,        TokKind::Int,  TokKind::Colon,
+      TokKind::Int,   TokKind::Greater,     TokKind::Comma, TokKind::Ident,
+      TokKind::LessGreater, TokKind::Eof};
+  EXPECT_EQ(kindsOf(Toks), Expected);
+  EXPECT_EQ(Toks[2].IntValue, 15);
+  EXPECT_EQ(Toks[4].IntValue, 0);
+}
+
+TEST(LexerTest, AssignmentArrowForms) {
+  auto Ascii = lexOk("di <- 1;");
+  ASSERT_GE(Ascii.size(), 2u);
+  EXPECT_EQ(Ascii[1].Kind, TokKind::Arrow);
+
+  auto Utf8 = lexOk("di \xE2\x86\x90 1;");
+  ASSERT_GE(Utf8.size(), 2u);
+  EXPECT_EQ(Utf8[1].Kind, TokKind::Arrow);
+}
+
+TEST(LexerTest, RelationalOperators) {
+  auto Toks = lexOk("= <> < <= > >=");
+  std::vector<TokKind> Expected = {TokKind::Eq,        TokKind::LessGreater,
+                                   TokKind::Less,      TokKind::LessEq,
+                                   TokKind::Greater,   TokKind::GreaterEq,
+                                   TokKind::Eof};
+  EXPECT_EQ(kindsOf(Toks), Expected);
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  auto Toks = lexOk("di ! source string address\ncx");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "di");
+  EXPECT_EQ(Toks[1].Text, "cx");
+}
+
+TEST(LexerTest, CharacterLiteral) {
+  auto Toks = lexOk("'a' 'Z' '0'");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::CharLit);
+  EXPECT_EQ(Toks[0].IntValue, 'a');
+  EXPECT_EQ(Toks[1].IntValue, 'Z');
+  EXPECT_EQ(Toks[2].IntValue, '0');
+}
+
+TEST(LexerTest, SectionDelimiterVsMultiply) {
+  auto Toks = lexOk("** STATE ** a * b");
+  std::vector<TokKind> Expected = {TokKind::StarStar, TokKind::Ident,
+                                   TokKind::StarStar, TokKind::Ident,
+                                   TokKind::Star,     TokKind::Ident,
+                                   TokKind::Eof};
+  EXPECT_EQ(kindsOf(Toks), Expected);
+}
+
+TEST(LexerTest, ColonEqVsColon) {
+  auto Toks = lexOk(":= :");
+  EXPECT_EQ(Toks[0].Kind, TokKind::ColonEq);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Colon);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Toks = lexOk("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, UnterminatedCharLiteralIsReported) {
+  DiagnosticEngine Diags;
+  Lexer L("'", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnexpectedCharacterIsReportedAndSkipped) {
+  DiagnosticEngine Diags;
+  Lexer L("a @ b", Diags);
+  auto Toks = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(LexerTest, NumbersParseToValues) {
+  auto Toks = lexOk("0 7 65535 123456");
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 7);
+  EXPECT_EQ(Toks[2].IntValue, 65535);
+  EXPECT_EQ(Toks[3].IntValue, 123456);
+}
+
+TEST(LexerTest, IdentifierDoesNotSwallowTrailingDot) {
+  // `scasb.execute := begin` keeps the dot inside; a dot immediately
+  // before punctuation must not be glued to the name.
+  auto Toks = lexOk("a.b.c");
+  EXPECT_EQ(Toks[0].Text, "a.b.c");
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+//===- isdl_validate_test.cpp - Validator unit tests ------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isdl/Validate.h"
+
+#include "TestSources.h"
+#include "isdl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::isdl;
+
+namespace {
+
+bool validates(std::string_view Src, std::string *FirstError = nullptr) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(Src, Diags);
+  EXPECT_TRUE(D && !Diags.hasErrors()) << Diags.str();
+  if (!D)
+    return false;
+  bool Ok = validate(*D, Diags);
+  if (!Ok && FirstError)
+    *FirstError = Diags.str();
+  return Ok;
+}
+
+TEST(ValidateTest, PaperFiguresAreWellFormed) {
+  EXPECT_TRUE(validates(extra::testing::RigelIndexSource));
+  EXPECT_TRUE(validates(extra::testing::ScasbSource));
+}
+
+TEST(ValidateTest, UndeclaredVariableRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin a <- b + 1; end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("undeclared name 'b'"), std::string::npos);
+}
+
+TEST(ValidateTest, UnknownRoutineRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin a <- nosuch(); end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("unknown routine"), std::string::npos);
+}
+
+TEST(ValidateTest, ExitWhenOutsideLoopRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin exit_when (a = 0); end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("exit_when outside"), std::string::npos);
+}
+
+TEST(ValidateTest, ExitWhenInsideIfInsideLoopAccepted) {
+  EXPECT_TRUE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin
+      input (a);
+      repeat
+        if a = 0 then exit_when (1 = 1); end_if;
+        a <- a - 1;
+      end_repeat;
+      output (a);
+    end
+end
+)"));
+}
+
+TEST(ValidateTest, DuplicateDeclarationRejected) {
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    a: integer,
+    x.execute := begin a <- 1; end
+end
+)"));
+}
+
+TEST(ValidateTest, AssigningOtherRoutineResultRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    f(): integer := begin f <- 1; end
+    x.execute := begin f <- 2; end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("assigns result"), std::string::npos);
+}
+
+TEST(ValidateTest, RoutineUsedAsVariableRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    f(): integer := begin f <- 1; end
+    x.execute := begin a <- f + 1; end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("used as a variable"), std::string::npos);
+}
+
+TEST(ValidateTest, OwnResultAssignmentAccepted) {
+  EXPECT_TRUE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    f(): integer := begin f <- Mb[a]; a <- a + 1; end
+    x.execute := begin input (a); a <- f(); output (a); end
+end
+)"));
+}
+
+TEST(ValidateTest, InvertedBitRangeRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a<1:2>,
+    x.execute := begin input (a); output (a); end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("invalid bit range"), std::string::npos);
+}
+
+TEST(ValidateTest, UndeclaredInputOperandRejected) {
+  std::string Err;
+  EXPECT_FALSE(validates(R"(
+x := begin
+  ** S **
+    a: integer,
+    x.execute := begin input (a, b); output (a); end
+end
+)",
+                         &Err));
+  EXPECT_NE(Err.find("undeclared input operand"), std::string::npos);
+}
+
+} // namespace

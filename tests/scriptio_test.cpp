@@ -1,0 +1,118 @@
+//===- scriptio_test.cpp - Script serialization tests -----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ScriptIO.h"
+
+#include "analysis/Derivations.h"
+#include "descriptions/Descriptions.h"
+#include "isdl/Equiv.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::transform;
+
+namespace {
+
+TEST(ScriptIOTest, SimpleRoundTrip) {
+  Script S = {
+      {"fold-constants", "", {}},
+      {"if-false-elim", "fetch", {}},
+      {"fix-operand-value", "", {{"operand", "df"}, {"value", "0"}}},
+  };
+  DiagnosticEngine Diags;
+  auto Back = parseScript(printScript(S), Diags);
+  ASSERT_TRUE(Back.has_value()) << Diags.str();
+  ASSERT_EQ(Back->size(), S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    EXPECT_EQ((*Back)[I].Rule, S[I].Rule);
+    EXPECT_EQ((*Back)[I].Routine, S[I].Routine);
+    EXPECT_EQ((*Back)[I].Args, S[I].Args);
+  }
+}
+
+TEST(ScriptIOTest, QuotedValuesWithCodeText) {
+  Script S = {
+      {"replace-output",
+       "",
+       {{"code", "if zf then output (di - temp); else output (0); "
+                 "end_if;"}}},
+      {"add-prologue", "", {{"code", "temp <- di;"}}},
+  };
+  DiagnosticEngine Diags;
+  auto Back = parseScript(printScript(S), Diags);
+  ASSERT_TRUE(Back.has_value()) << Diags.str();
+  EXPECT_EQ((*Back)[0].Args.at("code"), S[0].Args.at("code"));
+  EXPECT_EQ((*Back)[1].Args.at("code"), S[1].Args.at("code"));
+}
+
+TEST(ScriptIOTest, EscapesQuotesAndBackslashes) {
+  Script S = {{"x", "", {{"k", "a \"quoted\" \\ value"}}}};
+  DiagnosticEngine Diags;
+  auto Back = parseScript(printScript(S), Diags);
+  ASSERT_TRUE(Back.has_value()) << Diags.str();
+  EXPECT_EQ((*Back)[0].Args.at("k"), "a \"quoted\" \\ value");
+}
+
+TEST(ScriptIOTest, CommentsAndBlankLinesIgnored) {
+  DiagnosticEngine Diags;
+  auto S = parseScript("# header\n\nfold-constants\n  # indented comment\n",
+                       Diags);
+  ASSERT_TRUE(S.has_value()) << Diags.str();
+  ASSERT_EQ(S->size(), 1u);
+  EXPECT_EQ((*S)[0].Rule, "fold-constants");
+}
+
+TEST(ScriptIOTest, ErrorsReported) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseScript("rule key=\"unterminated\n", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  EXPECT_FALSE(parseScript("rule =v\n", Diags2).has_value());
+}
+
+TEST(ScriptIOTest, AllRecordedDerivationsRoundTrip) {
+  auto Check = [](const Script &S, const std::string &Context) {
+    DiagnosticEngine Diags;
+    auto Back = parseScript(printScript(S), Diags);
+    ASSERT_TRUE(Back.has_value()) << Context << "\n" << Diags.str();
+    ASSERT_EQ(Back->size(), S.size()) << Context;
+    for (size_t I = 0; I < S.size(); ++I) {
+      EXPECT_EQ((*Back)[I].Rule, S[I].Rule) << Context;
+      EXPECT_EQ((*Back)[I].Routine, S[I].Routine) << Context;
+      EXPECT_EQ((*Back)[I].Args, S[I].Args) << Context;
+    }
+  };
+  for (const analysis::AnalysisCase &C : analysis::table2Cases()) {
+    Check(C.OperatorScript, C.Id + " (operator)");
+    Check(C.InstructionScript, C.Id + " (instruction)");
+  }
+  Check(analysis::movc3SassignCase().OperatorScript, "movc3 operator");
+  Check(analysis::movc3SassignCase().InstructionScript,
+        "movc3 instruction");
+}
+
+TEST(ScriptIOTest, ReplayedScriptReproducesTheDerivation) {
+  // Serialize the scasb instruction script, parse it back, and replay:
+  // the result must match the directly replayed script's output.
+  const analysis::AnalysisCase *Case =
+      analysis::findCase("i8086.scasb/rigel.index");
+  DiagnosticEngine Diags;
+  auto Back = parseScript(printScript(Case->InstructionScript), Diags);
+  ASSERT_TRUE(Back.has_value());
+
+  auto A = extra::descriptions::load("i8086.scasb");
+  auto B = extra::descriptions::load("i8086.scasb");
+  Engine EA(std::move(*A)), EB(std::move(*B));
+  ASSERT_EQ(EA.applyScript(Case->InstructionScript),
+            Case->InstructionScript.size());
+  ASSERT_EQ(EB.applyScript(*Back), Back->size());
+  isdl::MatchResult M =
+      isdl::matchDescriptions(EA.current(), EB.current());
+  EXPECT_TRUE(M.Matched) << M.Mismatch;
+}
+
+} // namespace

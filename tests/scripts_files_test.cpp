@@ -1,0 +1,78 @@
+//===- scripts_files_test.cpp - The shipped derivation scripts --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scripts/ directory ships every recorded derivation in the textual
+/// format (`extra-cli export-script` output, replayable with `extra-cli
+/// replay`). These tests keep the files in sync with the built-in
+/// derivations: each file must parse and match its in-tree Script.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Derivations.h"
+#include "transform/ScriptIO.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace extra;
+using namespace extra::analysis;
+
+#ifndef EXTRA_SOURCE_DIR
+#define EXTRA_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::string slurp(const std::string &Path, bool &Ok) {
+  std::ifstream F(Path);
+  Ok = F.good();
+  std::ostringstream Out;
+  Out << F.rdbuf();
+  return Out.str();
+}
+
+std::string fileFor(const AnalysisCase &C, bool Operator) {
+  std::string Name = C.Id;
+  for (char &Ch : Name)
+    if (Ch == '/')
+      Ch = '_';
+  return std::string(EXTRA_SOURCE_DIR) + "/scripts/" + Name +
+         (Operator ? ".operator.script" : ".instruction.script");
+}
+
+void expectMatches(const transform::Script &Want, const std::string &Path) {
+  bool Ok = false;
+  std::string Text = slurp(Path, Ok);
+  ASSERT_TRUE(Ok) << "missing " << Path
+                  << " (regenerate with extra-cli export-script)";
+  DiagnosticEngine Diags;
+  auto Got = transform::parseScript(Text, Diags);
+  ASSERT_TRUE(Got.has_value()) << Path << "\n" << Diags.str();
+  ASSERT_EQ(Got->size(), Want.size()) << Path << " is stale";
+  for (size_t I = 0; I < Want.size(); ++I) {
+    EXPECT_EQ((*Got)[I].Rule, Want[I].Rule) << Path;
+    EXPECT_EQ((*Got)[I].Routine, Want[I].Routine) << Path;
+    EXPECT_EQ((*Got)[I].Args, Want[I].Args) << Path;
+  }
+}
+
+TEST(ScriptFilesTest, AllShippedScriptsMatchTheBuiltInDerivations) {
+  for (const AnalysisCase &C : table2Cases()) {
+    expectMatches(C.OperatorScript, fileFor(C, true));
+    expectMatches(C.InstructionScript, fileFor(C, false));
+  }
+  for (const AnalysisCase &C : extendedCases()) {
+    expectMatches(C.OperatorScript, fileFor(C, true));
+    expectMatches(C.InstructionScript, fileFor(C, false));
+  }
+  const AnalysisCase &M = movc3SassignCase();
+  expectMatches(M.OperatorScript, fileFor(M, true));
+  expectMatches(M.InstructionScript, fileFor(M, false));
+}
+
+} // namespace

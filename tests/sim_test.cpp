@@ -1,0 +1,271 @@
+//===- sim_test.cpp - Target simulator unit tests ---------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Sim370.h"
+#include "sim/Sim8086.h"
+#include "sim/SimVax.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::sim;
+using interp::Memory;
+using interp::loadBytes;
+using interp::storeBytes;
+
+namespace {
+
+TEST(SimCommonTest, ParseAsmLine) {
+  AsmStmt S = parseAsmLine("  mov di, 100   ; comment", ';');
+  ASSERT_EQ(S.Toks.size(), 3u);
+  EXPECT_EQ(S.Toks[0], "mov");
+  EXPECT_EQ(S.Toks[1], "di");
+  EXPECT_EQ(S.Toks[2], "100");
+
+  AsmStmt L = parseAsmLine("top0:", ';');
+  EXPECT_EQ(L.Label, "top0");
+  EXPECT_TRUE(L.Toks.empty());
+
+  AsmStmt C = parseAsmLine("; only a comment", ';');
+  EXPECT_TRUE(C.Label.empty());
+  EXPECT_TRUE(C.Toks.empty());
+}
+
+TEST(SimCommonTest, AssembleRejectsDuplicateLabels) {
+  std::vector<AsmStmt> Prog;
+  std::map<std::string, size_t> Labels;
+  std::string Error;
+  EXPECT_FALSE(assemble({"x:", "mov a, 1", "x:"}, ';', Prog, Labels, Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+}
+
+TEST(SimCommonTest, CodeSizeCountsInstructionLines) {
+  EXPECT_EQ(codeSize({"; c", "l:", "mov a, 1", "", "  add a, 2"}, ';'), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// 8086
+//===----------------------------------------------------------------------===//
+
+TEST(Sim8086Test, MovAddSubCmp) {
+  SimResult R = run8086({
+      "mov ax, 5",
+      "add ax, 7",
+      "sub ax, 2",
+      "cmp ax, 10",
+      "jz yes",
+      "mov bx, 0",
+      "jmp done",
+      "yes:",
+      "mov bx, 1",
+      "done:",
+  });
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("ax"), 10);
+  EXPECT_EQ(R.reg("bx"), 1);
+}
+
+TEST(Sim8086Test, SixteenBitWraparound) {
+  SimResult R = run8086({"mov cx, 0", "dec cx"});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.reg("cx"), 0xFFFF);
+}
+
+TEST(Sim8086Test, MemoryOperands) {
+  Memory M;
+  M[50] = 7;
+  SimResult R = run8086({"mov si, 50", "mov al, [si]", "mov di, 60",
+                         "mov [di], al"},
+                        M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("al"), 7);
+  EXPECT_EQ(R.Mem.at(60), 7);
+}
+
+TEST(Sim8086Test, RepneScasbFindsCharacter) {
+  Memory M;
+  storeBytes(M, 100, "hello");
+  SimResult R = run8086({"mov di, 100", "mov cx, 5", "mov al, 108",
+                         "cld", "repne scasb"},
+                        M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("di"), 103); // one past the first 'l'
+  EXPECT_EQ(R.reg("cx"), 2);
+}
+
+TEST(Sim8086Test, RepMovsbMovesBlock) {
+  Memory M;
+  storeBytes(M, 10, "abcde");
+  SimResult R = run8086({"mov si, 10", "mov di, 30", "mov cx, 5", "cld",
+                         "rep movsb"},
+                        M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(loadBytes(R.Mem, 30, 5), "abcde");
+  // One dispatch for the rep line, five micro-ops for the bytes.
+  EXPECT_EQ(R.reg("cx"), 0);
+}
+
+TEST(Sim8086Test, RepeCmpsbStopsAtMismatch) {
+  Memory M;
+  storeBytes(M, 10, "abcx");
+  storeBytes(M, 30, "abcy");
+  SimResult R = run8086({"mov si, 10", "mov di, 30", "mov cx, 4", "cld",
+                         "cmp ax, ax", "repe cmpsb", "jnz ne", "mov dx, 1",
+                         "jmp done", "ne:", "mov dx, 0", "done:"},
+                        M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("dx"), 0);
+}
+
+TEST(Sim8086Test, BackwardDirection) {
+  Memory M;
+  storeBytes(M, 10, "ab");
+  SimResult R = run8086({"mov si, 11", "std", "lodsb"}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("al"), 'b');
+  EXPECT_EQ(R.reg("si"), 10);
+}
+
+TEST(Sim8086Test, UnknownInstructionReported) {
+  SimResult R = run8086({"frobnicate ax, 1"});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown instruction"), std::string::npos);
+}
+
+TEST(Sim8086Test, InfiniteLoopHitsStepLimit) {
+  SimResult R = run8086({"top:", "jmp top"}, {}, {}, 1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Sim8086Test, VirtualSymbolsActAsRegisters) {
+  SimResult R = run8086({"mov result, 42", "mov ax, result"});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.reg("ax"), 42);
+}
+
+//===----------------------------------------------------------------------===//
+// VAX
+//===----------------------------------------------------------------------===//
+
+TEST(SimVaxTest, Movc3ForwardAndResults) {
+  Memory M;
+  storeBytes(M, 10, "vax11");
+  SimResult R = runVax({"movl r0, 5", "movl r1, 10", "movl r3, 40",
+                        "movc3 r0, r1, r3"},
+                       M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(loadBytes(R.Mem, 40, 5), "vax11");
+  EXPECT_EQ(R.reg("r0"), 0);
+  EXPECT_EQ(R.reg("r1"), 15);
+  EXPECT_EQ(R.reg("r3"), 45);
+}
+
+TEST(SimVaxTest, Movc3OverlapSafety) {
+  Memory M;
+  storeBytes(M, 10, "abc");
+  // dst = 12 overlaps the source tail; the naive forward copy would
+  // produce "aba" at 12 (§4.3's example).
+  SimResult R = runVax({"movc3 3, 10, 12"}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(loadBytes(R.Mem, 12, 3), "abc");
+}
+
+TEST(SimVaxTest, LoccFoundAndNotFound) {
+  Memory M;
+  storeBytes(M, 10, "hello");
+  SimResult Found = runVax({"locc 108, 5, 10"}, M); // 'l'
+  ASSERT_TRUE(Found.Ok) << Found.Error;
+  EXPECT_EQ(Found.reg("r0"), 3);  // bytes remaining including 'l'
+  EXPECT_EQ(Found.reg("r1"), 12); // address of the located byte
+
+  SimResult Absent = runVax({"locc 122, 5, 10"}, M); // 'z'
+  ASSERT_TRUE(Absent.Ok);
+  EXPECT_EQ(Absent.reg("r0"), 0);
+  EXPECT_EQ(Absent.reg("r1"), 15);
+}
+
+TEST(SimVaxTest, Cmpc3EqualAndUnequal) {
+  Memory M;
+  storeBytes(M, 10, "same");
+  storeBytes(M, 30, "same");
+  storeBytes(M, 50, "sane");
+  SimResult Eq = runVax({"cmpc3 4, 10, 30"}, M);
+  ASSERT_TRUE(Eq.Ok);
+  EXPECT_EQ(Eq.reg("r0"), 0);
+  SimResult Ne = runVax({"cmpc3 4, 10, 50"}, M);
+  ASSERT_TRUE(Ne.Ok);
+  EXPECT_EQ(Ne.reg("r0"), 2); // mismatch at 'm'/'n', two bytes remain
+}
+
+TEST(SimVaxTest, Movc5FillsTail) {
+  Memory M;
+  storeBytes(M, 10, "xy");
+  SimResult R = runVax({"movc5 2, 10, 46, 5, 40"}, M); // fill '.'
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(loadBytes(R.Mem, 40, 5), "xy...");
+  EXPECT_EQ(R.reg("r0"), 0);
+}
+
+TEST(SimVaxTest, BranchesAndByteOps) {
+  Memory M;
+  M[20] = 9;
+  SimResult R = runVax({"movl r1, 20", "ldb r5, (r1)", "cmpl r5, 9",
+                        "beql hit", "movl r6, 0", "brb done", "hit:",
+                        "movl r6, 1", "done:", "stb r6, (r1)"},
+                       M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("r6"), 1);
+  EXPECT_EQ(R.Mem.at(20), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// 370
+//===----------------------------------------------------------------------===//
+
+TEST(Sim370Test, MvcMovesLengthPlusOne) {
+  Memory M;
+  storeBytes(M, 100, "abcdef");
+  SimResult R = run370({"la r1, 200", "la r2, 100", "mvc (r1), (r2), 3"}, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Length field 3 moves FOUR bytes — the §4.2 quirk.
+  EXPECT_EQ(loadBytes(R.Mem, 200, 6), std::string("abcd\0\0", 6));
+}
+
+TEST(Sim370Test, MvcRejectsWideLengthField) {
+  SimResult R = run370({"la r1, 0", "la r2, 10", "mvc (r1), (r2), 300"});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("8 bits"), std::string::npos);
+}
+
+TEST(Sim370Test, ArithmeticAndBranches) {
+  SimResult R = run370({"la r1, 10", "ahi r1, -3", "chi r1, 7", "je ok",
+                        "la r2, 0", "j done", "ok:", "la r2, 1", "done:"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.reg("r1"), 7);
+  EXPECT_EQ(R.reg("r2"), 1);
+}
+
+TEST(Sim370Test, TwentyFourBitAddresses) {
+  SimResult R = run370({"la r1, 16777216"}); // 2^24 wraps to 0
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.reg("r1"), 0);
+}
+
+TEST(Sim370Test, ByteLoadStoreLoop) {
+  Memory M;
+  storeBytes(M, 10, "abc");
+  SimResult R = run370({
+      "la r1, 10", "la r2, 30", "la r3, 3",
+      "top:", "chi r3, 0", "je done", "ahi r3, -1",
+      "ldb r6, (r1)", "ahi r1, 1", "stb r6, (r2)", "ahi r2, 1", "j top",
+      "done:",
+  }, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(loadBytes(R.Mem, 30, 3), "abc");
+}
+
+} // namespace

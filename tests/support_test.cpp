@@ -1,0 +1,71 @@
+//===- support_test.cpp - Support library unit tests ------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+
+namespace {
+
+TEST(DiagnosticsTest, ErrorCounting) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({1, 2}, "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({3, 4}, "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 2u);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+TEST(DiagnosticsTest, Rendering) {
+  DiagnosticEngine D;
+  D.error({3, 7}, "bad thing");
+  D.note(SourceLoc(), "context");
+  std::string S = D.str();
+  EXPECT_NE(S.find("3:7: error: bad thing"), std::string::npos);
+  EXPECT_NE(S.find("note: context"), std::string::npos);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, Pad) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(startsWith("abc", "ab"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("abc", "abcd"));
+  EXPECT_FALSE(startsWith("abc", "b"));
+}
+
+} // namespace

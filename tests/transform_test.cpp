@@ -1,0 +1,272 @@
+//===- transform_test.cpp - Framework + local rule tests --------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transform.h"
+
+#include "isdl/Parser.h"
+#include "isdl/Printer.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::transform;
+using namespace extra::isdl;
+
+namespace {
+
+std::unique_ptr<Description> desc(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto D = parseDescription(Src, Diags);
+  EXPECT_TRUE(D && !Diags.hasErrors()) << Diags.str();
+  return D;
+}
+
+/// Wraps a statement sequence into a one-routine description over the
+/// given integer variables.
+std::unique_ptr<Description> wrap(const std::string &Vars,
+                                  const std::string &Body) {
+  std::string Src = "t := begin\n  ** S **\n";
+  DiagnosticEngine Diags;
+  for (const std::string &V : split(Vars, ',')) {
+    std::string Name(trim(V));
+    if (!Name.empty())
+      Src += "    " + Name + ": integer,\n";
+  }
+  Src += "    t.execute := begin\n" + Body + "\n    end\nend\n";
+  return desc(Src);
+}
+
+/// Applies one rule and returns the printed entry body, or "FAIL: reason".
+std::string applyOne(Description &D, const Step &S) {
+  Engine E(D.clone());
+  ApplyResult R = E.apply(S);
+  if (!R.Applied)
+    return "FAIL: " + R.Reason;
+  return printStmts(E.current().entryRoutine()->Body);
+}
+
+TEST(RegistryTest, SeventyFiveTransformations) {
+  // "The current implementation of EXTRA includes 75 transformations in
+  // the transformation library." (§5)
+  EXPECT_EQ(Registry::instance().size(), 75u);
+}
+
+TEST(RegistryTest, AllSevenCategoriesPopulated) {
+  const Registry &R = Registry::instance();
+  EXPECT_FALSE(R.inCategory(Category::Local).empty());
+  EXPECT_FALSE(R.inCategory(Category::CodeMotion).empty());
+  EXPECT_FALSE(R.inCategory(Category::Loop).empty());
+  EXPECT_FALSE(R.inCategory(Category::Global).empty());
+  EXPECT_FALSE(R.inCategory(Category::RoutineStructuring).empty());
+  EXPECT_FALSE(R.inCategory(Category::ConstraintOp).empty());
+  EXPECT_FALSE(R.inCategory(Category::Augment).empty());
+}
+
+TEST(RegistryTest, LookupUnknownReturnsNull) {
+  EXPECT_EQ(Registry::instance().lookup("no-such-rule"), nullptr);
+}
+
+TEST(RegistryTest, EveryRuleHasDocumentation) {
+  for (const Transformation *T : Registry::instance().all()) {
+    EXPECT_FALSE(T->name().empty());
+    EXPECT_FALSE(T->description().empty()) << T->name();
+  }
+}
+
+TEST(EngineTest, UnknownRuleFails) {
+  auto D = wrap("a", "      input (a); output (a);");
+  Engine E(D->clone());
+  ApplyResult R = E.apply({"does-not-exist", "", {}});
+  EXPECT_FALSE(R.Applied);
+  EXPECT_NE(R.Reason.find("unknown transformation"), std::string::npos);
+}
+
+TEST(EngineTest, FailedStepLeavesDescriptionUntouched) {
+  auto D = wrap("a", "      input (a); output (a);");
+  Engine E(D->clone());
+  std::string Before = printDescription(E.current());
+  ApplyResult R = E.apply({"add-zero", "", {}}); // nothing matches
+  EXPECT_FALSE(R.Applied);
+  EXPECT_EQ(printDescription(E.current()), Before);
+  EXPECT_EQ(E.stepsApplied(), 0u);
+}
+
+TEST(EngineTest, ScriptStopsAtFirstFailure) {
+  auto D = wrap("a", "      input (a); a <- a + 0; output (a);");
+  Engine E(D->clone());
+  Script S = {{"add-zero", "", {}}, {"add-zero", "", {}}};
+  std::string Error;
+  EXPECT_EQ(E.applyScript(S, &Error), 1u);
+  EXPECT_NE(Error.find("step 2"), std::string::npos);
+}
+
+TEST(EngineTest, LogRecordsAppliedSteps) {
+  auto D = wrap("a", "      input (a); a <- a + 0; a <- a * 1; output (a);");
+  Engine E(D->clone());
+  EXPECT_TRUE(E.apply({"add-zero", "", {}}).Applied);
+  EXPECT_TRUE(E.apply({"mul-one", "", {}}).Applied);
+  ASSERT_EQ(E.log().size(), 2u);
+  EXPECT_EQ(E.log()[0].S.Rule, "add-zero");
+  EXPECT_EQ(E.log()[1].S.Rule, "mul-one");
+}
+
+TEST(EngineTest, VerifierRejectionRollsBack) {
+  auto D = wrap("a", "      input (a); a <- a + 0; output (a);");
+  Engine E(D->clone());
+  E.setVerifier([](const StepObservation &, std::string &Err) {
+    Err = "synthetic rejection";
+    return false;
+  });
+  std::string Before = printDescription(E.current());
+  ApplyResult R = E.apply({"add-zero", "", {}});
+  EXPECT_FALSE(R.Applied);
+  EXPECT_NE(R.Reason.find("synthetic rejection"), std::string::npos);
+  EXPECT_EQ(printDescription(E.current()), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Local rules
+//===----------------------------------------------------------------------===//
+
+TEST(LocalRuleTest, ConstantFolds) {
+  auto D = wrap("a", "      a <- 2 + 3; output (a);");
+  EXPECT_NE(applyOne(*D, {"fold-add", "", {}}).find("a <- 5;"),
+            std::string::npos);
+  auto D2 = wrap("a", "      a <- 10 - 4; output (a);");
+  EXPECT_NE(applyOne(*D2, {"fold-sub", "", {}}).find("a <- 6;"),
+            std::string::npos);
+  auto D3 = wrap("a", "      a <- 6 / 0; output (a);");
+  // Division by zero must not fold (it is an execution error).
+  EXPECT_NE(applyOne(*D3, {"fold-div", "", {}}).find("FAIL"),
+            std::string::npos);
+}
+
+TEST(LocalRuleTest, IdentityRules) {
+  auto D = wrap("a,b", "      a <- b + 0; output (a);");
+  EXPECT_NE(applyOne(*D, {"add-zero", "", {}}).find("a <- b;"),
+            std::string::npos);
+  auto D2 = wrap("a,b", "      a <- b - b; output (a);");
+  EXPECT_NE(applyOne(*D2, {"sub-self", "", {}}).find("a <- 0;"),
+            std::string::npos);
+  auto D3 = wrap("a", "      a <- read() - read(); output (a);");
+  // Impure operands: sub-self must refuse (two calls).
+  EXPECT_NE(applyOne(*D3, {"sub-self", "", {}}).find("FAIL"),
+            std::string::npos);
+}
+
+TEST(LocalRuleTest, OccurrenceAddressing) {
+  auto D = wrap("a,b", "      a <- b + 0; b <- a + 0; output (a);");
+  // occurrence=1 rewrites only the second match.
+  std::string Out = applyOne(*D, {"add-zero", "", {{"occurrence", "1"}}});
+  EXPECT_NE(Out.find("a <- b + 0;"), std::string::npos);
+  EXPECT_NE(Out.find("b <- a;"), std::string::npos);
+}
+
+TEST(LocalRuleTest, ReverseConditionalFigure1) {
+  auto D = wrap("e,x", "      input (e);\n"
+                       "      if e = 1 then x <- 1; else x <- 2; end_if;\n"
+                       "      output (x);");
+  std::string Out = applyOne(*D, {"reverse-conditional", "", {}});
+  EXPECT_NE(Out.find("if not e = 1 then"), std::string::npos);
+  EXPECT_NE(Out.find("x <- 2;"), std::string::npos);
+  // Round-trip: if-not-elim restores the original.
+  Engine E(D->clone());
+  EXPECT_TRUE(E.apply({"reverse-conditional", "", {}}).Applied);
+  EXPECT_TRUE(E.apply({"if-not-elim", "", {}}).Applied);
+  std::string Restored = printStmts(E.current().entryRoutine()->Body);
+  EXPECT_NE(Restored.find("if e = 1 then"), std::string::npos);
+}
+
+TEST(LocalRuleTest, NotNotRequiresBoolean) {
+  auto D = wrap("a,b", "      a <- not (not (b = 1)); output (a);");
+  EXPECT_NE(applyOne(*D, {"not-not", "", {}}).find("a <- b = 1;"),
+            std::string::npos);
+  auto D2 = wrap("a,b", "      a <- not (not b); output (a);");
+  // b is an unbounded integer, not boolean: must refuse.
+  EXPECT_NE(applyOne(*D2, {"not-not", "", {}}).find("FAIL"),
+            std::string::npos);
+}
+
+TEST(LocalRuleTest, ScasbExitConditionSimplification) {
+  // The exact §4.1 sequence: with rfz = 0 propagated,
+  //   (rfz and (not zf)) or ((not rfz) and zf)
+  // folds to zf.
+  auto D = desc(R"(
+t := begin
+  ** S **
+    zf<>, x: integer,
+    t.execute := begin
+      input (zf, x);
+      repeat
+        exit_when ((0 and (not zf)) or ((not 0) and zf));
+        x <- x - 1;
+        exit_when (x = 0);
+      end_repeat;
+      output (x);
+    end
+end
+)");
+  Engine E(D->clone());
+  EXPECT_TRUE(E.apply({"fold-constants", "", {}}).Applied);
+  std::string Out = printStmts(E.current().entryRoutine()->Body);
+  EXPECT_NE(Out.find("exit_when (zf);"), std::string::npos)
+      << Out;
+}
+
+TEST(LocalRuleTest, EqToDiffZeroAndBack) {
+  auto D = wrap("a,b,f", "      f <- a = b; output (f);");
+  std::string Out = applyOne(*D, {"eq-to-diff-zero", "", {}});
+  EXPECT_NE(Out.find("f <- a - b = 0;"), std::string::npos);
+  Engine E(D->clone());
+  EXPECT_TRUE(E.apply({"eq-to-diff-zero", "", {}}).Applied);
+  EXPECT_TRUE(E.apply({"diff-zero-to-eq", "", {}}).Applied);
+  EXPECT_NE(printStmts(E.current().entryRoutine()->Body).find("f <- a = b;"),
+            std::string::npos);
+}
+
+TEST(LocalRuleTest, IfToFlagAssignIdiom) {
+  auto D = wrap("f,a",
+                "      input (a);\n"
+                "      if a = 0 then f <- 1; else f <- 0; end_if;\n"
+                "      output (f);");
+  std::string Out = applyOne(*D, {"if-to-flag-assign", "", {}});
+  EXPECT_NE(Out.find("f <- a = 0;"), std::string::npos);
+  // And the inverse.
+  Engine E(D->clone());
+  EXPECT_TRUE(E.apply({"if-to-flag-assign", "", {}}).Applied);
+  EXPECT_TRUE(E.apply({"flag-assign-to-if", "", {}}).Applied);
+  EXPECT_NE(printStmts(E.current().entryRoutine()->Body)
+                .find("if a = 0 then"),
+            std::string::npos);
+}
+
+TEST(LocalRuleTest, RelShiftConst) {
+  auto D = wrap("a,f", "      f <- a - 1 = 0; output (f);");
+  EXPECT_NE(applyOne(*D, {"rel-shift-const", "", {}}).find("f <- a = 1;"),
+            std::string::npos);
+  auto D2 = wrap("a,f", "      f <- a + 2 >= 5; output (f);");
+  EXPECT_NE(applyOne(*D2, {"rel-shift-const", "", {}}).find("f <- a >= 3;"),
+            std::string::npos);
+}
+
+TEST(LocalRuleTest, DeMorgan) {
+  auto D = wrap("a,b,f", "      f <- not (a = 1 and b = 2); output (f);");
+  std::string Out = applyOne(*D, {"de-morgan-and", "", {}});
+  EXPECT_NE(Out.find("f <- not a = 1 or not b = 2;"), std::string::npos)
+      << Out;
+}
+
+TEST(LocalRuleTest, IfFalseElimUnwrapsElse) {
+  auto D = wrap("x", "      if 0 then x <- 1; else x <- 2; x <- x + 1; "
+                     "end_if;\n      output (x);");
+  std::string Out = applyOne(*D, {"if-false-elim", "", {}});
+  EXPECT_EQ(Out.find("if"), std::string::npos);
+  EXPECT_NE(Out.find("x <- 2;"), std::string::npos);
+  EXPECT_NE(Out.find("x <- x + 1;"), std::string::npos);
+}
+
+} // namespace

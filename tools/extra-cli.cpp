@@ -1,0 +1,255 @@
+//===- extra-cli.cpp - Command-line front end for EXTRA ---------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//   extra-cli rules [category]         list the transformation library
+//   extra-cli catalog                  print the Table 1 survey
+//   extra-cli descriptions             list the description library
+//   extra-cli show <id>                print one description
+//   extra-cli cases                    list the recorded analyses
+//   extra-cli analyze <case-id> [-x]   run an analysis (-x: extension mode)
+//   extra-cli suggest <cur-id> <tgt-id> propose next derivation steps
+//   extra-cli export-script <case-id> <operator|instruction>
+//   extra-cli replay <desc-id> <script-file>
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Advisor.h"
+#include "analysis/Derivations.h"
+#include "transform/ScriptIO.h"
+#include "descriptions/Descriptions.h"
+#include "isdl/Printer.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace extra;
+using namespace extra::analysis;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: extra-cli <command> [args]\n"
+               "  rules [category]        list the 75 transformations\n"
+               "  catalog                 the Table 1 instruction survey\n"
+               "  descriptions            list the description library\n"
+               "  show <id>               print one description\n"
+               "  cases                   list the recorded analyses\n"
+               "  analyze <case-id> [-x]  run an analysis (-x extension)\n"
+               "  suggest <cur> <target>  propose next derivation steps\n"
+               "  export-script <case-id> <operator|instruction>\n"
+               "                          dump a recorded derivation script\n"
+               "  replay <desc-id> <file> apply a script file to a "
+               "description\n");
+  return 2;
+}
+
+int cmdRules(int argc, char **argv) {
+  const transform::Registry &R = transform::Registry::instance();
+  const char *Filter = argc > 2 ? argv[2] : nullptr;
+  unsigned N = 0;
+  for (const transform::Transformation *T : R.all()) {
+    const char *Cat = transform::categoryName(T->category());
+    if (Filter && std::strcmp(Filter, Cat) != 0)
+      continue;
+    std::printf("%-26s [%s]\n    %s\n", T->name().c_str(), Cat,
+                T->description().c_str());
+    ++N;
+  }
+  std::printf("\n%u transformation(s)%s%s\n", N,
+              Filter ? " in category " : "", Filter ? Filter : "");
+  return 0;
+}
+
+int cmdCatalog() {
+  std::string Current;
+  for (const descriptions::CatalogEntry &E : descriptions::catalog()) {
+    if (E.Machine != Current) {
+      Current = E.Machine;
+      std::printf("\n%s (%u):\n", Current.c_str(),
+                  descriptions::catalogCount(Current));
+    }
+    std::printf("  %-8s %s%s\n", E.Mnemonic.c_str(), E.Role.c_str(),
+                E.FromManual ? "" : "   (reconstructed)");
+  }
+  return 0;
+}
+
+int cmdDescriptions() {
+  for (const descriptions::Entry &E : descriptions::allEntries())
+    std::printf("%-16s %-12s %s\n", E.Id.c_str(), E.Machine.c_str(),
+                E.Title.c_str());
+  return 0;
+}
+
+int cmdShow(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  const char *Src = descriptions::sourceFor(argv[2]);
+  if (!Src) {
+    std::fprintf(stderr, "unknown description '%s' (try `extra-cli "
+                         "descriptions`)\n",
+                 argv[2]);
+    return 1;
+  }
+  std::fputs(Src, stdout);
+  return 0;
+}
+
+int cmdCases() {
+  for (const AnalysisCase &C : table2Cases())
+    std::printf("%-28s %-12s %-10s %-16s paper: %u steps\n", C.Id.c_str(),
+                C.Machine.c_str(), C.Language.c_str(), C.Operation.c_str(),
+                C.PaperSteps);
+  for (const AnalysisCase &C : extendedCases())
+    std::printf("%-28s %-12s %-10s %-16s beyond Table 2\n", C.Id.c_str(),
+                C.Machine.c_str(), C.Language.c_str(),
+                C.Operation.c_str());
+  const AnalysisCase &M = movc3SassignCase();
+  std::printf("%-28s %-12s %-10s %-16s extension mode only (§4.3)\n",
+              M.Id.c_str(), M.Machine.c_str(), M.Language.c_str(),
+              M.Operation.c_str());
+  return 0;
+}
+
+int cmdAnalyze(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  const AnalysisCase *Case = findCase(argv[2]);
+  if (!Case) {
+    std::fprintf(stderr, "unknown case '%s' (try `extra-cli cases`)\n",
+                 argv[2]);
+    return 1;
+  }
+  Mode M = (argc > 3 && std::strcmp(argv[3], "-x") == 0) ? Mode::Extension
+                                                         : Mode::Base;
+  AnalysisResult R = runAnalysis(*Case, M);
+  if (!R.Succeeded) {
+    std::printf("analysis FAILED after %u step(s): %s\n", R.StepsApplied,
+                R.FailureReason.c_str());
+    return 1;
+  }
+  std::printf("analysis succeeded: %u steps (operator %u + instruction "
+              "%u)\n\n",
+              R.StepsApplied, R.OperatorSteps, R.InstructionSteps);
+  std::printf("binding:\n%s\n", R.Binding.str().c_str());
+  std::printf("constraints:\n%s\n", R.Constraints.str().c_str());
+  std::printf("augmented instruction:\n%s", R.AugmentedInstruction.c_str());
+  return 0;
+}
+
+int cmdSuggest(int argc, char **argv) {
+  if (argc < 4)
+    return usage();
+  const char *CurSrc = descriptions::sourceFor(argv[2]);
+  const char *TgtSrc = descriptions::sourceFor(argv[3]);
+  if (!CurSrc || !TgtSrc) {
+    std::fprintf(stderr, "unknown description id\n");
+    return 1;
+  }
+  auto Current = descriptions::load(argv[2]);
+  auto Target = descriptions::load(argv[3]);
+  std::printf("structural distance %s -> %s: %u\n\n", argv[2], argv[3],
+              structuralDistance(*Current, *Target));
+  for (const Suggestion &S : suggestSteps(*Current, *Target, 10))
+    std::printf("  %-60s (distance after: %u)\n", S.S.str().c_str(),
+                S.DistanceAfter);
+  return 0;
+}
+
+int cmdExportScript(int argc, char **argv) {
+  if (argc < 4)
+    return usage();
+  const AnalysisCase *Case = findCase(argv[2]);
+  if (!Case) {
+    std::fprintf(stderr, "unknown case '%s'\n", argv[2]);
+    return 1;
+  }
+  bool Operator = !std::strcmp(argv[3], "operator");
+  if (!Operator && std::strcmp(argv[3], "instruction") != 0)
+    return usage();
+  std::printf("# %s side of %s (paper: %u steps)\n",
+              Operator ? "operator" : "instruction", Case->Id.c_str(),
+              Case->PaperSteps);
+  std::fputs(transform::printScript(Operator ? Case->OperatorScript
+                                             : Case->InstructionScript)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmdReplay(int argc, char **argv) {
+  if (argc < 4)
+    return usage();
+  const char *Src = descriptions::sourceFor(argv[2]);
+  if (!Src) {
+    std::fprintf(stderr, "unknown description '%s'\n", argv[2]);
+    return 1;
+  }
+  FILE *F = std::fopen(argv[3], "rb");
+  if (!F) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[3]);
+    return 1;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+
+  DiagnosticEngine Diags;
+  auto Script = transform::parseScript(Text, Diags);
+  if (!Script) {
+    std::fprintf(stderr, "bad script:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  auto D = descriptions::load(argv[2]);
+  transform::Engine E(std::move(*D));
+  E.setVerifier(analysis::makeStepVerifier(E.constraints()));
+  std::string Error;
+  size_t Applied = E.applyScript(*Script, &Error);
+  if (Applied != Script->size()) {
+    std::fprintf(stderr, "replay stopped after %zu step(s): %s\n", Applied,
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("%zu step(s) applied and differentially verified.\n\n",
+              Applied);
+  std::printf("%s", isdl::printDescription(E.current()).c_str());
+  if (!E.constraints().empty())
+    std::printf("\nconstraints:\n%s", E.constraints().str().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  const char *Cmd = argv[1];
+  if (!std::strcmp(Cmd, "rules"))
+    return cmdRules(argc, argv);
+  if (!std::strcmp(Cmd, "catalog"))
+    return cmdCatalog();
+  if (!std::strcmp(Cmd, "descriptions"))
+    return cmdDescriptions();
+  if (!std::strcmp(Cmd, "show"))
+    return cmdShow(argc, argv);
+  if (!std::strcmp(Cmd, "cases"))
+    return cmdCases();
+  if (!std::strcmp(Cmd, "analyze"))
+    return cmdAnalyze(argc, argv);
+  if (!std::strcmp(Cmd, "suggest"))
+    return cmdSuggest(argc, argv);
+  if (!std::strcmp(Cmd, "export-script"))
+    return cmdExportScript(argc, argv);
+  if (!std::strcmp(Cmd, "replay"))
+    return cmdReplay(argc, argv);
+  return usage();
+}
