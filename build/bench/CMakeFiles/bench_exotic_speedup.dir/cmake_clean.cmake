@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exotic_speedup.dir/bench_exotic_speedup.cpp.o"
+  "CMakeFiles/bench_exotic_speedup.dir/bench_exotic_speedup.cpp.o.d"
+  "bench_exotic_speedup"
+  "bench_exotic_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exotic_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_reverse_conditional.dir/bench_fig1_reverse_conditional.cpp.o"
+  "CMakeFiles/bench_fig1_reverse_conditional.dir/bench_fig1_reverse_conditional.cpp.o.d"
+  "bench_fig1_reverse_conditional"
+  "bench_fig1_reverse_conditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_reverse_conditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2to5_descriptions.dir/bench_fig2to5_descriptions.cpp.o"
+  "CMakeFiles/bench_fig2to5_descriptions.dir/bench_fig2to5_descriptions.cpp.o.d"
+  "bench_fig2to5_descriptions"
+  "bench_fig2to5_descriptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2to5_descriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

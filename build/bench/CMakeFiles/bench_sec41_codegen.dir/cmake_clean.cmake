@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_codegen.dir/bench_sec41_codegen.cpp.o"
+  "CMakeFiles/bench_sec41_codegen.dir/bench_sec41_codegen.cpp.o.d"
+  "bench_sec41_codegen"
+  "bench_sec41_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

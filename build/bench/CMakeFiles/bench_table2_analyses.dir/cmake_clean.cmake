@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_analyses.dir/bench_table2_analyses.cpp.o"
+  "CMakeFiles/bench_table2_analyses.dir/bench_table2_analyses.cpp.o.d"
+  "bench_table2_analyses"
+  "bench_table2_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

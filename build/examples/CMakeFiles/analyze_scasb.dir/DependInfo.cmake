@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/analyze_scasb.cpp" "examples/CMakeFiles/analyze_scasb.dir/analyze_scasb.cpp.o" "gcc" "examples/CMakeFiles/analyze_scasb.dir/analyze_scasb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/extra_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/extra_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/extra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/extra_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/extra_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptions/CMakeFiles/extra_descriptions.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/extra_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/extra_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isdl/CMakeFiles/extra_isdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/extra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

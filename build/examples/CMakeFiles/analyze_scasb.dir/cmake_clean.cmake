@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_scasb.dir/analyze_scasb.cpp.o"
+  "CMakeFiles/analyze_scasb.dir/analyze_scasb.cpp.o.d"
+  "analyze_scasb"
+  "analyze_scasb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_scasb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_program.dir/compile_program.cpp.o"
+  "CMakeFiles/compile_program.dir/compile_program.cpp.o.d"
+  "compile_program"
+  "compile_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

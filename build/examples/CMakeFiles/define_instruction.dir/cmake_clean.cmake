@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/define_instruction.dir/define_instruction.cpp.o"
+  "CMakeFiles/define_instruction.dir/define_instruction.cpp.o.d"
+  "define_instruction"
+  "define_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/define_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for define_instruction.
+# This may be replaced when dependencies are built.

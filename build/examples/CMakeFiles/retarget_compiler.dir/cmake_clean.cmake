@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_compiler.dir/retarget_compiler.cpp.o"
+  "CMakeFiles/retarget_compiler.dir/retarget_compiler.cpp.o.d"
+  "retarget_compiler"
+  "retarget_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Advisor.cpp" "src/analysis/CMakeFiles/extra_analysis.dir/Advisor.cpp.o" "gcc" "src/analysis/CMakeFiles/extra_analysis.dir/Advisor.cpp.o.d"
+  "/root/repo/src/analysis/Analysis.cpp" "src/analysis/CMakeFiles/extra_analysis.dir/Analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/extra_analysis.dir/Analysis.cpp.o.d"
+  "/root/repo/src/analysis/Derivations.cpp" "src/analysis/CMakeFiles/extra_analysis.dir/Derivations.cpp.o" "gcc" "src/analysis/CMakeFiles/extra_analysis.dir/Derivations.cpp.o.d"
+  "/root/repo/src/analysis/DiffCheck.cpp" "src/analysis/CMakeFiles/extra_analysis.dir/DiffCheck.cpp.o" "gcc" "src/analysis/CMakeFiles/extra_analysis.dir/DiffCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/extra_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/extra_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptions/CMakeFiles/extra_descriptions.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/extra_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/extra_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/isdl/CMakeFiles/extra_isdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/extra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_analysis.dir/Advisor.cpp.o"
+  "CMakeFiles/extra_analysis.dir/Advisor.cpp.o.d"
+  "CMakeFiles/extra_analysis.dir/Analysis.cpp.o"
+  "CMakeFiles/extra_analysis.dir/Analysis.cpp.o.d"
+  "CMakeFiles/extra_analysis.dir/Derivations.cpp.o"
+  "CMakeFiles/extra_analysis.dir/Derivations.cpp.o.d"
+  "CMakeFiles/extra_analysis.dir/DiffCheck.cpp.o"
+  "CMakeFiles/extra_analysis.dir/DiffCheck.cpp.o.d"
+  "libextra_analysis.a"
+  "libextra_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_codegen.dir/Frontend.cpp.o"
+  "CMakeFiles/extra_codegen.dir/Frontend.cpp.o.d"
+  "CMakeFiles/extra_codegen.dir/I8086Target.cpp.o"
+  "CMakeFiles/extra_codegen.dir/I8086Target.cpp.o.d"
+  "CMakeFiles/extra_codegen.dir/Ibm370Target.cpp.o"
+  "CMakeFiles/extra_codegen.dir/Ibm370Target.cpp.o.d"
+  "CMakeFiles/extra_codegen.dir/Target.cpp.o"
+  "CMakeFiles/extra_codegen.dir/Target.cpp.o.d"
+  "CMakeFiles/extra_codegen.dir/VaxTarget.cpp.o"
+  "CMakeFiles/extra_codegen.dir/VaxTarget.cpp.o.d"
+  "libextra_codegen.a"
+  "libextra_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_constraint.dir/Constraint.cpp.o"
+  "CMakeFiles/extra_constraint.dir/Constraint.cpp.o.d"
+  "libextra_constraint.a"
+  "libextra_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

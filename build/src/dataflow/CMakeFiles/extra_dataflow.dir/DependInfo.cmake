@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/CFG.cpp" "src/dataflow/CMakeFiles/extra_dataflow.dir/CFG.cpp.o" "gcc" "src/dataflow/CMakeFiles/extra_dataflow.dir/CFG.cpp.o.d"
+  "/root/repo/src/dataflow/Liveness.cpp" "src/dataflow/CMakeFiles/extra_dataflow.dir/Liveness.cpp.o" "gcc" "src/dataflow/CMakeFiles/extra_dataflow.dir/Liveness.cpp.o.d"
+  "/root/repo/src/dataflow/ReachingDefs.cpp" "src/dataflow/CMakeFiles/extra_dataflow.dir/ReachingDefs.cpp.o" "gcc" "src/dataflow/CMakeFiles/extra_dataflow.dir/ReachingDefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isdl/CMakeFiles/extra_isdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/extra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

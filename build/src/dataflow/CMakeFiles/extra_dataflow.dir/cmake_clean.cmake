@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_dataflow.dir/CFG.cpp.o"
+  "CMakeFiles/extra_dataflow.dir/CFG.cpp.o.d"
+  "CMakeFiles/extra_dataflow.dir/Liveness.cpp.o"
+  "CMakeFiles/extra_dataflow.dir/Liveness.cpp.o.d"
+  "CMakeFiles/extra_dataflow.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/extra_dataflow.dir/ReachingDefs.cpp.o.d"
+  "libextra_dataflow.a"
+  "libextra_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_descriptions.dir/Descriptions.cpp.o"
+  "CMakeFiles/extra_descriptions.dir/Descriptions.cpp.o.d"
+  "libextra_descriptions.a"
+  "libextra_descriptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_descriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libextra_descriptions.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_interp.dir/Interp.cpp.o"
+  "CMakeFiles/extra_interp.dir/Interp.cpp.o.d"
+  "libextra_interp.a"
+  "libextra_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

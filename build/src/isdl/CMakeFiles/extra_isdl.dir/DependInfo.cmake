@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isdl/AST.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/AST.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/AST.cpp.o.d"
+  "/root/repo/src/isdl/Equiv.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/Equiv.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/Equiv.cpp.o.d"
+  "/root/repo/src/isdl/Lexer.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/Lexer.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/Lexer.cpp.o.d"
+  "/root/repo/src/isdl/Parser.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/Parser.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/Parser.cpp.o.d"
+  "/root/repo/src/isdl/Printer.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/Printer.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/Printer.cpp.o.d"
+  "/root/repo/src/isdl/Traverse.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/Traverse.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/Traverse.cpp.o.d"
+  "/root/repo/src/isdl/Validate.cpp" "src/isdl/CMakeFiles/extra_isdl.dir/Validate.cpp.o" "gcc" "src/isdl/CMakeFiles/extra_isdl.dir/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/extra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_isdl.dir/AST.cpp.o"
+  "CMakeFiles/extra_isdl.dir/AST.cpp.o.d"
+  "CMakeFiles/extra_isdl.dir/Equiv.cpp.o"
+  "CMakeFiles/extra_isdl.dir/Equiv.cpp.o.d"
+  "CMakeFiles/extra_isdl.dir/Lexer.cpp.o"
+  "CMakeFiles/extra_isdl.dir/Lexer.cpp.o.d"
+  "CMakeFiles/extra_isdl.dir/Parser.cpp.o"
+  "CMakeFiles/extra_isdl.dir/Parser.cpp.o.d"
+  "CMakeFiles/extra_isdl.dir/Printer.cpp.o"
+  "CMakeFiles/extra_isdl.dir/Printer.cpp.o.d"
+  "CMakeFiles/extra_isdl.dir/Traverse.cpp.o"
+  "CMakeFiles/extra_isdl.dir/Traverse.cpp.o.d"
+  "CMakeFiles/extra_isdl.dir/Validate.cpp.o"
+  "CMakeFiles/extra_isdl.dir/Validate.cpp.o.d"
+  "libextra_isdl.a"
+  "libextra_isdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_isdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_sim.dir/Sim370.cpp.o"
+  "CMakeFiles/extra_sim.dir/Sim370.cpp.o.d"
+  "CMakeFiles/extra_sim.dir/Sim8086.cpp.o"
+  "CMakeFiles/extra_sim.dir/Sim8086.cpp.o.d"
+  "CMakeFiles/extra_sim.dir/SimCommon.cpp.o"
+  "CMakeFiles/extra_sim.dir/SimCommon.cpp.o.d"
+  "CMakeFiles/extra_sim.dir/SimVax.cpp.o"
+  "CMakeFiles/extra_sim.dir/SimVax.cpp.o.d"
+  "libextra_sim.a"
+  "libextra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

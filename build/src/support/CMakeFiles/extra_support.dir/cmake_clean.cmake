@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/extra_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/extra_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/extra_support.dir/StringUtil.cpp.o.d"
+  "libextra_support.a"
+  "libextra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

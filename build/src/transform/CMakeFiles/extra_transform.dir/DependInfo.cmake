@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/AugmentTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/AugmentTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/AugmentTransforms.cpp.o.d"
+  "/root/repo/src/transform/CodeMotionTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/CodeMotionTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/CodeMotionTransforms.cpp.o.d"
+  "/root/repo/src/transform/ConstraintTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/ConstraintTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/ConstraintTransforms.cpp.o.d"
+  "/root/repo/src/transform/GlobalTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/GlobalTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/GlobalTransforms.cpp.o.d"
+  "/root/repo/src/transform/LocalTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/LocalTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/LocalTransforms.cpp.o.d"
+  "/root/repo/src/transform/LoopTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/LoopTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/LoopTransforms.cpp.o.d"
+  "/root/repo/src/transform/RoutineTransforms.cpp" "src/transform/CMakeFiles/extra_transform.dir/RoutineTransforms.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/RoutineTransforms.cpp.o.d"
+  "/root/repo/src/transform/RuleHelpers.cpp" "src/transform/CMakeFiles/extra_transform.dir/RuleHelpers.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/RuleHelpers.cpp.o.d"
+  "/root/repo/src/transform/ScriptIO.cpp" "src/transform/CMakeFiles/extra_transform.dir/ScriptIO.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/ScriptIO.cpp.o.d"
+  "/root/repo/src/transform/Transform.cpp" "src/transform/CMakeFiles/extra_transform.dir/Transform.cpp.o" "gcc" "src/transform/CMakeFiles/extra_transform.dir/Transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isdl/CMakeFiles/extra_isdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/extra_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/extra_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/extra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

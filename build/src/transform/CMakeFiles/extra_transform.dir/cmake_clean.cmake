@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_transform.dir/AugmentTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/AugmentTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/CodeMotionTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/CodeMotionTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/ConstraintTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/ConstraintTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/GlobalTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/GlobalTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/LocalTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/LocalTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/LoopTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/LoopTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/RoutineTransforms.cpp.o"
+  "CMakeFiles/extra_transform.dir/RoutineTransforms.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/RuleHelpers.cpp.o"
+  "CMakeFiles/extra_transform.dir/RuleHelpers.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/ScriptIO.cpp.o"
+  "CMakeFiles/extra_transform.dir/ScriptIO.cpp.o.d"
+  "CMakeFiles/extra_transform.dir/Transform.cpp.o"
+  "CMakeFiles/extra_transform.dir/Transform.cpp.o.d"
+  "libextra_transform.a"
+  "libextra_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

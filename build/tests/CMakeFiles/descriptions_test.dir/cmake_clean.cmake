@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptions_test.dir/descriptions_test.cpp.o"
+  "CMakeFiles/descriptions_test.dir/descriptions_test.cpp.o.d"
+  "descriptions_test"
+  "descriptions_test.pdb"
+  "descriptions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

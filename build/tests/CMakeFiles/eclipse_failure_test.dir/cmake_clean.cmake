@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_failure_test.dir/eclipse_failure_test.cpp.o"
+  "CMakeFiles/eclipse_failure_test.dir/eclipse_failure_test.cpp.o.d"
+  "eclipse_failure_test"
+  "eclipse_failure_test.pdb"
+  "eclipse_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_ast_test.dir/isdl_ast_test.cpp.o"
+  "CMakeFiles/isdl_ast_test.dir/isdl_ast_test.cpp.o.d"
+  "isdl_ast_test"
+  "isdl_ast_test.pdb"
+  "isdl_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

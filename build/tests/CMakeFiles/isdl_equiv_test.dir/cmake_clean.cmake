@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_equiv_test.dir/isdl_equiv_test.cpp.o"
+  "CMakeFiles/isdl_equiv_test.dir/isdl_equiv_test.cpp.o.d"
+  "isdl_equiv_test"
+  "isdl_equiv_test.pdb"
+  "isdl_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

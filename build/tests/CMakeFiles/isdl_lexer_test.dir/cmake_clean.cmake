@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_lexer_test.dir/isdl_lexer_test.cpp.o"
+  "CMakeFiles/isdl_lexer_test.dir/isdl_lexer_test.cpp.o.d"
+  "isdl_lexer_test"
+  "isdl_lexer_test.pdb"
+  "isdl_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_parser_test.dir/isdl_parser_test.cpp.o"
+  "CMakeFiles/isdl_parser_test.dir/isdl_parser_test.cpp.o.d"
+  "isdl_parser_test"
+  "isdl_parser_test.pdb"
+  "isdl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_printer_test.dir/isdl_printer_test.cpp.o"
+  "CMakeFiles/isdl_printer_test.dir/isdl_printer_test.cpp.o.d"
+  "isdl_printer_test"
+  "isdl_printer_test.pdb"
+  "isdl_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

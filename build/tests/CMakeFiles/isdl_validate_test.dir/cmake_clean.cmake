@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_validate_test.dir/isdl_validate_test.cpp.o"
+  "CMakeFiles/isdl_validate_test.dir/isdl_validate_test.cpp.o.d"
+  "isdl_validate_test"
+  "isdl_validate_test.pdb"
+  "isdl_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

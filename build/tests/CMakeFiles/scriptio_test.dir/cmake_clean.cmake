@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scriptio_test.dir/scriptio_test.cpp.o"
+  "CMakeFiles/scriptio_test.dir/scriptio_test.cpp.o.d"
+  "scriptio_test"
+  "scriptio_test.pdb"
+  "scriptio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scriptio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripts_files_test.dir/scripts_files_test.cpp.o"
+  "CMakeFiles/scripts_files_test.dir/scripts_files_test.cpp.o.d"
+  "scripts_files_test"
+  "scripts_files_test.pdb"
+  "scripts_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripts_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

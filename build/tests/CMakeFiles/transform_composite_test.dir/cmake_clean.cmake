@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_composite_test.dir/transform_composite_test.cpp.o"
+  "CMakeFiles/transform_composite_test.dir/transform_composite_test.cpp.o.d"
+  "transform_composite_test"
+  "transform_composite_test.pdb"
+  "transform_composite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_composite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

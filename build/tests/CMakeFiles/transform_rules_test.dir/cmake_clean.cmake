@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_rules_test.dir/transform_rules_test.cpp.o"
+  "CMakeFiles/transform_rules_test.dir/transform_rules_test.cpp.o.d"
+  "transform_rules_test"
+  "transform_rules_test.pdb"
+  "transform_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/isdl_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/isdl_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/isdl_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/isdl_ast_test[1]_include.cmake")
+include("/root/repo/build/tests/isdl_equiv_test[1]_include.cmake")
+include("/root/repo/build/tests/isdl_validate_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_composite_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/eclipse_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/descriptions_test[1]_include.cmake")
+include("/root/repo/build/tests/scriptio_test[1]_include.cmake")
+include("/root/repo/build/tests/scripts_files_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[ScriptFilesTest.AllShippedScriptsMatchTheBuiltInDerivations]=]  /root/repo/build/tests/scripts_files_test [==[--gtest_filter=ScriptFilesTest.AllShippedScriptsMatchTheBuiltInDerivations]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ScriptFilesTest.AllShippedScriptsMatchTheBuiltInDerivations]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  scripts_files_test_TESTS ScriptFilesTest.AllShippedScriptsMatchTheBuiltInDerivations)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra-cli.dir/extra-cli.cpp.o"
+  "CMakeFiles/extra-cli.dir/extra-cli.cpp.o.d"
+  "extra-cli"
+  "extra-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
