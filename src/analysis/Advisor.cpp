@@ -117,7 +117,9 @@ const char *ZeroArgRules[] = {
     "sink-common-tail", "rel-shift-const", "fold-const-chain",
 };
 
-std::vector<Step> candidates(const Description &Current) {
+} // namespace
+
+std::vector<Step> analysis::candidateSteps(const Description &Current) {
   std::vector<Step> Out;
   for (const char *R : ZeroArgRules)
     Out.push_back(Step{R, "", {}});
@@ -178,15 +180,13 @@ std::vector<Step> candidates(const Description &Current) {
   return Out;
 }
 
-} // namespace
-
 std::vector<Suggestion> analysis::suggestSteps(const Description &Current,
                                                const Description &Target,
                                                unsigned MaxSuggestions) {
   std::vector<Suggestion> Improving, Other;
   unsigned Baseline = structuralDistance(Current, Target);
 
-  for (Step &S : candidates(Current)) {
+  for (Step &S : candidateSteps(Current)) {
     transform::Engine Scratch(Current.clone());
     transform::ApplyResult R = Scratch.apply(S);
     if (!R.Applied)

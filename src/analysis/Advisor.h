@@ -54,6 +54,12 @@ std::vector<Suggestion> suggestSteps(const isdl::Description &Current,
                                      const isdl::Description &Target,
                                      unsigned MaxSuggestions = 8);
 
+/// The raw candidate pool `suggestSteps` draws from: plausible Steps with
+/// heuristically generated arguments, *before* any applicability check.
+/// The autonomous searcher (src/search) widens this pool further; it is
+/// exposed so both layers enumerate from one place.
+std::vector<transform::Step> candidateSteps(const isdl::Description &Current);
+
 } // namespace analysis
 } // namespace extra
 

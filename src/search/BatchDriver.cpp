@@ -1,0 +1,95 @@
+//===- BatchDriver.cpp - Parallel discovery over many cases -----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/BatchDriver.h"
+
+#include "analysis/Derivations.h"
+#include "transform/Transform.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace extra;
+using namespace extra::search;
+
+std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
+                                          const BatchOptions &Opts,
+                                          BatchStats *Stats) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+
+  std::vector<BatchResult> Results(Cases.size());
+  for (size_t I = 0; I < Cases.size(); ++I)
+    Results[I].Case = Cases[I];
+
+  unsigned Threads = Opts.Threads;
+  if (Threads == 0)
+    Threads = std::max(2u, std::thread::hardware_concurrency());
+  if (Cases.size() < Threads)
+    Threads = static_cast<unsigned>(Cases.size());
+
+  // Force the lazily initialized globals (rule registry) into existence
+  // before workers start; every later access is then read-only.
+  (void)transform::Registry::instance();
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&]() {
+    for (size_t I = Next.fetch_add(1); I < Cases.size();
+         I = Next.fetch_add(1)) {
+      const BatchCase &C = Cases[I];
+      Results[I].Discovery =
+          discoverAndVerify(C.OperatorId, C.InstructionId, Opts.Limits, C.M);
+    }
+  };
+
+  if (Threads <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  if (Stats) {
+    *Stats = BatchStats();
+    Stats->Cases = static_cast<unsigned>(Cases.size());
+    Stats->ThreadsUsed = std::max(1u, Threads);
+    for (const BatchResult &R : Results) {
+      Stats->Discovered += R.Discovery.Outcome.Found ? 1 : 0;
+      Stats->Verified += R.Discovery.Verified ? 1 : 0;
+      Stats->NodesExpanded += R.Discovery.Outcome.Stats.NodesExpanded;
+      Stats->HashHits += R.Discovery.Outcome.Stats.HashHits;
+      Stats->DeadEnds += R.Discovery.Outcome.Stats.DeadEnds;
+    }
+    Stats->WallMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count();
+  }
+  return Results;
+}
+
+std::vector<BatchCase> search::libraryCases() {
+  std::vector<BatchCase> Out;
+  auto FromCase = [&Out](const analysis::AnalysisCase &C) {
+    BatchCase B;
+    B.Id = C.Id;
+    B.OperatorId = C.OperatorId;
+    B.InstructionId = C.InstructionId;
+    B.M = C.RequiresExtension ? analysis::Mode::Extension
+                              : analysis::Mode::Base;
+    Out.push_back(std::move(B));
+  };
+  for (const analysis::AnalysisCase &C : analysis::table2Cases())
+    FromCase(C);
+  for (const analysis::AnalysisCase &C : analysis::extendedCases())
+    FromCase(C);
+  FromCase(analysis::movc3SassignCase());
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- BatchDriver.h - Parallel discovery over many cases -------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs autonomous derivation searches for many operator/instruction
+/// pairs concurrently. Descriptions are value types and every search is
+/// self-contained, so cases are embarrassingly parallel: a std::thread
+/// worker pool claims case indices from an atomic counter and writes
+/// results into pre-sized slots. Results are bitwise independent of the
+/// thread count and of scheduling — each search is deterministic and
+/// shares no mutable state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SEARCH_BATCHDRIVER_H
+#define EXTRA_SEARCH_BATCHDRIVER_H
+
+#include "search/Searcher.h"
+
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace search {
+
+/// One pairing to discover, named by description-library ids (the
+/// recorded derivation scripts are never consulted).
+struct BatchCase {
+  std::string Id; ///< Report label, conventionally "<inst-id>/<op-id>".
+  std::string OperatorId;
+  std::string InstructionId;
+  analysis::Mode M = analysis::Mode::Base;
+};
+
+/// Worker-pool configuration.
+struct BatchOptions {
+  /// Worker threads; 0 selects std::thread::hardware_concurrency (at
+  /// least 2 so the batch path is always exercised concurrently).
+  unsigned Threads = 0;
+  SearchLimits Limits;
+};
+
+/// The outcome of one batch entry.
+struct BatchResult {
+  BatchCase Case;
+  DiscoveryResult Discovery;
+};
+
+/// Aggregated counters for one batch run.
+struct BatchStats {
+  unsigned Cases = 0;
+  unsigned Discovered = 0; ///< Searches that reached common form.
+  unsigned Verified = 0;   ///< Discoveries surviving the full replay.
+  unsigned ThreadsUsed = 0;
+  uint64_t NodesExpanded = 0;
+  uint64_t HashHits = 0;
+  uint64_t DeadEnds = 0;
+  double WallMs = 0; ///< Batch wall time (not the per-case sum).
+};
+
+/// Runs every case, in parallel, and returns results in input order.
+std::vector<BatchResult> runBatch(const std::vector<BatchCase> &Cases,
+                                  const BatchOptions &Opts,
+                                  BatchStats *Stats = nullptr);
+
+/// All recorded analysis pairings (Table 2, the extended cases, and the
+/// §4.3 movc3 case) as BatchCases — ids and modes only; the searcher
+/// rediscovers the scripts from scratch.
+std::vector<BatchCase> libraryCases();
+
+} // namespace search
+} // namespace extra
+
+#endif // EXTRA_SEARCH_BATCHDRIVER_H

@@ -1,0 +1,481 @@
+//===- Searcher.cpp - Autonomous derivation-script discovery ----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Searcher.h"
+
+#include "analysis/Advisor.h"
+#include "analysis/DiffCheck.h"
+#include "descriptions/Descriptions.h"
+#include "isdl/Equiv.h"
+#include "isdl/Traverse.h"
+#include "search/Canon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+using namespace extra;
+using namespace extra::search;
+using namespace extra::isdl;
+using transform::Script;
+using transform::Step;
+
+//===----------------------------------------------------------------------===//
+// Candidate enumeration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Simplification rules worth trying with no arguments that the advisor's
+/// interactive pool leaves out (the advisor optimizes for few, plausible
+/// suggestions; the searcher wants coverage).
+const char *ExtraZeroArgRules[] = {
+    "fold-not",  "fold-neg", "fold-add",  "fold-sub",
+    "fold-mul",  "fold-div", "fold-and",  "fold-or",
+    "fold-compare", "and-true", "or-true", "mul-zero",
+    "neg-neg",   "add-zero", "sub-zero",  "sub-self",
+    "mul-one",   "and-false", "or-false", "exit-when-false-elim",
+};
+
+/// Zero-arg rules that are worth retrying scoped to each non-entry
+/// routine (the engine's default routine is the entry; flag pinning often
+/// leaves foldable conditionals inside access routines, cf. the movsb
+/// `fetch` cleanup).
+const char *PerRoutineRules[] = {
+    "if-false-elim", "if-true-elim", "if-not-elim", "fold-not",
+    "not-not",       "empty-if-elim", "and-true",   "and-false",
+    "or-false",      "or-true",       "exit-when-false-elim",
+};
+
+/// Simplification rules driven to a fixed point after pinning an operand
+/// (the closure half of the pin-and-simplify macro move below). Every
+/// rule here strictly shrinks the description or removes a `not`, so the
+/// closure terminates.
+const char *ClosureRules[] = {
+    "fold-not",      "fold-neg",      "fold-add",
+    "fold-sub",      "fold-mul",      "fold-div",
+    "fold-and",      "fold-or",       "fold-compare",
+    "not-not",       "and-true",      "and-false",
+    "or-true",       "or-false",      "add-zero",
+    "sub-zero",      "mul-one",       "mul-zero",
+    "neg-neg",       "if-true-elim",  "if-false-elim",
+    "if-not-elim",   "empty-if-elim", "exit-when-false-elim",
+    "dead-loop-elim",
+};
+
+/// The entry routine's input statement, or null.
+const InputStmt *entryInput(const Description &D) {
+  const Routine *Entry = D.entryRoutine();
+  if (!Entry)
+    return nullptr;
+  for (const StmtPtr &S : Entry->Body)
+    if (const auto *In = dyn_cast<InputStmt>(S.get()))
+      return In;
+  return nullptr;
+}
+
+/// True when the entry routine contains an output statement at any depth.
+bool hasOutput(const Description &D) {
+  const Routine *Entry = D.entryRoutine();
+  if (!Entry)
+    return false;
+  bool Found = false;
+  forEachStmt(Entry->Body, [&](const Stmt &S) {
+    if (isa<OutputStmt>(&S))
+      Found = true;
+  });
+  return Found;
+}
+
+void permutations(size_t N, std::vector<std::string> &Out) {
+  std::vector<size_t> Idx(N);
+  for (size_t I = 0; I < N; ++I)
+    Idx[I] = I;
+  do {
+    bool Identity = true;
+    std::string Text;
+    for (size_t I = 0; I < N; ++I) {
+      Identity = Identity && Idx[I] == I;
+      if (I)
+        Text += ',';
+      Text += std::to_string(Idx[I]);
+    }
+    if (!Identity)
+      Out.push_back(Text);
+  } while (std::next_permutation(Idx.begin(), Idx.end()));
+}
+
+} // namespace
+
+std::vector<Step> search::enumerateCandidates(const Description &Current,
+                                              const Description &Other) {
+  // The advisor's interactive pool is the base layer.
+  std::vector<Step> Out = analysis::candidateSteps(Current);
+
+  for (const char *R : ExtraZeroArgRules)
+    Out.push_back(Step{R, "", {}});
+
+  // Re-scope cleanup rules to every non-entry routine.
+  const Routine *Entry = Current.entryRoutine();
+  for (const Routine *R : Current.routines()) {
+    if (R == Entry)
+      continue;
+    for (const char *Rule : PerRoutineRules)
+      Out.push_back(Step{Rule, R->Name, {}});
+  }
+
+  // Operand pinning over *every* input operand (the advisor pins flags
+  // only; movc5/stosb-style derivations pin counts and fill bytes too).
+  if (const InputStmt *In = entryInput(Current))
+    for (const std::string &Operand : In->getTargets())
+      for (const char *Value : {"0", "1"})
+        Out.push_back(Step{
+            "fix-operand-value", "", {{"operand", Operand}, {"value", Value}}});
+
+  // Input permutations: operand binding is positional, so operand order
+  // is part of the interface. Arity stays tiny (<= 4 in the library), so
+  // the full permutation group is affordable.
+  if (const InputStmt *In = entryInput(Current)) {
+    size_t N = In->getTargets().size();
+    if (N >= 2 && N <= 4) {
+      std::vector<std::string> Orders;
+      permutations(N, Orders);
+      for (const std::string &Order : Orders)
+        Out.push_back(Step{"permute-inputs", "", {{"order", Order}}});
+    }
+  }
+
+  // Dropping raw machine-state outputs, aimed: only proposed when the
+  // other side computes no result.
+  if (hasOutput(Current) && !hasOutput(Other))
+    Out.push_back(Step{"replace-output", "", {{"code", "none"}}});
+
+  // Occurrence-parameterized rewrites.
+  for (const char *Occ : {"0", "1", "2"}) {
+    Out.push_back(Step{"swap-relational-operands", "", {{"occurrence", Occ}}});
+    Out.push_back(Step{"reverse-conditional", "", {{"occurrence", Occ}}});
+    for (const char *Op : {"+", "*"})
+      Out.push_back(
+          Step{"swap-commutative", "", {{"op", Op}, {"occurrence", Occ}}});
+  }
+
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Beam search over two-sided states
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Node {
+  Description Op, Inst;
+  uint64_t FpOp = 0, FpInst = 0;
+  Script OpScript, InstScript;
+  constraint::ConstraintSet Constraints;
+  unsigned Distance = 0;
+};
+
+/// Shared mutable context of one searchDerivation call.
+struct SearchContext {
+  const SearchLimits &Limits;
+  SearchStats Stats;
+  Clock::time_point Deadline;
+  analysis::DiffOptions VerifyOpts;
+
+  bool exhausted() {
+    if (Stats.NodesExpanded >= Limits.MaxNodes ||
+        Clock::now() >= Deadline) {
+      Stats.BudgetExhausted = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Applies cleanup rules to a fixed point, recording each applied step.
+/// The scan restarts from the head of the rule list after every success,
+/// so the order is deterministic. Bounded as a backstop; in practice the
+/// closure converges in a handful of steps.
+void simplifyToFixpoint(transform::Engine &E, Script &Recorded) {
+  const unsigned MaxSteps = 24;
+  for (unsigned Count = 0; Count < MaxSteps;) {
+    bool Progress = false;
+    for (const char *Rule : ClosureRules) {
+      Step S{Rule, "", {}};
+      if (E.apply(S).Applied) {
+        Recorded.push_back(std::move(S));
+        ++Count;
+        Progress = true;
+        break;
+      }
+    }
+    if (Progress)
+      continue;
+    // Snapshot names up front: Engine::apply rebuilds the description,
+    // so Routine pointers do not survive even a failed attempt.
+    std::vector<std::string> Names;
+    {
+      const Routine *Entry = E.current().entryRoutine();
+      for (const Routine *R : E.current().routines())
+        if (R != Entry)
+          Names.push_back(R->Name);
+    }
+    for (const std::string &Name : Names) {
+      for (const char *Rule : PerRoutineRules) {
+        Step S{Rule, Name, {}};
+        if (E.apply(S).Applied) {
+          Recorded.push_back(std::move(S));
+          ++Count;
+          Progress = true;
+          break;
+        }
+      }
+      if (Progress)
+        break;
+    }
+    if (!Progress)
+      return;
+  }
+}
+
+/// The pin-and-simplify macro move: after `fix-operand-value` succeeds,
+/// chain the pinned operand's natural aftermath — constant propagation,
+/// fold/branch cleanup to a fixed point, and dead-code removal — into
+/// the same search child. Recorded derivations show progress comes in
+/// exactly these bursts, and the intermediate states score *worse* on
+/// the structural distance than their parent (pinning rf in stosb goes
+/// 45 -> 46 -> 47 -> 46 before if-false-elim pays off at 17), so a
+/// one-step-per-ply beam discards the whole valley. Every chained step
+/// still runs through the engine's verifier and is recorded in the
+/// script, so replay and differential checking see ordinary steps.
+void pinAndSimplify(transform::Engine &E, const Step &Fix, Script &Recorded) {
+  auto It = Fix.Args.find("operand");
+  if (It == Fix.Args.end())
+    return;
+  const std::string &Pinned = It->second;
+
+  Step Gcp{"global-constant-propagate", "", {{"var", Pinned}}};
+  if (E.apply(Gcp).Applied)
+    Recorded.push_back(std::move(Gcp));
+  simplifyToFixpoint(E, Recorded);
+
+  Step DeadAssign{"dead-assign-elim", "", {{"var", Pinned}}};
+  if (E.apply(DeadAssign).Applied) {
+    Recorded.push_back(std::move(DeadAssign));
+    Step DeadDecl{"dead-decl-elim", "", {{"var", Pinned}}};
+    if (E.apply(DeadDecl).Applied)
+      Recorded.push_back(std::move(DeadDecl));
+    simplifyToFixpoint(E, Recorded);
+  }
+}
+
+/// Confirms a fingerprint-equal state and assembles the success outcome.
+bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out) {
+  ++Ctx.Stats.GoalChecks;
+  MatchResult Match = matchDescriptions(N.Op, N.Inst);
+  if (!Match.Matched)
+    return false; // Fingerprint collision; keep searching.
+  Out.Found = true;
+  Out.OperatorScript = N.OpScript;
+  Out.InstructionScript = N.InstScript;
+  Out.Binding = Match.Binding;
+  Out.Constraints = N.Constraints;
+  analysis::deriveBindingConstraints(N.Op, N.Inst, Match.Binding,
+                                     Out.Constraints);
+  return true;
+}
+
+/// One beam round at a fixed width. Returns true when a derivation was
+/// found (Out filled in); false on exhaustion of the beam or budgets.
+bool beamRound(const Description &Operator, const Description &Instruction,
+               unsigned Width, SearchContext &Ctx, SearchOutcome &Out) {
+  Node Root;
+  Root.Op = Operator.clone();
+  Root.Inst = Instruction.clone();
+  Root.FpOp = fingerprint(Root.Op);
+  Root.FpInst = fingerprint(Root.Inst);
+  Root.Distance = analysis::structuralDistance(Root.Op, Root.Inst);
+  if (Root.FpOp == Root.FpInst && confirmGoal(Root, Ctx, Out))
+    return true;
+
+  std::unordered_set<uint64_t> Seen;
+  Seen.insert(pairKey(Root.FpOp, Root.FpInst));
+
+  std::vector<Node> Frontier;
+  Frontier.push_back(std::move(Root));
+
+  for (unsigned Depth = 1; Depth <= Ctx.Limits.MaxDepth; ++Depth) {
+    std::vector<Node> Children;
+    for (Node &N : Frontier) {
+      if (Ctx.exhausted())
+        return false;
+      ++Ctx.Stats.NodesExpanded;
+
+      for (int Side = 0; Side < 2; ++Side) {
+        const Description &Cur = Side == 0 ? N.Op : N.Inst;
+        const Description &Oth = Side == 0 ? N.Inst : N.Op;
+        for (Step &S : enumerateCandidates(Cur, Oth)) {
+          ++Ctx.Stats.CandidatesTried;
+
+          // fix-operand-value additionally spawns a pin-and-simplify
+          // macro child (Variant 1); the plain child stays in the pool
+          // so no single-step path is lost.
+          int Variants = S.Rule == "fix-operand-value" ? 2 : 1;
+          for (int Variant = 0; Variant < Variants; ++Variant) {
+
+          // Apply on a scratch engine; the engine checks the rule's own
+          // applicability conditions, and the verifier hook differentially
+          // tests the step on a few random inputs.
+          transform::Engine Scratch(Cur.clone());
+          if (Ctx.Limits.VerifyTrials > 0)
+            Scratch.setVerifier(analysis::makeStepVerifier(
+                Scratch.constraints(), Ctx.VerifyOpts));
+          transform::ApplyResult R = Scratch.apply(S);
+          if (!R.Applied) {
+            ++Ctx.Stats.DeadEnds;
+            break; // The macro variant would fail identically.
+          }
+          Script AppliedSteps{S};
+          if (Variant == 1)
+            pinAndSimplify(Scratch, S, AppliedSteps);
+
+          Description NewDesc = Scratch.takeDescription();
+          uint64_t NewFp = fingerprint(NewDesc);
+          uint64_t Key = Side == 0 ? pairKey(NewFp, N.FpInst)
+                                   : pairKey(N.FpOp, NewFp);
+          if (!Seen.insert(Key).second) {
+            ++Ctx.Stats.HashHits;
+            continue;
+          }
+          ++Ctx.Stats.NodesGenerated;
+
+          Node Child;
+          if (Side == 0) {
+            Child.Op = std::move(NewDesc);
+            Child.Inst = N.Inst.clone();
+            Child.FpOp = NewFp;
+            Child.FpInst = N.FpInst;
+          } else {
+            Child.Op = N.Op.clone();
+            Child.Inst = std::move(NewDesc);
+            Child.FpOp = N.FpOp;
+            Child.FpInst = NewFp;
+          }
+          Child.OpScript = N.OpScript;
+          Child.InstScript = N.InstScript;
+          {
+            Script &Out = Side == 0 ? Child.OpScript : Child.InstScript;
+            Out.insert(Out.end(), AppliedSteps.begin(), AppliedSteps.end());
+          }
+          Child.Constraints = N.Constraints;
+          for (const constraint::Constraint &C :
+               Scratch.constraints().items())
+            Child.Constraints.add(C);
+          Child.Distance =
+              analysis::structuralDistance(Child.Op, Child.Inst);
+
+          if (Child.FpOp == Child.FpInst && confirmGoal(Child, Ctx, Out))
+            return true;
+          Children.push_back(std::move(Child));
+
+          } // Variant
+        }
+      }
+    }
+
+    if (Children.empty())
+      return false;
+    // Keep the Width structurally closest states; stable sort preserves
+    // generation order among ties, keeping the search deterministic.
+    std::stable_sort(Children.begin(), Children.end(),
+                     [](const Node &A, const Node &B) {
+                       return A.Distance < B.Distance;
+                     });
+    if (Children.size() > Width)
+      Children.resize(Width);
+    Frontier = std::move(Children);
+  }
+  return false;
+}
+
+} // namespace
+
+SearchOutcome search::searchDerivation(const Description &Operator,
+                                       const Description &Instruction,
+                                       const SearchLimits &Limits) {
+  SearchOutcome Out;
+  SearchContext Ctx{Limits,
+                    SearchStats(),
+                    Clock::now() + std::chrono::milliseconds(
+                                       Limits.TimeBudgetMs),
+                    analysis::DiffOptions()};
+  Ctx.VerifyOpts.Trials = Limits.VerifyTrials;
+
+  Clock::time_point Start = Clock::now();
+  unsigned Width = std::max(1u, Limits.BeamWidth);
+  unsigned LastWidth = Width;
+  bool Found = false;
+  for (unsigned Round = 0; Round <= Limits.Widenings; ++Round) {
+    ++Ctx.Stats.Rounds;
+    LastWidth = Width;
+    Found = beamRound(Operator, Instruction, Width, Ctx, Out);
+    if (Found || Ctx.Stats.BudgetExhausted)
+      break;
+    Width *= 2;
+  }
+  Ctx.Stats.WallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start)
+          .count();
+
+  if (!Found) {
+    Out.Found = false;
+    Out.FailureReason =
+        Ctx.Stats.BudgetExhausted
+            ? "search budget exhausted (" +
+                  std::to_string(Ctx.Stats.NodesExpanded) +
+                  " nodes expanded)"
+            : "search space exhausted within depth " +
+                  std::to_string(Limits.MaxDepth) + " at beam width " +
+                  std::to_string(LastWidth);
+  }
+  Out.Stats = Ctx.Stats;
+  return Out;
+}
+
+DiscoveryResult search::discoverAndVerify(const std::string &OperatorId,
+                                          const std::string &InstructionId,
+                                          const SearchLimits &Limits,
+                                          analysis::Mode M) {
+  DiscoveryResult Result;
+  auto Operator = descriptions::load(OperatorId);
+  auto Instruction = descriptions::load(InstructionId);
+  if (!Operator || !Instruction) {
+    Result.Outcome.FailureReason = "cannot load descriptions '" + OperatorId +
+                                   "' / '" + InstructionId + "'";
+    return Result;
+  }
+
+  Result.Outcome = searchDerivation(*Operator, *Instruction, Limits);
+  if (!Result.Outcome.Found)
+    return Result;
+
+  // Re-verify the discovered derivation through the full analysis driver:
+  // per-step differential checks at full trial counts, the common-form
+  // match, binding-derived constraints, and the end-to-end check of the
+  // original operator against the augmented instruction.
+  analysis::AnalysisCase Case;
+  Case.Id = InstructionId + "/" + OperatorId;
+  Case.OperatorId = OperatorId;
+  Case.InstructionId = InstructionId;
+  Case.OperatorScript = Result.Outcome.OperatorScript;
+  Case.InstructionScript = Result.Outcome.InstructionScript;
+  Result.Replay = analysis::runAnalysis(Case, M);
+  Result.Verified = Result.Replay.Succeeded;
+  return Result;
+}

@@ -1,0 +1,141 @@
+//===- Searcher.h - Autonomous derivation-script discovery ------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's headline future work (§7): "methods should be developed to
+/// structure the analysis and to help the user in deciding how the
+/// analysis should proceed." Where analysis::suggestSteps ranks a single
+/// next step for an interactive user, this module closes the loop: given
+/// only an operator description, an instruction description, and budgets,
+/// it searches the space of transform::Steps until the two sides reach
+/// common form, emitting a verified derivation Script for each side plus
+/// the uncovered constraints — no recorded script consulted.
+///
+/// The search is an iteratively *widening* beam search over two-sided
+/// states (a step may apply to either the operator or the instruction
+/// copy). Revisited states are pruned in O(1) through a transposition
+/// table keyed by the rename-invariant canonical fingerprint (Canon.h),
+/// so detours that differ only in fresh-name choices or step order
+/// collapse. Every applied candidate passes the engine's applicability
+/// checks and (optionally) a cheap per-node differential verification;
+/// a discovered script is then re-verified end to end through
+/// analysis::runAnalysis with full trial counts before being reported.
+///
+/// Hard wall-clock and node budgets bound every search: a search can
+/// fail, but it can never hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SEARCH_SEARCHER_H
+#define EXTRA_SEARCH_SEARCHER_H
+
+#include "analysis/Analysis.h"
+#include "transform/Transform.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace search {
+
+/// Budgets and shape knobs for one search. Defaults are sized so the
+/// short Table-2 derivations are found in well under a second.
+struct SearchLimits {
+  /// Maximum total steps across both sides of a candidate derivation.
+  unsigned MaxDepth = 20;
+  /// States kept per depth level in the first round.
+  unsigned BeamWidth = 8;
+  /// Extra rounds with doubled beam width when a round fails (iterative
+  /// widening; 0 = single round).
+  unsigned Widenings = 2;
+  /// Hard cap on expanded states across all rounds.
+  uint64_t MaxNodes = 60000;
+  /// Hard wall-clock budget across all rounds, in milliseconds.
+  uint64_t TimeBudgetMs = 60000;
+  /// Differential trials per applied candidate step (0 disables per-node
+  /// verification; the end-to-end replay still verifies fully).
+  unsigned VerifyTrials = 3;
+};
+
+/// Observability counters for one search (aggregated over widening
+/// rounds).
+struct SearchStats {
+  uint64_t NodesExpanded = 0;   ///< States whose candidates were generated.
+  uint64_t NodesGenerated = 0;  ///< Children that applied successfully.
+  uint64_t CandidatesTried = 0; ///< Candidate steps attempted.
+  uint64_t HashHits = 0;        ///< Transposition-table prunes.
+  uint64_t DeadEnds = 0;        ///< Candidates refused or failing verify.
+  uint64_t GoalChecks = 0;      ///< Full common-form confirmations run.
+  unsigned Rounds = 0;          ///< Beam rounds used (1 = no widening).
+  double WallMs = 0;            ///< Total wall time.
+  bool BudgetExhausted = false; ///< A hard budget stopped the search.
+
+  /// Fraction of generated-or-pruned children answered by the table.
+  double hashHitRate() const {
+    uint64_t Denom = NodesGenerated + HashHits;
+    return Denom ? static_cast<double>(HashHits) / Denom : 0.0;
+  }
+  /// Expansion throughput; 0 when no time elapsed.
+  double nodesPerSec() const {
+    return WallMs > 0 ? NodesExpanded * 1000.0 / WallMs : 0.0;
+  }
+};
+
+/// The discovered derivation (or the reason there is none).
+struct SearchOutcome {
+  bool Found = false;
+  std::string FailureReason;
+  transform::Script OperatorScript;
+  transform::Script InstructionScript;
+  /// Binding of the discovered common form.
+  isdl::NameBinding Binding;
+  /// Constraints recorded by the discovered steps plus register-size
+  /// ranges derived from the binding.
+  constraint::ConstraintSet Constraints;
+  SearchStats Stats;
+};
+
+/// Searches for a derivation proving \p Operator equivalent to
+/// \p Instruction. Deterministic: identical inputs and limits produce
+/// identical outcomes, regardless of where or how often it runs.
+SearchOutcome searchDerivation(const isdl::Description &Operator,
+                               const isdl::Description &Instruction,
+                               const SearchLimits &Limits = {});
+
+/// A search outcome re-verified end to end: the discovered scripts are
+/// replayed through analysis::runAnalysis (full differential trials,
+/// binding-constraint derivation, end-to-end operator check).
+struct DiscoveryResult {
+  SearchOutcome Outcome;
+  /// Valid when Outcome.Found: the full replay of the discovered
+  /// derivation.
+  analysis::AnalysisResult Replay;
+  /// True when the replay succeeded — the discovered scripts are proven.
+  bool Verified = false;
+};
+
+/// Searches by description-library ids and verifies the result through
+/// the analysis driver. The recorded derivation library is never
+/// consulted.
+DiscoveryResult discoverAndVerify(const std::string &OperatorId,
+                                  const std::string &InstructionId,
+                                  const SearchLimits &Limits = {},
+                                  analysis::Mode M = analysis::Mode::Base);
+
+/// The widened candidate pool: analysis::candidateSteps plus
+/// target-aware proposals (operand pinning over every input operand,
+/// input permutations, output replacement, occurrence-parameterized
+/// rewrites, and per-routine variants). \p Other is the description on
+/// the opposite side of the search, used only to aim proposals.
+std::vector<transform::Step>
+enumerateCandidates(const isdl::Description &Current,
+                    const isdl::Description &Other);
+
+} // namespace search
+} // namespace extra
+
+#endif // EXTRA_SEARCH_SEARCHER_H

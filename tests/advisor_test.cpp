@@ -30,6 +30,28 @@ TEST(StructuralDistanceTest, ZeroOnIdenticalAndRenamed) {
   EXPECT_EQ(structuralDistance(*A, E.current()), 0u);
 }
 
+TEST(StructuralDistanceTest, EmptyRoutineDescriptions) {
+  // Degenerate descriptions with an empty entry routine: the distance
+  // must be well-defined (no crash), zero against itself, and positive
+  // against any real description.
+  DiagnosticEngine Diags;
+  auto Empty = isdl::parseDescription(R"(
+e.op := begin
+  ** S **
+    e.execute := begin
+    end
+end
+)",
+                                      Diags);
+  ASSERT_TRUE(Empty && !Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(structuralDistance(*Empty, *Empty), 0u);
+
+  auto Real = descriptions::load("pc2.clear");
+  EXPECT_GT(structuralDistance(*Empty, *Real), 0u);
+  EXPECT_EQ(structuralDistance(*Empty, *Real),
+            structuralDistance(*Real, *Empty));
+}
+
 TEST(StructuralDistanceTest, SensitiveToStructure) {
   auto A = descriptions::load("rigel.index");
   auto B = descriptions::load("i8086.scasb");

@@ -1,0 +1,227 @@
+//===- search_test.cpp - Autonomous derivation search tests -----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/BatchDriver.h"
+#include "search/Canon.h"
+#include "search/Searcher.h"
+
+#include "analysis/Derivations.h"
+#include "descriptions/Descriptions.h"
+#include "isdl/Equiv.h"
+#include "transform/Transform.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace extra;
+using namespace extra::search;
+
+namespace {
+
+/// Sorted one-line renderings of a constraint set, for order-insensitive
+/// comparison between a discovered derivation and the recorded one.
+std::vector<std::string> constraintLines(const constraint::ConstraintSet &CS) {
+  std::vector<std::string> Out;
+  for (const constraint::Constraint &C : CS.items())
+    Out.push_back(C.str());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Applies a recorded script and returns the final description.
+isdl::Description runScript(const std::string &Id,
+                            const transform::Script &S) {
+  auto D = descriptions::load(Id);
+  EXPECT_TRUE(D) << Id;
+  transform::Engine E(std::move(*D));
+  std::string Error;
+  EXPECT_EQ(E.applyScript(S, &Error), S.size()) << Id << ": " << Error;
+  return E.takeDescription();
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(CanonTest, RenameInvariant) {
+  // The fingerprint abstracts names away: alpha-renaming a variable or a
+  // routine must not change it.
+  auto A = descriptions::load("rigel.index");
+  uint64_t Before = fingerprint(*A);
+
+  transform::Engine E(A->clone());
+  ASSERT_TRUE(E.apply({"rename-variable", "",
+                       {{"from", "Src.Length"}, {"to", "zz"}}})
+                  .Applied);
+  EXPECT_EQ(fingerprint(E.current()), Before);
+
+  ASSERT_TRUE(
+      E.apply({"rename-routine", "", {{"from", "read"}, {"to", "grab"}}})
+          .Applied);
+  EXPECT_EQ(fingerprint(E.current()), Before);
+}
+
+TEST(CanonTest, DistinguishesStructure) {
+  auto A = descriptions::load("pc2.clear");
+  auto B = descriptions::load("pc2.copy");
+  EXPECT_NE(fingerprint(*A), fingerprint(*B));
+}
+
+TEST(CanonTest, MatchedFinalFormsFingerprintEqual) {
+  // The goal test of the searcher rests on: matchable => equal
+  // fingerprints. Exercise it on every recorded derivation's final forms.
+  auto Check = [](const analysis::AnalysisCase &C) {
+    isdl::Description Op = runScript(C.OperatorId, C.OperatorScript);
+    isdl::Description Inst = runScript(C.InstructionId, C.InstructionScript);
+    ASSERT_TRUE(isdl::matchDescriptions(Op, Inst).Matched) << C.Id;
+    EXPECT_EQ(fingerprint(Op), fingerprint(Inst)) << C.Id;
+  };
+  for (const analysis::AnalysisCase &C : analysis::table2Cases())
+    Check(C);
+  for (const analysis::AnalysisCase &C : analysis::extendedCases())
+    Check(C);
+}
+
+TEST(CanonTest, PairKeyAsymmetric) {
+  uint64_t A = fingerprint(*descriptions::load("pc2.clear"));
+  uint64_t B = fingerprint(*descriptions::load("i8086.stosb"));
+  EXPECT_NE(pairKey(A, B), pairKey(B, A));
+  EXPECT_NE(pairKey(A, B), pairKey(A, A));
+}
+
+//===----------------------------------------------------------------------===//
+// Derivation discovery
+//===----------------------------------------------------------------------===//
+
+/// Discovery must match the recorded derivation's constraint set exactly
+/// (the scripts may differ — several step orders reach common form).
+void expectDiscoveryMatchesRecorded(const char *CaseId) {
+  const analysis::AnalysisCase *Recorded = analysis::findCase(CaseId);
+  ASSERT_NE(Recorded, nullptr) << CaseId;
+
+  SearchLimits Limits;
+  DiscoveryResult R = discoverAndVerify(Recorded->OperatorId,
+                                        Recorded->InstructionId, Limits);
+  ASSERT_TRUE(R.Outcome.Found) << CaseId << ": "
+                               << R.Outcome.FailureReason;
+  EXPECT_TRUE(R.Verified) << CaseId << ": " << R.Replay.FailureReason;
+
+  analysis::AnalysisResult Replay = analysis::runAnalysis(*Recorded);
+  ASSERT_TRUE(Replay.Succeeded) << CaseId;
+  EXPECT_EQ(constraintLines(R.Replay.Constraints),
+            constraintLines(Replay.Constraints))
+      << CaseId;
+
+  EXPECT_GT(R.Outcome.Stats.NodesExpanded, 0u);
+  EXPECT_GT(R.Outcome.Stats.WallMs, 0.0);
+  EXPECT_GE(R.Outcome.Stats.hashHitRate(), 0.0);
+  EXPECT_LE(R.Outcome.Stats.hashHitRate(), 1.0);
+}
+
+TEST(SearcherTest, DiscoversMovc3Pc2Copy) {
+  expectDiscoveryMatchesRecorded("vax.movc3/pc2.copy");
+}
+
+TEST(SearcherTest, DiscoversStosbPc2Clear) {
+  expectDiscoveryMatchesRecorded("i8086.stosb/pc2.clear");
+}
+
+TEST(SearcherTest, DiscoversMovc5Pc2Clear) {
+  expectDiscoveryMatchesRecorded("vax.movc5/pc2.clear");
+}
+
+TEST(SearcherTest, TrivialSelfPairSucceedsImmediately) {
+  auto D = descriptions::load("pc2.clear");
+  SearchOutcome Out = searchDerivation(*D, *D, SearchLimits());
+  ASSERT_TRUE(Out.Found);
+  EXPECT_TRUE(Out.OperatorScript.empty());
+  EXPECT_TRUE(Out.InstructionScript.empty());
+}
+
+TEST(SearcherTest, ReportsFailureWithinBudget) {
+  // A hopeless pairing must fail gracefully, with stats, not hang: the
+  // node budget is the backstop.
+  SearchLimits Limits;
+  Limits.MaxNodes = 40;
+  Limits.TimeBudgetMs = 10000;
+  DiscoveryResult R =
+      discoverAndVerify("pascal.sequal", "i8086.movsb", Limits);
+  EXPECT_FALSE(R.Outcome.Found);
+  EXPECT_FALSE(R.Outcome.FailureReason.empty());
+  EXPECT_LE(R.Outcome.Stats.NodesExpanded, 40u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch driver
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchCase> discoverableCases() {
+  std::vector<BatchCase> Cases;
+  for (const char *Id :
+       {"vax.movc3/pc2.copy", "i8086.stosb/pc2.clear", "vax.movc5/pc2.clear"}) {
+    const analysis::AnalysisCase *C = analysis::findCase(Id);
+    EXPECT_NE(C, nullptr) << Id;
+    BatchCase B;
+    B.Id = C->Id;
+    B.OperatorId = C->OperatorId;
+    B.InstructionId = C->InstructionId;
+    Cases.push_back(std::move(B));
+  }
+  return Cases;
+}
+
+TEST(BatchDriverTest, ParallelResultsMatchSequential) {
+  std::vector<BatchCase> Cases = discoverableCases();
+
+  BatchOptions Seq;
+  Seq.Threads = 1;
+  BatchStats SeqStats;
+  std::vector<BatchResult> A = runBatch(Cases, Seq, &SeqStats);
+
+  BatchOptions Par;
+  Par.Threads = 2;
+  BatchStats ParStats;
+  std::vector<BatchResult> B = runBatch(Cases, Par, &ParStats);
+
+  EXPECT_EQ(SeqStats.ThreadsUsed, 1u);
+  EXPECT_GE(ParStats.ThreadsUsed, 2u);
+  EXPECT_EQ(SeqStats.Discovered, Cases.size());
+  EXPECT_EQ(ParStats.Discovered, Cases.size());
+  EXPECT_EQ(SeqStats.Verified, Cases.size());
+  EXPECT_EQ(ParStats.Verified, Cases.size());
+
+  // Searches share no mutable state, so the discovered scripts and
+  // constraints are identical whatever the thread count.
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    const SearchOutcome &X = A[I].Discovery.Outcome;
+    const SearchOutcome &Y = B[I].Discovery.Outcome;
+    ASSERT_EQ(X.Found, Y.Found) << Cases[I].Id;
+    EXPECT_EQ(X.OperatorScript.size(), Y.OperatorScript.size());
+    ASSERT_EQ(X.InstructionScript.size(), Y.InstructionScript.size());
+    for (size_t S = 0; S < X.InstructionScript.size(); ++S)
+      EXPECT_EQ(X.InstructionScript[S].str(), Y.InstructionScript[S].str())
+          << Cases[I].Id;
+    EXPECT_EQ(constraintLines(A[I].Discovery.Replay.Constraints),
+              constraintLines(B[I].Discovery.Replay.Constraints))
+        << Cases[I].Id;
+  }
+}
+
+TEST(BatchDriverTest, LibraryCasesCoverRecordedPairings) {
+  std::vector<BatchCase> Cases = libraryCases();
+  size_t Expected = analysis::table2Cases().size() +
+                    analysis::extendedCases().size() + 1;
+  EXPECT_EQ(Cases.size(), Expected);
+  for (const BatchCase &C : Cases) {
+    EXPECT_FALSE(C.OperatorId.empty());
+    EXPECT_FALSE(C.InstructionId.empty());
+    EXPECT_TRUE(descriptions::load(C.OperatorId)) << C.OperatorId;
+    EXPECT_TRUE(descriptions::load(C.InstructionId)) << C.InstructionId;
+  }
+}
+
+} // namespace

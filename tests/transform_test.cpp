@@ -269,4 +269,53 @@ TEST(LocalRuleTest, IfFalseElimUnwrapsElse) {
   EXPECT_NE(Out.find("x <- x + 1;"), std::string::npos);
 }
 
+TEST(EngineTest, UndoRestoresDescriptionAndConstraints) {
+  // Undo across a constraint-producing step must roll back both the
+  // description (byte-for-byte under the printer) and the recorded
+  // constraint set, like backing out of an edit in the 1982 structure
+  // editor.
+  auto D = desc(R"(
+t.instruction := begin
+  ** OPERANDS **
+    f<>,        ! flag operand
+    n<15:0>,
+  ** PROCESS **
+    t.execute := begin
+      input (f, n);
+      if f then
+        n <- n + 1;
+      else
+        n <- n - 1;
+      end_if;
+      output (n);
+    end
+end
+)");
+  Engine E(D->clone());
+  std::string Before = printDescription(E.current());
+  ASSERT_EQ(E.constraints().size(), 0u);
+
+  ApplyResult R = E.apply(
+      {"fix-operand-value", "", {{"operand", "f"}, {"value", "1"}}});
+  ASSERT_TRUE(R.Applied) << R.Reason;
+  EXPECT_EQ(R.Effect, SemanticsEffect::InputRefining);
+  EXPECT_EQ(E.constraints().size(), 1u);
+  EXPECT_NE(printDescription(E.current()), Before);
+  EXPECT_EQ(E.stepsApplied(), 1u);
+
+  ASSERT_TRUE(E.undo());
+  EXPECT_EQ(E.constraints().size(), 0u);
+  EXPECT_EQ(printDescription(E.current()), Before);
+  EXPECT_EQ(E.stepsApplied(), 0u);
+
+  // Nothing left to undo.
+  EXPECT_FALSE(E.undo());
+
+  // The engine is still usable: re-applying the step succeeds again.
+  ASSERT_TRUE(E.apply({"fix-operand-value", "",
+                       {{"operand", "f"}, {"value", "1"}}})
+                  .Applied);
+  EXPECT_EQ(E.constraints().size(), 1u);
+}
+
 } // namespace

@@ -14,17 +14,21 @@
 //   extra-cli suggest <cur-id> <tgt-id> propose next derivation steps
 //   extra-cli export-script <case-id> <operator|instruction>
 //   extra-cli replay <desc-id> <script-file>
+//   extra-cli search --case <id> | <op-id> <inst-id> | --all
+//                                      discover derivation scripts
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Advisor.h"
 #include "analysis/Derivations.h"
+#include "search/BatchDriver.h"
 #include "transform/ScriptIO.h"
 #include "descriptions/Descriptions.h"
 #include "isdl/Printer.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace extra;
@@ -45,7 +49,12 @@ int usage() {
                "  export-script <case-id> <operator|instruction>\n"
                "                          dump a recorded derivation script\n"
                "  replay <desc-id> <file> apply a script file to a "
-               "description\n");
+               "description\n"
+               "  search --case <case-id> | <operator-id> <instruction-id>\n"
+               "         | --all          autonomously discover derivation\n"
+               "                          scripts (no recorded script used)\n"
+               "    options: -x (extension mode), --threads N, --beam W,\n"
+               "             --depth D, --nodes N, --time-ms T\n");
   return 2;
 }
 
@@ -227,6 +236,135 @@ int cmdReplay(int argc, char **argv) {
   return 0;
 }
 
+void printSearchStats(const extra::search::SearchStats &St) {
+  std::printf("search stats: %llu nodes expanded (%.0f nodes/s), %llu "
+              "generated, %llu hash hits (%.1f%% hit rate), %llu dead ends, "
+              "%u round(s), %.1f ms%s\n",
+              static_cast<unsigned long long>(St.NodesExpanded),
+              St.nodesPerSec(),
+              static_cast<unsigned long long>(St.NodesGenerated),
+              static_cast<unsigned long long>(St.HashHits),
+              100.0 * St.hashHitRate(),
+              static_cast<unsigned long long>(St.DeadEnds), St.Rounds,
+              St.WallMs, St.BudgetExhausted ? " (budget exhausted)" : "");
+}
+
+int reportDiscovery(const std::string &Label,
+                    const extra::search::DiscoveryResult &R, bool Verbose) {
+  const extra::search::SearchOutcome &O = R.Outcome;
+  if (!O.Found) {
+    std::printf("%s: NOT FOUND — %s\n", Label.c_str(),
+                O.FailureReason.c_str());
+    printSearchStats(O.Stats);
+    return 1;
+  }
+  std::printf("%s: discovered %zu operator + %zu instruction step(s); "
+              "end-to-end replay %s\n",
+              Label.c_str(), O.OperatorScript.size(),
+              O.InstructionScript.size(),
+              R.Verified ? "VERIFIED"
+                         : ("FAILED: " + R.Replay.FailureReason).c_str());
+  printSearchStats(O.Stats);
+  if (Verbose) {
+    std::printf("\noperator script:\n%s",
+                transform::printScript(O.OperatorScript).c_str());
+    std::printf("\ninstruction script:\n%s",
+                transform::printScript(O.InstructionScript).c_str());
+    std::printf("\nbinding:\n%s", O.Binding.str().c_str());
+    if (!O.Constraints.empty())
+      std::printf("\nconstraints:\n%s", O.Constraints.str().c_str());
+  }
+  return R.Verified ? 0 : 1;
+}
+
+int cmdSearch(int argc, char **argv) {
+  extra::search::BatchOptions Opts;
+  std::vector<extra::search::BatchCase> Cases;
+  analysis::Mode M = Mode::Base;
+  bool All = false;
+  std::string CaseId, OperatorId, InstructionId;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto IntOpt = [&](uint64_t &Slot) {
+      if (I + 1 >= argc)
+        return false;
+      Slot = std::strtoull(argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t V = 0;
+    if (Arg == "--case" && I + 1 < argc)
+      CaseId = argv[++I];
+    else if (Arg == "--all")
+      All = true;
+    else if (Arg == "-x")
+      M = Mode::Extension;
+    else if (Arg == "--threads" && IntOpt(V))
+      Opts.Threads = static_cast<unsigned>(V);
+    else if (Arg == "--beam" && IntOpt(V))
+      Opts.Limits.BeamWidth = static_cast<unsigned>(V);
+    else if (Arg == "--depth" && IntOpt(V))
+      Opts.Limits.MaxDepth = static_cast<unsigned>(V);
+    else if (Arg == "--nodes" && IntOpt(V))
+      Opts.Limits.MaxNodes = V;
+    else if (Arg == "--time-ms" && IntOpt(V))
+      Opts.Limits.TimeBudgetMs = V;
+    else if (Arg[0] != '-' && OperatorId.empty())
+      OperatorId = Arg;
+    else if (Arg[0] != '-' && InstructionId.empty())
+      InstructionId = Arg;
+    else
+      return usage();
+  }
+
+  if (All) {
+    Cases = extra::search::libraryCases();
+  } else if (!CaseId.empty()) {
+    const AnalysisCase *Case = findCase(CaseId);
+    if (!Case) {
+      std::fprintf(stderr, "unknown case '%s' (try `extra-cli cases`)\n",
+                   CaseId.c_str());
+      return 1;
+    }
+    extra::search::BatchCase B;
+    B.Id = Case->Id;
+    B.OperatorId = Case->OperatorId;
+    B.InstructionId = Case->InstructionId;
+    B.M = Case->RequiresExtension ? Mode::Extension : M;
+    Cases.push_back(std::move(B));
+  } else if (!OperatorId.empty() && !InstructionId.empty()) {
+    extra::search::BatchCase B;
+    B.Id = InstructionId + "/" + OperatorId;
+    B.OperatorId = OperatorId;
+    B.InstructionId = InstructionId;
+    B.M = M;
+    Cases.push_back(std::move(B));
+  } else {
+    return usage();
+  }
+
+  extra::search::BatchStats Stats;
+  std::vector<extra::search::BatchResult> Results =
+      extra::search::runBatch(Cases, Opts, &Stats);
+
+  int Rc = 0;
+  for (const extra::search::BatchResult &R : Results) {
+    if (Results.size() > 1)
+      std::printf("----\n");
+    Rc |= reportDiscovery(R.Case.Id, R.Discovery,
+                          /*Verbose=*/Results.size() == 1);
+  }
+  if (Results.size() > 1)
+    std::printf("----\nbatch: %u/%u discovered, %u verified, %u thread(s), "
+                "%llu nodes, %llu hash hits, %.1f ms\n",
+                Stats.Discovered, Stats.Cases, Stats.Verified,
+                Stats.ThreadsUsed,
+                static_cast<unsigned long long>(Stats.NodesExpanded),
+                static_cast<unsigned long long>(Stats.HashHits),
+                Stats.WallMs);
+  return All ? 0 : Rc; // --all is a survey, not an assertion.
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -251,5 +389,7 @@ int main(int argc, char **argv) {
     return cmdExportScript(argc, argv);
   if (!std::strcmp(Cmd, "replay"))
     return cmdReplay(argc, argv);
+  if (!std::strcmp(Cmd, "search"))
+    return cmdSearch(argc, argv);
   return usage();
 }
