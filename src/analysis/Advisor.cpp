@@ -6,7 +6,9 @@
 
 #include "analysis/Advisor.h"
 
+#include "analysis/Priors.h"
 #include "isdl/Traverse.h"
+#include "synth/Synth.h"
 
 #include <algorithm>
 #include <map>
@@ -146,24 +148,16 @@ std::vector<Step> analysis::candidateSteps(const Description &Current) {
     }
   }
 
-  // Base+index access patterns suggest strength reduction.
-  for (const Routine *R : Current.routines())
-    forEachExpr(R->Body, [&](const Expr &E) {
-      const auto *M = dyn_cast<MemRef>(&E);
-      if (!M)
-        return;
-      const auto *Add = dyn_cast<BinaryExpr>(M->getAddress());
-      if (!Add || Add->getOp() != BinaryOp::Add)
-        return;
-      const auto *B = dyn_cast<VarRef>(Add->getLHS());
-      const auto *I = dyn_cast<VarRef>(Add->getRHS());
-      if (B && I)
-        Out.push_back(Step{"index-to-pointer",
-                           "",
-                           {{"base-var", B->getName()},
-                            {"index-var", I->getName()},
-                            {"pointer-var", "p" + std::to_string(Fresh++)}}});
-    });
+  // Base+index access patterns suggest strength reduction; the pointer
+  // names are synthesized from the access shape (src/synth), so two runs
+  // — and the matching side — agree on the spelling.
+  for (Step &S : synth::proposeIndexToPointer(Current))
+    Out.push_back(std::move(S));
+
+  // Up-counting loops suggest the down-counter rewrite, reusing the
+  // bound as the counter.
+  for (Step &S : synth::proposeCountUpToDown(Current))
+    Out.push_back(std::move(S));
 
   // Routine-structuring candidates.
   for (const Routine *R : Current.routines()) {
@@ -195,6 +189,26 @@ std::vector<Suggestion> analysis::suggestSteps(const Description &Current,
     Sg.S = std::move(S);
     Sg.DistanceAfter = structuralDistance(Scratch.current(), Target);
     Sg.Note = R.Note;
+    (Sg.DistanceAfter < Baseline ? Improving : Other).push_back(
+        std::move(Sg));
+  }
+
+  // Synthesized multi-step proposals: the arguments the 1982 user typed
+  // by hand, derived from the divergence against the target. The whole
+  // sequence is applied speculatively; any refused step kills it.
+  for (synth::Proposal &P : synth::synthesizeProposals(
+           Current, Target, /*CurrentIsInstruction=*/true,
+           Priors::instance().vocabulary())) {
+    if (P.Steps.empty())
+      continue;
+    transform::Engine Scratch(Current.clone());
+    if (Scratch.applyScript(P.Steps) != P.Steps.size())
+      continue;
+    Suggestion Sg;
+    Sg.S = P.Steps.front();
+    Sg.Follow.assign(P.Steps.begin() + 1, P.Steps.end());
+    Sg.DistanceAfter = structuralDistance(Scratch.current(), Target);
+    Sg.Note = P.Rationale;
     (Sg.DistanceAfter < Baseline ? Improving : Other).push_back(
         std::move(Sg));
   }

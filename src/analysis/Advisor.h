@@ -34,6 +34,11 @@ namespace analysis {
 /// A ranked proposal for the next derivation step.
 struct Suggestion {
   transform::Step S;
+  /// Synthesized multi-step proposals carry their remaining steps here
+  /// (e.g. the add-prologue that uses the allocate-temp in S); empty for
+  /// ordinary single-step suggestions. DistanceAfter reflects the whole
+  /// sequence.
+  transform::Script Follow;
   /// Structural distance to the target after applying the step (lower is
   /// better); the current distance is reported by `structuralDistance`.
   unsigned DistanceAfter = 0;

@@ -8,6 +8,7 @@
 
 #include "isdl/Printer.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace extra;
@@ -264,6 +265,75 @@ bool isdl::exactEqual(const StmtList &A, const StmtList &B) {
 // Description matching
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Fills \p Result.Divergence for a failed body match of the routine pair
+/// \p NameA / \p NameB. \p Snapshot is the binding as it stood *before*
+/// the failing matchStmts call (matchStmts mutates its binding even on
+/// failure, so the caller snapshots).
+///
+/// Prefix: statements are committed one at a time, each on a trial copy
+/// of the binding, so a partially-matching statement cannot pollute the
+/// partial binding. Suffix: the largest trailing block of both bodies
+/// that matches as a whole under the prefix binding. The spans are the
+/// middles that remain.
+void computeDivergence(MatchResult &Result, const std::string &NameA,
+                       const std::string &NameB, const StmtList &BodyA,
+                       const StmtList &BodyB, const NameBinding &Snapshot) {
+  DivergenceReport &R = Result.Divergence;
+  R.Valid = true;
+  R.RoutineA = NameA;
+  R.RoutineB = NameB;
+
+  // Forward prefix walk, clone-per-statement.
+  NameBinding Prefix = Snapshot;
+  size_t NPrefix = 0;
+  while (NPrefix < BodyA.size() && NPrefix < BodyB.size()) {
+    NameBinding Trial = Prefix;
+    if (!matchStmt(*BodyA[NPrefix], *BodyB[NPrefix], Trial))
+      break;
+    Prefix = std::move(Trial);
+    ++NPrefix;
+  }
+
+  // Backward suffix as a block: the largest k whose trailing statements
+  // match under the prefix binding.
+  size_t MaxSuffix = std::min(BodyA.size(), BodyB.size()) - NPrefix;
+  size_t NSuffix = 0;
+  NameBinding Full = Prefix;
+  for (size_t K = MaxSuffix; K > 0; --K) {
+    NameBinding Trial = Prefix;
+    bool Ok = true;
+    for (size_t I = 0; I < K && Ok; ++I)
+      Ok = matchStmt(*BodyA[BodyA.size() - K + I], *BodyB[BodyB.size() - K + I],
+                     Trial);
+    if (Ok) {
+      NSuffix = K;
+      Full = std::move(Trial);
+      break;
+    }
+  }
+
+  R.Partial = std::move(Full);
+  R.SpanA = {NameA, NPrefix, BodyA.size() - NSuffix};
+  R.SpanB = {NameB, NPrefix, BodyB.size() - NSuffix};
+
+  // A message pinpointing the first diverging statement pair, when both
+  // spans are non-empty.
+  if (!R.SpanA.empty() && !R.SpanB.empty()) {
+    NameBinding Trial = Prefix;
+    std::string Msg;
+    matchStmt(*BodyA[R.SpanA.Begin], *BodyB[R.SpanB.Begin], Trial, &Msg);
+    R.Detail = Msg;
+  } else {
+    R.Detail = "one side has " +
+               std::to_string(R.SpanA.empty() ? R.SpanB.size() : R.SpanA.size()) +
+               " extra statement(s)";
+  }
+}
+
+} // namespace
+
 MatchResult isdl::matchDescriptions(const Description &A,
                                     const Description &B) {
   MatchResult Result;
@@ -279,8 +349,12 @@ MatchResult isdl::matchDescriptions(const Description &A,
     Result.Mismatch = "cannot bind entry routines";
     return Result;
   }
-  if (!matchStmts(EntryA->Body, EntryB->Body, Binding, &Result.Mismatch))
+  NameBinding Snapshot = Binding;
+  if (!matchStmts(EntryA->Body, EntryB->Body, Binding, &Result.Mismatch)) {
+    computeDivergence(Result, EntryA->Name, EntryB->Name, EntryA->Body,
+                      EntryB->Body, Snapshot);
     return Result;
+  }
 
   // Follow call-site bindings: every routine pair bound during entry-body
   // matching must have matching bodies under the same binding. Matching a
@@ -301,8 +375,11 @@ MatchResult isdl::matchDescriptions(const Description &A,
       }
       Checked.insert(NameA);
       Progress = true;
-      if (!matchStmts(RA->Body, RB->Body, Binding, &Result.Mismatch))
+      Snapshot = Binding;
+      if (!matchStmts(RA->Body, RB->Body, Binding, &Result.Mismatch)) {
+        computeDivergence(Result, NameA, NameB, RA->Body, RB->Body, Snapshot);
         return Result;
+      }
       break; // Binding may have grown; restart iteration.
     }
   }

@@ -51,12 +51,50 @@ private:
   std::map<std::string, std::string> BtoA;
 };
 
+/// A half-open range [Begin, End) of top-level statements in the body of
+/// the named routine.
+struct StmtSpan {
+  std::string RoutineName;
+  size_t Begin = 0;
+  size_t End = 0;
+
+  size_t size() const { return End > Begin ? End - Begin : 0; }
+  bool empty() const { return End <= Begin; }
+};
+
+/// Structured account of where a failed common-form match diverged. The
+/// matcher re-walks the failing routine pair, committing every statement
+/// pair that matches from the front and the largest block that matches
+/// from the back; what remains in the middle is the divergence. This is
+/// the input to argument synthesis (src/synth): the spans are the
+/// statements one side has and the other lacks, and `Partial` maps every
+/// name the two sides agree on.
+struct DivergenceReport {
+  bool Valid = false;
+  /// Binding accumulated over everything that did match: the prefix of
+  /// the failing bodies, the suffix block, and all routine pairs matched
+  /// before the failure.
+  NameBinding Partial;
+  /// The routine pair whose bodies diverge.
+  std::string RoutineA;
+  std::string RoutineB;
+  /// The unmatched middle on each side. Either span may be empty (one
+  /// side simply has extra statements).
+  StmtSpan SpanA;
+  StmtSpan SpanB;
+  /// First mismatch message within the spans, for reports.
+  std::string Detail;
+};
+
 /// Result of a common-form comparison.
 struct MatchResult {
   bool Matched = false;
   NameBinding Binding;
   /// Human-readable reason for the first mismatch, empty on success.
   std::string Mismatch;
+  /// Structured divergence location, valid when a routine-body match
+  /// failed (not for pre-body failures such as a missing entry routine).
+  DivergenceReport Divergence;
 };
 
 /// Exact structural equality (names must be identical).

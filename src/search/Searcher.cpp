@@ -8,10 +8,12 @@
 
 #include "analysis/Advisor.h"
 #include "analysis/DiffCheck.h"
+#include "analysis/Priors.h"
 #include "descriptions/Descriptions.h"
 #include "isdl/Equiv.h"
 #include "isdl/Traverse.h"
 #include "search/Canon.h"
+#include "synth/Synth.h"
 
 #include <algorithm>
 #include <chrono>
@@ -111,9 +113,21 @@ void permutations(size_t N, std::vector<std::string> &Out) {
 } // namespace
 
 std::vector<Step> search::enumerateCandidates(const Description &Current,
-                                              const Description &Other) {
-  // The advisor's interactive pool is the base layer.
+                                              const Description &Other,
+                                              bool CurrentIsInstruction) {
+  // The advisor's interactive pool is the base layer. Pinning proposals
+  // are stripped on the operator side: every recorded operator script
+  // gets by without fix-operand-value, and allowing it there lets the
+  // search pin a loop count to zero on *both* sides and "discover" the
+  // matching empty husks — verified, but with constraints no assembler
+  // could use.
   std::vector<Step> Out = analysis::candidateSteps(Current);
+  if (!CurrentIsInstruction)
+    Out.erase(std::remove_if(Out.begin(), Out.end(),
+                             [](const Step &S) {
+                               return S.Rule == "fix-operand-value";
+                             }),
+              Out.end());
 
   for (const char *R : ExtraZeroArgRules)
     Out.push_back(Step{R, "", {}});
@@ -129,11 +143,13 @@ std::vector<Step> search::enumerateCandidates(const Description &Current,
 
   // Operand pinning over *every* input operand (the advisor pins flags
   // only; movc5/stosb-style derivations pin counts and fill bytes too).
-  if (const InputStmt *In = entryInput(Current))
-    for (const std::string &Operand : In->getTargets())
-      for (const char *Value : {"0", "1"})
-        Out.push_back(Step{
-            "fix-operand-value", "", {{"operand", Operand}, {"value", Value}}});
+  if (CurrentIsInstruction)
+    if (const InputStmt *In = entryInput(Current))
+      for (const std::string &Operand : In->getTargets())
+        for (const char *Value : {"0", "1"})
+          Out.push_back(Step{"fix-operand-value",
+                             "",
+                             {{"operand", Operand}, {"value", Value}}});
 
   // Input permutations: operand binding is positional, so operand order
   // is part of the interface. Arity stays tiny (<= 4 in the library), so
@@ -179,6 +195,11 @@ struct Node {
   Script OpScript, InstScript;
   constraint::ConstraintSet Constraints;
   unsigned Distance = 0;
+  /// Beam rank: Distance + LengthLambda * total script length. Among
+  /// states equally close to common form, the one that spent fewer steps
+  /// getting there survives truncation — and the first goal reached rides
+  /// the shortest script.
+  double Score = 0;
 };
 
 /// Shared mutable context of one searchDerivation call.
@@ -199,14 +220,24 @@ struct SearchContext {
 };
 
 /// Applies cleanup rules to a fixed point, recording each applied step.
-/// The scan restarts from the head of the rule list after every success,
-/// so the order is deterministic. Bounded as a backstop; in practice the
-/// closure converges in a handful of steps.
+/// The closure list is re-ordered before every scan by the rule-bigram
+/// priors mined from the recorded derivations (analysis::Priors): the
+/// rule the 1982 user most often applied after the previous step is
+/// tried first. Unseen successors keep the registration order, so the
+/// scan stays deterministic and converges to the same fixed point.
+/// Bounded as a backstop; in practice the closure converges in a handful
+/// of steps.
 void simplifyToFixpoint(transform::Engine &E, Script &Recorded) {
+  const analysis::Priors &P = analysis::Priors::instance();
+  const std::vector<std::string> Closure(std::begin(ClosureRules),
+                                         std::end(ClosureRules));
   const unsigned MaxSteps = 24;
   for (unsigned Count = 0; Count < MaxSteps;) {
+    std::vector<std::string> Ordered = Closure;
+    P.orderBySuccessor(Recorded.empty() ? std::string() : Recorded.back().Rule,
+                       Ordered);
     bool Progress = false;
-    for (const char *Rule : ClosureRules) {
+    for (const std::string &Rule : Ordered) {
       Step S{Rule, "", {}};
       if (E.apply(S).Applied) {
         Recorded.push_back(std::move(S));
@@ -310,48 +341,31 @@ bool beamRound(const Description &Operator, const Description &Instruction,
   std::vector<Node> Frontier;
   Frontier.push_back(std::move(Root));
 
+  const analysis::Priors &Priors = analysis::Priors::instance();
+
   for (unsigned Depth = 1; Depth <= Ctx.Limits.MaxDepth; ++Depth) {
     std::vector<Node> Children;
+    bool Goal = false;
     for (Node &N : Frontier) {
       if (Ctx.exhausted())
         return false;
       ++Ctx.Stats.NodesExpanded;
 
-      for (int Side = 0; Side < 2; ++Side) {
+      for (int Side = 0; Side < 2 && !Goal; ++Side) {
         const Description &Cur = Side == 0 ? N.Op : N.Inst;
         const Description &Oth = Side == 0 ? N.Inst : N.Op;
-        for (Step &S : enumerateCandidates(Cur, Oth)) {
-          ++Ctx.Stats.CandidatesTried;
 
-          // fix-operand-value additionally spawns a pin-and-simplify
-          // macro child (Variant 1); the plain child stays in the pool
-          // so no single-step path is lost.
-          int Variants = S.Rule == "fix-operand-value" ? 2 : 1;
-          for (int Variant = 0; Variant < Variants; ++Variant) {
-
-          // Apply on a scratch engine; the engine checks the rule's own
-          // applicability conditions, and the verifier hook differentially
-          // tests the step on a few random inputs.
-          transform::Engine Scratch(Cur.clone());
-          if (Ctx.Limits.VerifyTrials > 0)
-            Scratch.setVerifier(analysis::makeStepVerifier(
-                Scratch.constraints(), Ctx.VerifyOpts));
-          transform::ApplyResult R = Scratch.apply(S);
-          if (!R.Applied) {
-            ++Ctx.Stats.DeadEnds;
-            break; // The macro variant would fail identically.
-          }
-          Script AppliedSteps{S};
-          if (Variant == 1)
-            pinAndSimplify(Scratch, S, AppliedSteps);
-
+        // Turns a successfully applied candidate sequence into a beam
+        // child; returns true when the child is the goal (Out filled).
+        auto MakeChild = [&](transform::Engine &Scratch,
+                             Script AppliedSteps) -> bool {
           Description NewDesc = Scratch.takeDescription();
           uint64_t NewFp = fingerprint(NewDesc);
           uint64_t Key = Side == 0 ? pairKey(NewFp, N.FpInst)
                                    : pairKey(N.FpOp, NewFp);
           if (!Seen.insert(Key).second) {
             ++Ctx.Stats.HashHits;
-            continue;
+            return false;
           }
           ++Ctx.Stats.NodesGenerated;
 
@@ -370,8 +384,8 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           Child.OpScript = N.OpScript;
           Child.InstScript = N.InstScript;
           {
-            Script &Out = Side == 0 ? Child.OpScript : Child.InstScript;
-            Out.insert(Out.end(), AppliedSteps.begin(), AppliedSteps.end());
+            Script &Tail = Side == 0 ? Child.OpScript : Child.InstScript;
+            Tail.insert(Tail.end(), AppliedSteps.begin(), AppliedSteps.end());
           }
           Child.Constraints = N.Constraints;
           for (const constraint::Constraint &C :
@@ -379,23 +393,121 @@ bool beamRound(const Description &Operator, const Description &Instruction,
             Child.Constraints.add(C);
           Child.Distance =
               analysis::structuralDistance(Child.Op, Child.Inst);
+          Child.Score = Child.Distance +
+                        Ctx.Limits.LengthLambda *
+                            (Child.OpScript.size() + Child.InstScript.size());
 
           if (Child.FpOp == Child.FpInst && confirmGoal(Child, Ctx, Out))
             return true;
           Children.push_back(std::move(Child));
+          return false;
+        };
 
-          } // Variant
+        // A fresh scratch engine per attempt; the engine checks the
+        // rule's own applicability conditions, and the verifier hook
+        // differentially tests every applied step on random inputs.
+        // (The verifier closes over the engine's own constraint set, so
+        // it is installed on the engine in place, never moved.)
+        auto InitScratch = [&](transform::Engine &Scratch) {
+          if (Ctx.Limits.VerifyTrials > 0)
+            Scratch.setVerifier(analysis::makeStepVerifier(
+                Scratch.constraints(), Ctx.VerifyOpts));
+        };
+
+        // Single-step candidates, tried in the order the recorded
+        // derivations make likeliest after this side's previous rule.
+        std::vector<Step> Cands = enumerateCandidates(
+            Cur, Oth, /*CurrentIsInstruction=*/Side == 1);
+        {
+          const Script &Prior = Side == 0 ? N.OpScript : N.InstScript;
+          const std::string Prev =
+              Prior.empty() ? std::string() : Prior.back().Rule;
+          std::stable_sort(Cands.begin(), Cands.end(),
+                           [&](const Step &A, const Step &B) {
+                             return Priors.bigram(Prev, A.Rule) >
+                                    Priors.bigram(Prev, B.Rule);
+                           });
+        }
+        for (Step &S : Cands) {
+          ++Ctx.Stats.CandidatesTried;
+
+          // fix-operand-value additionally spawns a pin-and-simplify
+          // macro child (Variant 1); the plain child stays in the pool
+          // so no single-step path is lost.
+          int Variants = S.Rule == "fix-operand-value" ? 2 : 1;
+          for (int Variant = 0; Variant < Variants; ++Variant) {
+            transform::Engine Scratch(Cur.clone());
+            InitScratch(Scratch);
+            transform::ApplyResult R = Scratch.apply(S);
+            if (!R.Applied) {
+              ++Ctx.Stats.DeadEnds;
+              break; // The macro variant would fail identically.
+            }
+            Script AppliedSteps{S};
+            if (Variant == 1)
+              pinAndSimplify(Scratch, S, AppliedSteps);
+            if (MakeChild(Scratch, std::move(AppliedSteps))) {
+              Goal = true;
+              break;
+            }
+          }
+          if (Goal)
+            break;
+        }
+        if (Goal)
+          break;
+
+        // Synthesized multi-step proposals (src/synth): rule arguments
+        // recovered from the divergence against the other side. Applied
+        // atomically — a refused step discards the whole proposal — and
+        // every applied step still passes the differential verifier, so
+        // a synthesized candidate enters the beam only verified.
+        for (synth::Proposal &Prop : synth::synthesizeProposals(
+                 Cur, Oth, /*CurrentIsInstruction=*/Side == 1,
+                 Priors.vocabulary())) {
+          if (Prop.Steps.empty())
+            continue;
+          ++Ctx.Stats.CandidatesTried;
+          transform::Engine Scratch(Cur.clone());
+          InitScratch(Scratch);
+          Script AppliedSteps;
+          bool AllApplied = true;
+          bool Augmenting = false;
+          for (const Step &S : Prop.Steps) {
+            if (!Scratch.apply(S).Applied) {
+              AllApplied = false;
+              break;
+            }
+            Augmenting = Augmenting || S.Rule == "add-prologue" ||
+                         S.Rule == "replace-output";
+            AppliedSteps.push_back(S);
+          }
+          if (!AllApplied) {
+            ++Ctx.Stats.DeadEnds;
+            continue;
+          }
+          // Augments leave debris the recorded sessions cleaned inline
+          // (stripping outputs can empty an if arm); close over the
+          // cleanup rules so the child lands on the tidy form.
+          if (Augmenting)
+            simplifyToFixpoint(Scratch, AppliedSteps);
+          if (MakeChild(Scratch, std::move(AppliedSteps))) {
+            Goal = true;
+            break;
+          }
         }
       }
+      if (Goal)
+        return true;
     }
 
     if (Children.empty())
       return false;
-    // Keep the Width structurally closest states; stable sort preserves
+    // Keep the Width best-scoring states; stable sort preserves
     // generation order among ties, keeping the search deterministic.
     std::stable_sort(Children.begin(), Children.end(),
                      [](const Node &A, const Node &B) {
-                       return A.Distance < B.Distance;
+                       return A.Score < B.Score;
                      });
     if (Children.size() > Width)
       Children.resize(Width);

@@ -50,8 +50,10 @@ struct SearchLimits {
   /// States kept per depth level in the first round.
   unsigned BeamWidth = 8;
   /// Extra rounds with doubled beam width when a round fails (iterative
-  /// widening; 0 = single round).
-  unsigned Widenings = 2;
+  /// widening; 0 = single round). Three widenings take the default beam
+  /// 8 -> 16 -> 32 -> 64; the widest Table-2 pairing (locc/clu.search)
+  /// needs 64.
+  unsigned Widenings = 3;
   /// Hard cap on expanded states across all rounds.
   uint64_t MaxNodes = 60000;
   /// Hard wall-clock budget across all rounds, in milliseconds.
@@ -59,6 +61,11 @@ struct SearchLimits {
   /// Differential trials per applied candidate step (0 disables per-node
   /// verification; the end-to-end replay still verifies fully).
   unsigned VerifyTrials = 3;
+  /// Weight of accumulated script length in the beam score
+  /// (score = structural distance + LengthLambda * steps-so-far). Small
+  /// and positive: shorter derivations win ties without letting length
+  /// dominate the distance signal. 0 restores pure-distance ranking.
+  double LengthLambda = 0.125;
 };
 
 /// Observability counters for one search (aggregated over widening
@@ -131,9 +138,16 @@ DiscoveryResult discoverAndVerify(const std::string &OperatorId,
 /// input permutations, output replacement, occurrence-parameterized
 /// rewrites, and per-routine variants). \p Other is the description on
 /// the opposite side of the search, used only to aim proposals.
+/// \p CurrentIsInstruction gates operand pinning: fixing an operand is
+/// an encoding condition on the *instruction* (the recorded sessions
+/// never pin an operator operand — that would shrink the language
+/// operation's domain instead of constraining the machine's, and it
+/// opens degenerate routes that pin a loop count to zero on both sides
+/// and match the empty husks).
 std::vector<transform::Step>
 enumerateCandidates(const isdl::Description &Current,
-                    const isdl::Description &Other);
+                    const isdl::Description &Other,
+                    bool CurrentIsInstruction = true);
 
 } // namespace search
 } // namespace extra

@@ -1,0 +1,255 @@
+//===- CodeSynth.cpp - Augment-code synthesis from divergences --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The counterexample-guided half of synthesis: when the common-form match
+/// of operator against instruction fails inside the entry bodies, the
+/// operator's unmatched statements *are* the code the instruction is
+/// missing. Printing them with every operator name replaced by its bound
+/// instruction partner yields candidate add-prologue / replace-output
+/// arguments — the same texts the 1982 user typed by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synth.h"
+
+#include "isdl/Printer.h"
+#include "isdl/Traverse.h"
+
+#include <algorithm>
+
+using namespace extra;
+using namespace extra::synth;
+using namespace extra::isdl;
+using transform::Step;
+
+namespace {
+
+/// Greedily matches statements inside the two spans pairwise, committing
+/// every binding a successful pair contributes. The loops the two sides
+/// share (identical but for names) sit inside the spans whenever the
+/// divergence is about surrounding prologue/epilogue code; aligning them
+/// recovers bindings — loop flags, access routines — that the failed
+/// prefix walk never reached.
+void alignInterior(const StmtList &BodyA, const StmtList &BodyB,
+                   const StmtSpan &SA, const StmtSpan &SB, NameBinding &B) {
+  std::vector<bool> UsedB(BodyB.size(), false);
+  for (size_t I = SA.Begin; I < SA.End && I < BodyA.size(); ++I)
+    for (size_t J = SB.Begin; J < SB.End && J < BodyB.size(); ++J) {
+      if (UsedB[J])
+        continue;
+      NameBinding Trial = B;
+      if (matchStmt(*BodyA[I], *BodyB[J], Trial)) {
+        B = std::move(Trial);
+        UsedB[J] = true;
+        break;
+      }
+    }
+}
+
+/// Prints statements [Begin, End) of \p Body with every variable and
+/// routine name replaced by its B-side partner under \p B. Returns false
+/// when any referenced name has no partner (the code would not survive
+/// the augment rules' interface check).
+bool printMapped(const StmtList &Body, size_t Begin, size_t End,
+                 const NameBinding &B, std::string &Out) {
+  StmtList Clones;
+  for (size_t I = Begin; I < End; ++I)
+    Clones.push_back(Body[I]->clone());
+
+  std::vector<std::pair<std::string, std::string>> VarPairs, CallPairs;
+  std::set<std::string> Vars = referencedVars(Clones);
+  std::set<std::string> Calls = calledRoutines(Clones);
+  for (const std::string &V : Vars) {
+    std::string Partner = B.lookupA(V);
+    if (Partner.empty())
+      return false;
+    VarPairs.emplace_back(V, Partner);
+  }
+  for (const std::string &C : Calls) {
+    std::string Partner = B.lookupA(C);
+    if (Partner.empty())
+      return false;
+    CallPairs.emplace_back(C, Partner);
+  }
+
+  // Two-phase rename through placeholders: the operator and instruction
+  // namespaces may overlap (both sides can use an `r0`), so renaming
+  // directly could alias two names into one.
+  for (size_t I = 0; I < VarPairs.size(); ++I)
+    renameVar(Clones, VarPairs[I].first, "\x01v" + std::to_string(I));
+  for (size_t I = 0; I < CallPairs.size(); ++I)
+    renameCall(Clones, CallPairs[I].first, "\x01c" + std::to_string(I));
+  for (size_t I = 0; I < VarPairs.size(); ++I)
+    renameVar(Clones, "\x01v" + std::to_string(I), VarPairs[I].second);
+  for (size_t I = 0; I < CallPairs.size(); ++I)
+    renameCall(Clones, "\x01c" + std::to_string(I), CallPairs[I].second);
+
+  Out = printStmts(Clones);
+  // Augment code arguments live in one-line Step argument maps.
+  std::replace(Out.begin(), Out.end(), '\n', ' ');
+  while (!Out.empty() && Out.back() == ' ')
+    Out.pop_back();
+  return !Out.empty();
+}
+
+/// True when \p S contains an output statement at any depth.
+bool containsOutput(const Stmt &S) {
+  bool Found = false;
+  forEachStmt(S, [&](const Stmt &Inner) {
+    if (isa<OutputStmt>(&Inner))
+      Found = true;
+  });
+  return Found;
+}
+
+/// True when variable \p Var is mentioned by any of Body[Begin, End).
+bool readInRange(const StmtList &Body, size_t Begin, size_t End,
+                 const std::string &Var) {
+  for (size_t I = Begin; I < End && I < Body.size(); ++I)
+    if (mentionsVar(*Body[I], Var))
+      return true;
+  return false;
+}
+
+} // namespace
+
+std::vector<Proposal> synth::proposeAugments(const Description &Operator,
+                                             const Description &Instruction,
+                                             const Vocabulary &Vocab) {
+  MatchResult M = matchDescriptions(Operator, Instruction);
+  if (M.Matched || !M.Divergence.Valid)
+    return {};
+  const DivergenceReport &R = M.Divergence;
+
+  // The augment rules edit the instruction's entry routine; divergences
+  // inside access routines are not code synthesis can bridge.
+  const Routine *EntryA = Operator.entryRoutine();
+  const Routine *EntryB = Instruction.entryRoutine();
+  if (!EntryA || !EntryB || R.RoutineA != EntryA->Name ||
+      R.RoutineB != EntryB->Name)
+    return {};
+  const StmtList &BodyA = EntryA->Body;
+  if (R.SpanA.empty() || R.SpanA.End > BodyA.size())
+    return {};
+
+  NameBinding Binding = R.Partial;
+  alignInterior(BodyA, EntryB->Body, R.SpanA, R.SpanB, Binding);
+
+  // --- Prologue: leading saved-value assignments of the operator span.
+  //
+  // A statement `v <- rhs` whose value still matters later in the span
+  // (the live-save filter — cmpc3's counterpart has a dead save that must
+  // *not* be materialized) and whose rhs maps through the binding is a
+  // value the instruction forgot to keep. When v itself has no partner,
+  // it names a fresh temporary, using the convention mined for the saved
+  // register (di -> temp, r1 -> rb, ...).
+  transform::Script AllocSteps;
+  std::vector<std::string> PrologueLines;
+  NameBinding Extended = Binding; // Binding + fresh-temp pairs.
+  size_t Cursor = R.SpanA.Begin;
+  for (; Cursor < R.SpanA.End; ++Cursor) {
+    const auto *Assign = dyn_cast<AssignStmt>(BodyA[Cursor].get());
+    if (!Assign)
+      break;
+    const auto *Target = dyn_cast<VarRef>(Assign->getTarget());
+    if (!Target)
+      break;
+    if (!readInRange(BodyA, Cursor + 1, R.SpanA.End, Target->getName()))
+      break; // Dead save: materializing it would add unmatchable code.
+
+    // The saved value must map as-is.
+    bool ValueMaps = true;
+    forEachExpr(*Assign->getValue(), [&](const Expr &E) {
+      if (const auto *V = dyn_cast<VarRef>(&E))
+        if (Extended.lookupA(V->getName()).empty())
+          ValueMaps = false;
+      if (const auto *C = dyn_cast<CallExpr>(&E))
+        if (Extended.lookupA(C->getCallee()).empty())
+          ValueMaps = false;
+    });
+    if (!ValueMaps)
+      break;
+
+    std::string TargetPartner = Extended.lookupA(Target->getName());
+    if (TargetPartner.empty()) {
+      // Fresh temporary named by the convention for the saved register.
+      const auto *Rhs = dyn_cast<VarRef>(Assign->getValue());
+      if (!Rhs)
+        break;
+      std::string Register = Binding.lookupA(Rhs->getName());
+      auto Conv = Vocab.Temps.find(Register);
+      if (Conv == Vocab.Temps.end())
+        break;
+      const TempConvention &T = Conv->second;
+      if (Instruction.findDecl(T.Name) || Instruction.findRoutine(T.Name) ||
+          transform::detail::isReferenced(Instruction, T.Name))
+        break;
+      if (!Extended.bind(Target->getName(), T.Name))
+        break;
+      AllocSteps.push_back(Step{"allocate-temp",
+                                "",
+                                {{"name", T.Name},
+                                 {"type", T.Type},
+                                 {"section", T.Section}}});
+    }
+    std::string Line;
+    if (!printMapped(BodyA, Cursor, Cursor + 1, Extended, Line))
+      break;
+    PrologueLines.push_back(std::move(Line));
+  }
+
+  std::string PrologueCode;
+  for (const std::string &L : PrologueLines) {
+    if (!PrologueCode.empty())
+      PrologueCode += ' ';
+    PrologueCode += L;
+  }
+
+  // --- Epilogue: the span suffix from the first output-bearing statement.
+  size_t EpilogueBegin = R.SpanA.End;
+  for (size_t I = R.SpanA.Begin; I < R.SpanA.End; ++I)
+    if (containsOutput(*BodyA[I])) {
+      EpilogueBegin = I;
+      break;
+    }
+
+  std::string EpiloguePlain, EpilogueWithTemps;
+  bool HavePlain =
+      EpilogueBegin < R.SpanA.End &&
+      printMapped(BodyA, EpilogueBegin, R.SpanA.End, Binding, EpiloguePlain);
+  bool HaveWithTemps =
+      EpilogueBegin < R.SpanA.End && !PrologueCode.empty() &&
+      printMapped(BodyA, EpilogueBegin, R.SpanA.End, Extended,
+                  EpilogueWithTemps);
+
+  std::vector<Proposal> Out;
+  if (!PrologueCode.empty()) {
+    Proposal P;
+    P.Steps = AllocSteps;
+    P.Steps.push_back(Step{"add-prologue", "", {{"code", PrologueCode}}});
+    P.Rationale = "operator keeps a value the instruction drops; save it "
+                  "in a prologue";
+    Out.push_back(std::move(P));
+  }
+  if (HavePlain) {
+    Proposal P;
+    P.Steps.push_back(Step{"replace-output", "", {{"code", EpiloguePlain}}});
+    P.Rationale = "replace raw machine-state outputs with the operator's "
+                  "epilogue, names mapped through the binding";
+    Out.push_back(std::move(P));
+  }
+  if (HaveWithTemps) {
+    Proposal P;
+    P.Steps = AllocSteps;
+    P.Steps.push_back(Step{"add-prologue", "", {{"code", PrologueCode}}});
+    P.Steps.push_back(
+        Step{"replace-output", "", {{"code", EpilogueWithTemps}}});
+    P.Rationale = "save the dropped value in a prologue and rebuild the "
+                  "operator's epilogue from it";
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}

@@ -1,0 +1,205 @@
+//===- NameSynth.cpp - Fresh-name synthesis for renaming rules --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synth.h"
+
+#include "isdl/Traverse.h"
+
+#include <cctype>
+
+using namespace extra;
+using namespace extra::synth;
+using namespace extra::isdl;
+using transform::Step;
+
+//===----------------------------------------------------------------------===//
+// index-to-pointer
+//===----------------------------------------------------------------------===//
+
+std::string synth::pointerNameFor(const std::string &BaseName,
+                                  unsigned SiteCount) {
+  if (SiteCount <= 1)
+    return "ptr";
+  // Stem: the base name up to the first qualifier dot ("Src.Base" -> "Src").
+  std::string Stem = BaseName.substr(0, BaseName.find('.'));
+  if (Stem.empty())
+    return "ptr";
+  char Initial = static_cast<char>(std::tolower(Stem[0]));
+  // One-letter stems keep the whole letter after a 'p' ("A" -> "pa");
+  // longer stems contribute their initial before it ("Src" -> "sp").
+  if (Stem.size() == 1)
+    return std::string("p") + Initial;
+  return std::string(1, Initial) + "p";
+}
+
+std::vector<Step>
+synth::proposeIndexToPointer(const Description &Current) {
+  // First pass: collect distinct (base, index) sites in description order.
+  std::vector<std::pair<std::string, std::string>> Sites;
+  for (const Routine *R : Current.routines())
+    forEachExpr(R->Body, [&](const Expr &E) {
+      const auto *M = dyn_cast<MemRef>(&E);
+      if (!M)
+        return;
+      const auto *Add = dyn_cast<BinaryExpr>(M->getAddress());
+      if (!Add || Add->getOp() != BinaryOp::Add)
+        return;
+      const auto *B = dyn_cast<VarRef>(Add->getLHS());
+      const auto *I = dyn_cast<VarRef>(Add->getRHS());
+      if (!B || !I)
+        return;
+      std::pair<std::string, std::string> Site{B->getName(), I->getName()};
+      for (const auto &S : Sites)
+        if (S == Site)
+          return;
+      Sites.push_back(std::move(Site));
+    });
+
+  std::vector<Step> Out;
+  for (const auto &[Base, Index] : Sites) {
+    std::string Ptr = pointerNameFor(Base, static_cast<unsigned>(Sites.size()));
+    // The synthesized name must be fresh; fall back to a suffixed variant
+    // when the description already uses it.
+    std::string Name = Ptr;
+    for (unsigned N = 2; Current.findDecl(Name) || Current.findRoutine(Name) ||
+                         transform::detail::isReferenced(Current, Name);
+         ++N)
+      Name = Ptr + std::to_string(N);
+    Out.push_back(Step{"index-to-pointer",
+                       "",
+                       {{"base-var", Base},
+                        {"index-var", Index},
+                        {"pointer-var", Name}}});
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// count-up-to-down
+//===----------------------------------------------------------------------===//
+
+std::vector<Step> synth::proposeCountUpToDown(const Description &Current) {
+  std::vector<Step> Out;
+  for (const Routine *R : Current.routines()) {
+    forEachStmt(R->Body, [&](const Stmt &S) {
+      const auto *Loop = dyn_cast<RepeatStmt>(&S);
+      if (!Loop || Loop->getBody().empty())
+        return;
+      // Head: exit_when (i = n) in either operand order.
+      const auto *Head = dyn_cast<ExitWhenStmt>(Loop->getBody().front().get());
+      if (!Head)
+        return;
+      const auto *Cmp = dyn_cast<BinaryExpr>(Head->getCond());
+      if (!Cmp || Cmp->getOp() != BinaryOp::Eq)
+        return;
+      const auto *L = dyn_cast<VarRef>(Cmp->getLHS());
+      const auto *Rv = dyn_cast<VarRef>(Cmp->getRHS());
+      if (!L || !Rv)
+        return;
+      // Tail: i <- i + 1 for one of the compared variables; the other is
+      // the bound. The rule itself re-checks the `i <- 0` initialization
+      // and the bound's liveness, so the proposal only needs the shape.
+      const auto *Tail = dyn_cast<AssignStmt>(Loop->getBody().back().get());
+      if (!Tail)
+        return;
+      const auto *Target = dyn_cast<VarRef>(Tail->getTarget());
+      if (!Target)
+        return;
+      std::string Index, Bound;
+      if (Target->getName() == L->getName())
+        Index = L->getName(), Bound = Rv->getName();
+      else if (Target->getName() == Rv->getName())
+        Index = Rv->getName(), Bound = L->getName();
+      else
+        return;
+      // Reuse the bound as the down counter (the rule's in-place branch):
+      // the instruction side counts its own operand register down, so a
+      // fresh counter name would only block the final binding.
+      Out.push_back(Step{"count-up-to-down",
+                         "",
+                         {{"index-var", Index},
+                          {"bound-var", Bound},
+                          {"counter-var", Bound}}});
+    });
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// record-exit-cause
+//===----------------------------------------------------------------------===//
+
+std::vector<Proposal>
+synth::proposeRecordExitCause(const Description &Current,
+                              const Vocabulary &Vocab) {
+  const Routine *Entry = Current.entryRoutine();
+  if (!Entry)
+    return {};
+  // The rule discriminates a two-exit loop in the entry routine.
+  bool TwoExit = false;
+  forEachStmt(Entry->Body, [&](const Stmt &S) {
+    const auto *Loop = dyn_cast<RepeatStmt>(&S);
+    if (!Loop)
+      return;
+    unsigned Exits = 0;
+    for (const StmtPtr &B : Loop->getBody())
+      if (isa<ExitWhenStmt>(B.get()))
+        ++Exits;
+    if (Exits >= 2)
+      TwoExit = true;
+  });
+  if (!TwoExit)
+    return {};
+
+  std::vector<Proposal> Out;
+  for (const std::string &Flag : Vocab.Flags) {
+    if (Current.findDecl(Flag) || Current.findRoutine(Flag) ||
+        transform::detail::isReferenced(Current, Flag))
+      continue;
+    Proposal P;
+    P.Steps.push_back(Step{"allocate-temp",
+                           "",
+                           {{"name", Flag},
+                            {"type", "flag"},
+                            {"section", "STATE"}}});
+    P.Steps.push_back(Step{"record-exit-cause", "", {{"flag", Flag}}});
+    P.Rationale = "two-exit loop: record the exit cause in fresh flag '" +
+                  Flag + "'";
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Combined entry point
+//===----------------------------------------------------------------------===//
+
+std::vector<Proposal>
+synth::synthesizeProposals(const Description &Current, const Description &Other,
+                           bool CurrentIsInstruction,
+                           const Vocabulary &Vocab) {
+  std::vector<Proposal> Out = proposeRecordExitCause(Current, Vocab);
+  // Multi-site index-to-pointer as one atomic proposal: converting the
+  // sites one ply at a time re-derives the names against the *shrunken*
+  // site set (the second of pa/pb would come out as "ptr"), so the whole
+  // family is proposed together with names minted from the full set.
+  {
+    std::vector<Step> I2P = proposeIndexToPointer(Current);
+    if (I2P.size() >= 2) {
+      Proposal P;
+      P.Rationale = "convert all " + std::to_string(I2P.size()) +
+                    " base+index access patterns to pointers";
+      P.Steps = std::move(I2P);
+      Out.push_back(std::move(P));
+    }
+  }
+  if (CurrentIsInstruction) {
+    std::vector<Proposal> Augments = proposeAugments(Other, Current, Vocab);
+    for (Proposal &P : Augments)
+      Out.push_back(std::move(P));
+  }
+  return Out;
+}

@@ -133,6 +133,88 @@ TEST(SearcherTest, DiscoversMovc5Pc2Clear) {
   expectDiscoveryMatchesRecorded("vax.movc5/pc2.clear");
 }
 
+TEST(SearcherTest, DiscoversLoccRigelIndex) {
+  expectDiscoveryMatchesRecorded("vax.locc/rigel.index");
+}
+
+TEST(SearcherTest, DiscoversLoccCluSearch) {
+  expectDiscoveryMatchesRecorded("vax.locc/clu.search");
+}
+
+TEST(SearcherTest, DiscoversSkpcRigelSpan) {
+  expectDiscoveryMatchesRecorded("vax.skpc/rigel.span");
+}
+
+TEST(SearcherTest, DiscoversMovsbSmove) {
+  expectDiscoveryMatchesRecorded("i8086.movsb/pascal.smove");
+}
+
+TEST(SearcherTest, DiscoversMovsbPl1Move) {
+  expectDiscoveryMatchesRecorded("i8086.movsb/pl1.move");
+}
+
+TEST(SearcherTest, DiscoversMajorityOfRecordedPairings) {
+  // The headline acceptance bar: run the searcher over every recorded
+  // pairing and require at least 8 of the 14 to be discovered, verified
+  // end to end, *and* land on the recorded constraint set. A single
+  // round at the base width keeps the unreachable pairings cheap — every
+  // discoverable pairing is found without widening.
+  SearchLimits Limits;
+  Limits.Widenings = 0;
+
+  unsigned Matching = 0;
+  std::vector<const analysis::AnalysisCase *> All;
+  for (const analysis::AnalysisCase &C : analysis::table2Cases())
+    All.push_back(&C);
+  for (const analysis::AnalysisCase &C : analysis::extendedCases())
+    All.push_back(&C);
+  All.push_back(&analysis::movc3SassignCase());
+  ASSERT_EQ(All.size(), 14u);
+
+  for (const analysis::AnalysisCase *C : All) {
+    DiscoveryResult R =
+        discoverAndVerify(C->OperatorId, C->InstructionId, Limits);
+    if (!R.Outcome.Found || !R.Verified)
+      continue;
+    analysis::AnalysisResult Replay = analysis::runAnalysis(*C);
+    ASSERT_TRUE(Replay.Succeeded) << C->Id;
+    if (constraintLines(R.Replay.Constraints) ==
+        constraintLines(Replay.Constraints))
+      ++Matching;
+  }
+  EXPECT_GE(Matching, 8u);
+}
+
+TEST(SearcherTest, LengthLambdaPrefersShortScripts) {
+  // Cost-guided beam score regression: with the default length weight,
+  // the movc3/pc2.copy discovery must converge and ride a script no
+  // longer than the recorded derivation (3 steps total); with the weight
+  // off, the search must still converge on distance alone.
+  const analysis::AnalysisCase *Recorded =
+      analysis::findCase("vax.movc3/pc2.copy");
+  ASSERT_NE(Recorded, nullptr);
+  size_t RecordedLen =
+      Recorded->OperatorScript.size() + Recorded->InstructionScript.size();
+
+  SearchLimits Weighted;
+  DiscoveryResult R =
+      discoverAndVerify(Recorded->OperatorId, Recorded->InstructionId,
+                        Weighted);
+  ASSERT_TRUE(R.Outcome.Found) << R.Outcome.FailureReason;
+  EXPECT_TRUE(R.Verified);
+  EXPECT_LE(R.Outcome.OperatorScript.size() +
+                R.Outcome.InstructionScript.size(),
+            RecordedLen);
+
+  SearchLimits Unweighted;
+  Unweighted.LengthLambda = 0;
+  DiscoveryResult R0 =
+      discoverAndVerify(Recorded->OperatorId, Recorded->InstructionId,
+                        Unweighted);
+  ASSERT_TRUE(R0.Outcome.Found) << R0.Outcome.FailureReason;
+  EXPECT_TRUE(R0.Verified);
+}
+
 TEST(SearcherTest, TrivialSelfPairSucceedsImmediately) {
   auto D = descriptions::load("pc2.clear");
   SearchOutcome Out = searchDerivation(*D, *D, SearchLimits());

@@ -165,9 +165,14 @@ int cmdSuggest(int argc, char **argv) {
   auto Target = descriptions::load(argv[3]);
   std::printf("structural distance %s -> %s: %u\n\n", argv[2], argv[3],
               structuralDistance(*Current, *Target));
-  for (const Suggestion &S : suggestSteps(*Current, *Target, 10))
+  for (const Suggestion &S : suggestSteps(*Current, *Target, 10)) {
     std::printf("  %-60s (distance after: %u)\n", S.S.str().c_str(),
                 S.DistanceAfter);
+    // Synthesized proposals are multi-step: the distance holds only if
+    // the follow-up steps are applied too.
+    for (const transform::Step &F : S.Follow)
+      std::printf("    then: %s\n", F.str().c_str());
+  }
   return 0;
 }
 
