@@ -1,0 +1,97 @@
+//===- BenchSupport.h - Machine-readable benchmark summaries ----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// Shared main-loop helper for the bench_* binaries: runs the registered
+// benchmarks through the normal console reporter and *additionally*
+// prints one machine-readable line per run to stdout:
+//
+//   BENCH_JSON {"bench":"<binary>","name":"<benchmark>","iterations":N,
+//               "ns_per_op":X,"counters":{"k":v,...}}
+//
+// scripts/run_benches.sh greps the `BENCH_JSON ` prefix out of the mixed
+// console output and collects every suite's lines into a single JSONL
+// file — no dependence on --benchmark_format=json, which would swallow
+// the human-readable tables these binaries exist to print.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_BENCH_BENCHSUPPORT_H
+#define EXTRA_BENCH_BENCHSUPPORT_H
+
+#include "obs/Trace.h"
+
+#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+
+namespace extra_bench {
+
+/// Console reporter that also emits one `BENCH_JSON {...}` line per
+/// benchmark run (aggregates and errored runs are skipped).
+class JsonLineReporter : public benchmark::ConsoleReporter {
+public:
+  // OO_Tabular, not OO_Defaults: the default forces ANSI color even
+  // when stdout is a pipe, and the escape codes would prefix the
+  // BENCH_JSON lines run_benches.sh greps for.
+  explicit JsonLineReporter(std::string BenchName)
+      : benchmark::ConsoleReporter(OO_Tabular), Bench(std::move(BenchName)) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      double NsPerOp =
+          R.iterations > 0
+              ? R.real_accumulated_time / static_cast<double>(R.iterations) *
+                    1e9
+              : 0.0;
+      std::string Line = "BENCH_JSON {\"bench\":\"" +
+                         extra::obs::jsonEscape(Bench) + "\",\"name\":\"" +
+                         extra::obs::jsonEscape(R.benchmark_name()) + "\"";
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), ",\"iterations\":%lld",
+                    static_cast<long long>(R.iterations));
+      Line += Buf;
+      std::snprintf(Buf, sizeof(Buf), ",\"ns_per_op\":%.3f", NsPerOp);
+      Line += Buf;
+      Line += ",\"counters\":{";
+      bool First = true;
+      for (const auto &[Name, Counter] : R.counters) {
+        if (!First)
+          Line += ',';
+        First = false;
+        std::snprintf(Buf, sizeof(Buf), "%.6g",
+                      static_cast<double>(Counter));
+        Line += "\"" + extra::obs::jsonEscape(Name) + "\":" + Buf;
+      }
+      Line += "}}";
+      std::printf("%s\n", Line.c_str());
+    }
+  }
+
+private:
+  std::string Bench;
+};
+
+/// Drop-in replacement for the Initialize/RunSpecifiedBenchmarks pair at
+/// the bottom of each bench main. \p argv[0] names the suite in the
+/// BENCH_JSON lines.
+inline int runBenchmarks(int argc, char **argv) {
+  std::string Name = argc > 0 && argv[0] ? argv[0] : "bench";
+  // Strip the directory part; CI paths would otherwise differ per runner.
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  benchmark::Initialize(&argc, argv);
+  JsonLineReporter Reporter(Name);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  return 0;
+}
+
+} // namespace extra_bench
+
+#endif // EXTRA_BENCH_BENCHSUPPORT_H

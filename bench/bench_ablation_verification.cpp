@@ -18,6 +18,8 @@
 #include "analysis/DiffCheck.h"
 #include "descriptions/Descriptions.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <chrono>
 #include <cstdio>
@@ -76,7 +78,5 @@ BENCHMARK(BM_ReplayWithVerifier)->Arg(8)->Arg(32);
 
 int main(int argc, char **argv) {
   printAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

@@ -24,6 +24,8 @@
 #include "sim/Sim8086.h"
 #include "sim/SimVax.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 #include <functional>
@@ -199,7 +201,5 @@ BENCHMARK(BM_Sim8086DecomposedIndex)->Arg(16)->Arg(256);
 
 int main(int argc, char **argv) {
   printSpeedupTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

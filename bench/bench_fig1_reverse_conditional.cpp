@@ -17,6 +17,8 @@
 #include "isdl/Parser.h"
 #include "isdl/Printer.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 
@@ -86,7 +88,5 @@ BENCHMARK(BM_EngineStepOverhead);
 
 int main(int argc, char **argv) {
   printFigure1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

@@ -17,6 +17,8 @@
 #include "descriptions/Descriptions.h"
 #include "isdl/Printer.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 
@@ -93,7 +95,5 @@ BENCHMARK(BM_FullScasbDerivation);
 
 int main(int argc, char **argv) {
   printFigures();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

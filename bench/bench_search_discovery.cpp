@@ -23,6 +23,9 @@
 #include "search/BatchDriver.h"
 
 #include "analysis/Derivations.h"
+#include "obs/Metrics.h"
+
+#include "BenchSupport.h"
 
 #include <benchmark/benchmark.h>
 #include <cstdio>
@@ -54,6 +57,10 @@ void printDiscoveryReport() {
   BatchOptions Opts;
   Opts.Threads = 4;
   Opts.Limits = reportLimits();
+  // Per-pairing wall times aggregate into the batch.case_wall_ms
+  // histogram (src/obs) alongside the per-result timings.
+  obs::Metrics Met;
+  Opts.Limits.Metrics = &Met;
   BatchStats Stats;
   std::vector<BatchResult> Results =
       runBatch(libraryCases(), Opts, &Stats);
@@ -77,7 +84,7 @@ void printDiscoveryReport() {
     std::printf("  %-28s %-10s %-10zu %-8llu %-8s %-9.1f %s\n",
                 R.Case.Id.c_str(), DiscLen, RecordedLen,
                 static_cast<unsigned long long>(O.Stats.NodesExpanded),
-                HitRate, O.Stats.WallMs,
+                HitRate, R.WallMs,
                 O.Found ? (R.Discovery.Verified ? "VERIFIED" : "UNVERIFIED")
                         : "not found");
   }
@@ -86,6 +93,14 @@ void printDiscoveryReport() {
               "%u thread(s), %.1f ms wall\n",
               Stats.Discovered, Stats.Cases, Stats.Verified,
               Stats.ThreadsUsed, Stats.WallMs);
+  obs::Histogram::Snapshot CaseWall =
+      Met.histogram("batch.case_wall_ms").snapshot();
+  std::printf("  per-case wall: %.1f ms summed over %llu case(s), "
+              "median ~%llu ms, slowest %s at %.1f ms\n",
+              Stats.CaseWallMs,
+              static_cast<unsigned long long>(CaseWall.Count),
+              static_cast<unsigned long long>(CaseWall.P50),
+              Stats.SlowestCase.c_str(), Stats.SlowestCaseMs);
   std::printf("  every discovery replays through the full analysis "
               "pipeline: per-step differential\n  checks, common-form "
               "match, binding constraints, end-to-end equivalence.\n");
@@ -138,7 +153,5 @@ BENCHMARK(benchBatch)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printDiscoveryReport();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

@@ -19,6 +19,8 @@
 #include "interp/Interp.h"
 #include "sim/Sim8086.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 
@@ -118,7 +120,5 @@ BENCHMARK(BM_InterpretIndexDescription);
 
 int main(int argc, char **argv) {
   printListings();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

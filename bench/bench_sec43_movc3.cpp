@@ -22,6 +22,8 @@
 
 #include "analysis/Derivations.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 
@@ -74,7 +76,5 @@ BENCHMARK(BM_ExtensionModeAnalysis);
 
 int main(int argc, char **argv) {
   printCase();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

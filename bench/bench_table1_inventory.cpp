@@ -21,6 +21,8 @@
 #include "isdl/Validate.h"
 #include "support/StringUtil.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 
@@ -77,7 +79,5 @@ BENCHMARK(BM_ValidateDescriptionLibrary);
 
 int main(int argc, char **argv) {
   printTable1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

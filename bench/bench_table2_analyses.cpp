@@ -18,6 +18,8 @@
 
 #include "analysis/Derivations.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 #include <cstdio>
 
@@ -82,7 +84,5 @@ BENCHMARK_CAPTURE(benchCase, movc3_pc2, "vax.movc3/pc2.copy");
 
 int main(int argc, char **argv) {
   printTable2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return extra_bench::runBenchmarks(argc, argv);
 }

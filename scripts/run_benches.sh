@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary and collects the BENCH_JSON summary lines
+# (bench/BenchSupport.h) into one JSONL file.
+#
+# usage: scripts/run_benches.sh [build-dir] [out-file]
+#   build-dir  defaults to ./build
+#   out-file   defaults to <build-dir>/bench-summary.jsonl
+#
+# The full console output of each suite still goes to stdout; the JSONL
+# file holds one object per benchmark run:
+#   {"bench":"<binary>","name":"<benchmark>","iterations":N,
+#    "ns_per_op":X,"counters":{...}}
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-${BUILD_DIR}/bench-summary.jsonl}"
+
+if [ ! -d "${BUILD_DIR}" ]; then
+  echo "error: build directory '${BUILD_DIR}' not found" >&2
+  exit 2
+fi
+
+BENCHES=$(find "${BUILD_DIR}" -maxdepth 2 -name 'bench_*' -type f -perm -u+x |
+          sort)
+if [ -z "${BENCHES}" ]; then
+  echo "error: no bench_* binaries under '${BUILD_DIR}' (build first)" >&2
+  exit 2
+fi
+
+: > "${OUT}"
+STATUS=0
+for B in ${BENCHES}; do
+  echo "==== $(basename "${B}") ===="
+  # tee keeps the human-readable report visible while the grep peels off
+  # the machine-readable lines; `sed` strips the prefix so the file is
+  # plain JSONL.
+  if ! "${B}" | tee /dev/stderr |
+      grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //' >> "${OUT}"; then
+    # grep finding no lines is only fatal if the binary itself failed.
+    RC=${PIPESTATUS[0]}
+    if [ "${RC}" -ne 0 ]; then
+      echo "error: $(basename "${B}") exited ${RC}" >&2
+      STATUS=1
+    fi
+  fi
+done
+
+echo "collected $(wc -l < "${OUT}") benchmark summaries -> ${OUT}"
+exit "${STATUS}"

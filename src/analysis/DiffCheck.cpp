@@ -8,6 +8,8 @@
 
 #include "isdl/Printer.h"
 
+#include <chrono>
+
 using namespace extra;
 using namespace extra::analysis;
 using namespace extra::isdl;
@@ -204,7 +206,20 @@ analysis::makeStepVerifier(const ConstraintSet &Constraints,
       }
       Map = Obs.Adapter;
     }
-    return equivalentOnRandomInputs(Obs.Before, Obs.After, &Constraints, Map,
-                                    Opts, Error);
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point Start;
+    if (Opts.Metrics)
+      Start = Clock::now();
+    bool Ok = equivalentOnRandomInputs(Obs.Before, Obs.After, &Constraints,
+                                       Map, Opts, Error);
+    if (Opts.Metrics) {
+      Opts.Metrics->histogram("verify.ns")
+          .record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - Start)
+                  .count()));
+      Opts.Metrics->counter(Ok ? "verify.pass" : "verify.fail").add();
+    }
+    return Ok;
   };
 }

@@ -22,6 +22,7 @@
 
 #include "constraint/Constraint.h"
 #include "interp/Interp.h"
+#include "obs/Metrics.h"
 #include "transform/Transform.h"
 
 #include <cstdint>
@@ -37,6 +38,10 @@ struct DiffOptions {
   uint64_t Seed = 0x5EED1982;  ///< Deterministic by default.
   uint64_t MemoryCells = 96;   ///< Random bytes planted from address 0.
   int64_t SmallValueMax = 24;  ///< Cap for unbounded integer operands.
+  /// Optional metrics registry (non-owning). Verifiers built by
+  /// makeStepVerifier record `verify.pass`/`verify.fail` counters and the
+  /// `verify.ns` latency histogram; null disables for one branch.
+  obs::Metrics *Metrics = nullptr;
 };
 
 /// Draws one input vector for \p D: values honor declared register

@@ -9,6 +9,7 @@
 #include "isdl/Printer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 using namespace extra;
@@ -332,10 +333,10 @@ void computeDivergence(MatchResult &Result, const std::string &NameA,
   }
 }
 
-} // namespace
-
-MatchResult isdl::matchDescriptions(const Description &A,
-                                    const Description &B) {
+/// The uninstrumented matcher; the public entry point wraps it with
+/// metrics and trace reporting.
+MatchResult matchDescriptionsImpl(const Description &A,
+                                  const Description &B) {
   MatchResult Result;
   const Routine *EntryA = A.entryRoutine();
   const Routine *EntryB = B.entryRoutine();
@@ -407,5 +408,54 @@ MatchResult isdl::matchDescriptions(const Description &A,
   }
 
   Result.Matched = true;
+  return Result;
+}
+
+} // namespace
+
+MatchResult isdl::matchDescriptions(const Description &A, const Description &B,
+                                    obs::Metrics *Metrics,
+                                    obs::TraceSink *Trace,
+                                    uint64_t TraceSpan) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+  if (Metrics)
+    Start = Clock::now();
+
+  MatchResult Result = matchDescriptionsImpl(A, B);
+
+  if (Metrics) {
+    Metrics->histogram("match.ns")
+        .record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - Start)
+                .count()));
+    Metrics->counter("match.attempt").add();
+    if (Result.Matched)
+      Metrics->counter("match.success").add();
+    else
+      // Failure cause taxonomy: a routine-body divergence (the common
+      // case, and the one synthesis can act on) vs. a pre-body failure.
+      Metrics->counter(std::string("match.fail.") +
+                       (Result.Divergence.Valid ? "body-divergence"
+                                                : "pre-body"))
+          .add();
+  }
+
+  if (Trace && Trace->enabled() && !Result.Matched) {
+    obs::Payload P;
+    P.add("matched", false).add("mismatch", Result.Mismatch);
+    if (Result.Divergence.Valid) {
+      const DivergenceReport &D = Result.Divergence;
+      P.add("routine_a", D.RoutineA)
+          .add("routine_b", D.RoutineB)
+          .add("span_a_begin", static_cast<uint64_t>(D.SpanA.Begin))
+          .add("span_a_size", static_cast<uint64_t>(D.SpanA.size()))
+          .add("span_b_begin", static_cast<uint64_t>(D.SpanB.Begin))
+          .add("span_b_size", static_cast<uint64_t>(D.SpanB.size()))
+          .add("detail", D.Detail);
+    }
+    Trace->event("match-divergence", TraceSpan, std::move(P));
+  }
   return Result;
 }

@@ -19,6 +19,8 @@
 #define EXTRA_ISDL_EQUIV_H
 
 #include "isdl/AST.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <map>
 #include <string>
@@ -119,7 +121,17 @@ bool matchStmts(const StmtList &A, const StmtList &B, NameBinding &Binding,
 /// do not need to agree on width/type — width differences become range
 /// constraints, derived later from the binding — but every name referenced
 /// by matched code must be declared on its side.
-MatchResult matchDescriptions(const Description &A, const Description &B);
+///
+/// Observability (both optional, non-owning): with \p Metrics installed
+/// the call records `match.attempt`, `match.success` or
+/// `match.fail.<cause>`, and the `match.ns` latency histogram; with an
+/// enabled \p Trace sink, a failing match emits a "match-divergence"
+/// event under \p TraceSpan carrying the diverging routine pair and the
+/// unmatched statement spans of the DivergenceReport.
+MatchResult matchDescriptions(const Description &A, const Description &B,
+                              obs::Metrics *Metrics = nullptr,
+                              obs::TraceSink *Trace = nullptr,
+                              uint64_t TraceSpan = 0);
 
 } // namespace isdl
 } // namespace extra

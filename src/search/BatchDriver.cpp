@@ -41,8 +41,20 @@ std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
     for (size_t I = Next.fetch_add(1); I < Cases.size();
          I = Next.fetch_add(1)) {
       const BatchCase &C = Cases[I];
+      // Per-case limits: the trace label is the case id, so all searches
+      // can share one sink and still be told apart in the postmortem.
+      SearchLimits L = Opts.Limits;
+      if (L.TraceLabel.empty())
+        L.TraceLabel = C.Id;
+      Clock::time_point CaseStart = Clock::now();
       Results[I].Discovery =
-          discoverAndVerify(C.OperatorId, C.InstructionId, Opts.Limits, C.M);
+          discoverAndVerify(C.OperatorId, C.InstructionId, L, C.M);
+      Results[I].WallMs =
+          std::chrono::duration<double, std::milli>(Clock::now() - CaseStart)
+              .count();
+      if (L.Metrics)
+        L.Metrics->histogram("batch.case_wall_ms")
+            .record(static_cast<uint64_t>(Results[I].WallMs));
     }
   };
 
@@ -67,6 +79,11 @@ std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
       Stats->NodesExpanded += R.Discovery.Outcome.Stats.NodesExpanded;
       Stats->HashHits += R.Discovery.Outcome.Stats.HashHits;
       Stats->DeadEnds += R.Discovery.Outcome.Stats.DeadEnds;
+      Stats->CaseWallMs += R.WallMs;
+      if (R.WallMs > Stats->SlowestCaseMs) {
+        Stats->SlowestCaseMs = R.WallMs;
+        Stats->SlowestCase = R.Case.Id;
+      }
     }
     Stats->WallMs =
         std::chrono::duration<double, std::milli>(Clock::now() - Start)

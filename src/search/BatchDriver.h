@@ -47,6 +47,10 @@ struct BatchOptions {
 struct BatchResult {
   BatchCase Case;
   DiscoveryResult Discovery;
+  /// Wall time this case spent in discoverAndVerify (search + replay).
+  /// Also recorded in the `batch.case_wall_ms` histogram when a metrics
+  /// registry rides in BatchOptions::Limits.
+  double WallMs = 0;
 };
 
 /// Aggregated counters for one batch run.
@@ -58,7 +62,10 @@ struct BatchStats {
   uint64_t NodesExpanded = 0;
   uint64_t HashHits = 0;
   uint64_t DeadEnds = 0;
-  double WallMs = 0; ///< Batch wall time (not the per-case sum).
+  double WallMs = 0;        ///< Batch wall time (not the per-case sum).
+  double CaseWallMs = 0;    ///< Sum of per-case wall times (CPU-ish cost).
+  double SlowestCaseMs = 0; ///< Longest single case.
+  std::string SlowestCase;  ///< Its id.
 };
 
 /// Runs every case, in parallel, and returns results in input order.

@@ -1,0 +1,108 @@
+//===- Postmortem.h - Why did the beam lose the recorded line? --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Answers, from a search trace, the question a failed discovery leaves
+/// open: *where* did the beam lose the derivation the 1982 user found by
+/// hand, and *why*? The recorded scripts are replayed through the
+/// transform engine, capturing the rename-invariant canonical
+/// fingerprint of every (operator-prefix, instruction-prefix) state — the
+/// "recorded line". The trace's frontier/prune events (Searcher.cpp) are
+/// then walked for the widest beam round:
+///
+///  * the first beam depth at which no surviving frontier state lies on
+///    the recorded line is the *divergence depth*;
+///  * the recorded step the last on-line state needed next is the
+///    *needed rule*, reported with its rank in the priors-ordered
+///    candidate pool at that state (or "not proposed" — the gap is in
+///    enumeration, not ranking);
+///  * the prune event that removed the on-line successor names the
+///    mechanism: score-cutoff (with the margin), duplicate-fingerprint,
+///    verify-reject, or never-generated.
+///
+/// This is ROADMAP item 1's diagnostic loop: instead of staring at a
+/// failed scasb search, the postmortem says "depth 4, needed
+/// fix-operand-value(zf,1), proposed at rank 31 of 44, pruned by
+/// score-cutoff 1.8 above the bar".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SEARCH_POSTMORTEM_H
+#define EXTRA_SEARCH_POSTMORTEM_H
+
+#include "analysis/Analysis.h"
+#include "obs/TraceFile.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace search {
+
+struct PostmortemOptions {
+  /// Selects among several "search" spans in one trace by the span's
+  /// "case" payload (exact match, then substring). Empty: the trace must
+  /// contain exactly one search span.
+  std::string CaseFilter;
+};
+
+/// The reconstructed story of one search against one recorded line.
+struct PostmortemReport {
+  bool Ok = false;   ///< False: the trace could not be analyzed (Error set).
+  std::string Error;
+
+  std::string Case;          ///< "case" label of the analyzed search span.
+  unsigned RoundsTraced = 0; ///< Beam rounds the search ran.
+  unsigned RoundAnalyzed = 0;///< Index of the analyzed (widest) round.
+  bool GoalReached = false;  ///< The traced search itself found a goal.
+
+  /// True when the recorded line fell out of the beam; the fields below
+  /// are then valid. False: the line survived every traced depth (or the
+  /// search succeeded on its own).
+  bool Diverged = false;
+  unsigned DivergenceDepth = 0;  ///< First depth with no on-line survivor.
+  unsigned RecordedOpSteps = 0;  ///< Operator-script progress at the last
+                                 ///< on-line state...
+  unsigned RecordedInstSteps = 0;///< ...and instruction-script progress.
+
+  std::string NeededRule;   ///< Recorded step the beam needed next.
+  std::string NeededSide;   ///< "operator" or "instruction".
+  /// 1-based rank of the exact needed step in the priors-ordered
+  /// candidate pool at the last on-line state; -1 when the enumerator
+  /// never proposes it (argument synthesis gap).
+  int NeededRank = -1;
+  /// 1-based rank of the needed step's *rule family* (first candidate
+  /// with the same rule name); -1 when the rule is absent entirely.
+  int NeededRuleRank = -1;
+  int CandidatePool = 0;    ///< Candidate pool size at that state.
+
+  /// How the on-line successor left the beam: "score-cutoff",
+  /// "duplicate-fingerprint", "verify-reject", or "never-generated"
+  /// (the candidate loop never produced the state at all).
+  std::string PruneReason;
+  double PrunedScore = 0; ///< Valid for score-cutoff prunes:
+  double CutoffScore = 0; ///< the loser's score and the survival bar.
+
+  /// reason -> count over every prune event of the analyzed round.
+  std::map<std::string, uint64_t> PruneBreakdown;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+};
+
+/// Analyzes \p Trace (obs::readTrace of a searcher trace) against the
+/// recorded derivation \p Recorded. Deterministic; never throws — a
+/// malformed or unrelated trace yields Ok=false with Error set.
+PostmortemReport postmortem(const std::vector<obs::TraceRecord> &Trace,
+                            const analysis::AnalysisCase &Recorded,
+                            const PostmortemOptions &Opts = {});
+
+} // namespace search
+} // namespace extra
+
+#endif // EXTRA_SEARCH_POSTMORTEM_H

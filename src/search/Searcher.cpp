@@ -13,6 +13,7 @@
 #include "isdl/Equiv.h"
 #include "isdl/Traverse.h"
 #include "search/Canon.h"
+#include "support/StringUtil.h"
 #include "synth/Synth.h"
 
 #include <algorithm>
@@ -200,6 +201,11 @@ struct Node {
   /// getting there survives truncation — and the first goal reached rides
   /// the shortest script.
   double Score = 0;
+  /// Provenance for trace events (filled only when tracing is on): the
+  /// driving rule of the step burst that produced this node and the side
+  /// it applied to (0 = operator, 1 = instruction).
+  std::string ViaRule;
+  int ViaSide = 0;
 };
 
 /// Shared mutable context of one searchDerivation call.
@@ -208,6 +214,14 @@ struct SearchContext {
   SearchStats Stats;
   Clock::time_point Deadline;
   analysis::DiffOptions VerifyOpts;
+
+  /// The trace sink (the shared no-op sink when tracing is off, so call
+  /// sites guard on enabled() only).
+  obs::TraceSink &trace() const {
+    return Limits.Trace ? *Limits.Trace : obs::TraceSink::noop();
+  }
+  /// The metrics registry, or null.
+  obs::Metrics *met() const { return Limits.Metrics; }
 
   bool exhausted() {
     if (Stats.NodesExpanded >= Limits.MaxNodes ||
@@ -218,6 +232,24 @@ struct SearchContext {
     return false;
   }
 };
+
+/// Payload fragment shared by frontier/prune/goal events: the state's
+/// canonical fingerprints and score breakdown.
+obs::Payload statePayload(const Node &N, unsigned Depth, unsigned Round) {
+  obs::Payload P;
+  P.add("depth", Depth)
+      .add("round", Round)
+      .addHex("fp_op", N.FpOp)
+      .addHex("fp_inst", N.FpInst)
+      .add("score", N.Score)
+      .add("distance", N.Distance)
+      .add("steps_op", static_cast<uint64_t>(N.OpScript.size()))
+      .add("steps_inst", static_cast<uint64_t>(N.InstScript.size()));
+  if (!N.ViaRule.empty())
+    P.add("rule", N.ViaRule)
+        .add("side", N.ViaSide == 0 ? "operator" : "instruction");
+  return P;
+}
 
 /// Applies cleanup rules to a fixed point, recording each applied step.
 /// The closure list is re-ordered before every scan by the rule-bigram
@@ -307,11 +339,20 @@ void pinAndSimplify(transform::Engine &E, const Step &Fix, Script &Recorded) {
 }
 
 /// Confirms a fingerprint-equal state and assembles the success outcome.
-bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out) {
+/// \p Span parents the trace events ("goal" on success, the match layer's
+/// "match-divergence" on a fingerprint collision).
+bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out,
+                 unsigned Depth, unsigned Round, uint64_t Span) {
   ++Ctx.Stats.GoalChecks;
-  MatchResult Match = matchDescriptions(N.Op, N.Inst);
-  if (!Match.Matched)
+  obs::TraceSink &T = Ctx.trace();
+  MatchResult Match = matchDescriptions(N.Op, N.Inst, Ctx.met(), &T, Span);
+  if (!Match.Matched) {
+    if (Ctx.met())
+      Ctx.met()->counter("search.goal.fingerprint-collision").add();
     return false; // Fingerprint collision; keep searching.
+  }
+  if (T.enabled())
+    T.event("goal", Span, statePayload(N, Depth, Round));
   Out.Found = true;
   Out.OperatorScript = N.OpScript;
   Out.InstructionScript = N.InstScript;
@@ -324,15 +365,27 @@ bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out) {
 
 /// One beam round at a fixed width. Returns true when a derivation was
 /// found (Out filled in); false on exhaustion of the beam or budgets.
+/// \p RoundIdx and \p SearchSpan place the round in the trace.
 bool beamRound(const Description &Operator, const Description &Instruction,
-               unsigned Width, SearchContext &Ctx, SearchOutcome &Out) {
+               unsigned Width, SearchContext &Ctx, SearchOutcome &Out,
+               unsigned RoundIdx, uint64_t SearchSpan) {
+  obs::TraceSink &T = Ctx.trace();
+  obs::Payload RoundP;
+  if (T.enabled())
+    RoundP.add("round", RoundIdx).add("width", Width);
+  obs::ScopedSpan RoundSpan(T, "round", SearchSpan, std::move(RoundP));
+
   Node Root;
   Root.Op = Operator.clone();
   Root.Inst = Instruction.clone();
   Root.FpOp = fingerprint(Root.Op);
   Root.FpInst = fingerprint(Root.Inst);
   Root.Distance = analysis::structuralDistance(Root.Op, Root.Inst);
-  if (Root.FpOp == Root.FpInst && confirmGoal(Root, Ctx, Out))
+  Root.Score = Root.Distance;
+  if (T.enabled())
+    RoundSpan.event("frontier", statePayload(Root, 0, RoundIdx));
+  if (Root.FpOp == Root.FpInst &&
+      confirmGoal(Root, Ctx, Out, 0, RoundIdx, RoundSpan.id()))
     return true;
 
   std::unordered_set<uint64_t> Seen;
@@ -344,12 +397,27 @@ bool beamRound(const Description &Operator, const Description &Instruction,
   const analysis::Priors &Priors = analysis::Priors::instance();
 
   for (unsigned Depth = 1; Depth <= Ctx.Limits.MaxDepth; ++Depth) {
+    obs::Payload DepthP;
+    if (T.enabled())
+      DepthP.add("depth", Depth)
+          .add("round", RoundIdx)
+          .add("frontier", static_cast<uint64_t>(Frontier.size()));
+    obs::ScopedSpan DepthSpan(T, "depth", RoundSpan.id(), std::move(DepthP));
+
     std::vector<Node> Children;
     bool Goal = false;
     for (Node &N : Frontier) {
       if (Ctx.exhausted())
         return false;
       ++Ctx.Stats.NodesExpanded;
+
+      obs::Payload ExpandP;
+      if (T.enabled())
+        ExpandP.addHex("fp_op", N.FpOp)
+            .addHex("fp_inst", N.FpInst)
+            .add("score", N.Score);
+      obs::ScopedSpan ExpandSpan(T, "expand", DepthSpan.id(),
+                                 std::move(ExpandP));
 
       for (int Side = 0; Side < 2 && !Goal; ++Side) {
         const Description &Cur = Side == 0 ? N.Op : N.Inst;
@@ -365,6 +433,21 @@ bool beamRound(const Description &Operator, const Description &Instruction,
                                    : pairKey(N.FpOp, NewFp);
           if (!Seen.insert(Key).second) {
             ++Ctx.Stats.HashHits;
+            if (Ctx.met())
+              Ctx.met()->counter("search.prune.duplicate-fingerprint").add();
+            if (T.enabled())
+              T.event("prune", ExpandSpan.id(),
+                      obs::Payload()
+                          .add("reason", "duplicate-fingerprint")
+                          .add("depth", Depth)
+                          .add("round", RoundIdx)
+                          .addHex("fp_op", Side == 0 ? NewFp : N.FpOp)
+                          .addHex("fp_inst", Side == 0 ? N.FpInst : NewFp)
+                          .add("rule", AppliedSteps.empty()
+                                           ? std::string("?")
+                                           : AppliedSteps.front().Rule)
+                          .add("side",
+                               Side == 0 ? "operator" : "instruction"));
             return false;
           }
           ++Ctx.Stats.NodesGenerated;
@@ -396,8 +479,13 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           Child.Score = Child.Distance +
                         Ctx.Limits.LengthLambda *
                             (Child.OpScript.size() + Child.InstScript.size());
+          if (T.enabled() && !AppliedSteps.empty()) {
+            Child.ViaRule = AppliedSteps.front().Rule;
+            Child.ViaSide = Side;
+          }
 
-          if (Child.FpOp == Child.FpInst && confirmGoal(Child, Ctx, Out))
+          if (Child.FpOp == Child.FpInst &&
+              confirmGoal(Child, Ctx, Out, Depth, RoundIdx, ExpandSpan.id()))
             return true;
           Children.push_back(std::move(Child));
           return false;
@@ -409,6 +497,10 @@ bool beamRound(const Description &Operator, const Description &Instruction,
         // (The verifier closes over the engine's own constraint set, so
         // it is installed on the engine in place, never moved.)
         auto InitScratch = [&](transform::Engine &Scratch) {
+          // Metrics only — no trace: a rule-apply event per attempted
+          // candidate would swamp the trace with refusals; the searcher's
+          // own prune/frontier events carry the interesting outcomes.
+          Scratch.setMetrics(Ctx.met());
           if (Ctx.Limits.VerifyTrials > 0)
             Scratch.setVerifier(analysis::makeStepVerifier(
                 Scratch.constraints(), Ctx.VerifyOpts));
@@ -441,6 +533,24 @@ bool beamRound(const Description &Operator, const Description &Instruction,
             transform::ApplyResult R = Scratch.apply(S);
             if (!R.Applied) {
               ++Ctx.Stats.DeadEnds;
+              // A candidate that *applied* but failed the differential
+              // verifier is a pruned state, not a mere refusal: the
+              // rewrite exists, it just is not semantics-preserving here.
+              if (startsWith(R.Reason, "step verification failed")) {
+                if (Ctx.met())
+                  Ctx.met()->counter("search.prune.verify-reject").add();
+                if (T.enabled())
+                  T.event("prune", ExpandSpan.id(),
+                          obs::Payload()
+                              .add("reason", "verify-reject")
+                              .add("depth", Depth)
+                              .add("round", RoundIdx)
+                              .addHex("fp_op", N.FpOp)
+                              .addHex("fp_inst", N.FpInst)
+                              .add("rule", S.Rule)
+                              .add("side", Side == 0 ? "operator"
+                                                     : "instruction"));
+              }
               break; // The macro variant would fail identically.
             }
             Script AppliedSteps{S};
@@ -464,7 +574,7 @@ bool beamRound(const Description &Operator, const Description &Instruction,
         // a synthesized candidate enters the beam only verified.
         for (synth::Proposal &Prop : synth::synthesizeProposals(
                  Cur, Oth, /*CurrentIsInstruction=*/Side == 1,
-                 Priors.vocabulary())) {
+                 Priors.vocabulary(), Ctx.met())) {
           if (Prop.Steps.empty())
             continue;
           ++Ctx.Stats.CandidatesTried;
@@ -482,6 +592,9 @@ bool beamRound(const Description &Operator, const Description &Instruction,
                          S.Rule == "replace-output";
             AppliedSteps.push_back(S);
           }
+          if (Ctx.met())
+            Ctx.met()->counter(AllApplied ? "synth.accept" : "synth.reject")
+                .add();
           if (!AllApplied) {
             ++Ctx.Stats.DeadEnds;
             continue;
@@ -509,8 +622,31 @@ bool beamRound(const Description &Operator, const Description &Instruction,
                      [](const Node &A, const Node &B) {
                        return A.Score < B.Score;
                      });
-    if (Children.size() > Width)
-      Children.resize(Width);
+    size_t Kept = std::min<size_t>(Width, Children.size());
+    if (Ctx.met()) {
+      Ctx.met()->histogram("search.beam.children").record(Children.size());
+      Ctx.met()->histogram("search.beam.occupancy").record(Kept);
+      if (Children.size() > Kept)
+        Ctx.met()
+            ->counter("search.prune.score-cutoff")
+            .add(Children.size() - Kept);
+    }
+    if (T.enabled()) {
+      // The truncation is where the beam commits: a "frontier" event per
+      // survivor, a "prune" (score-cutoff) per loser carrying the cutoff
+      // — the worst surviving score — so a postmortem can say by how
+      // much a state missed.
+      double Cutoff = Children[Kept - 1].Score;
+      for (size_t I = 0; I < Children.size(); ++I) {
+        obs::Payload P = statePayload(Children[I], Depth, RoundIdx);
+        if (I >= Kept)
+          P.add("reason", "score-cutoff").add("cutoff", Cutoff);
+        T.event(I < Kept ? "frontier" : "prune", DepthSpan.id(),
+                std::move(P));
+      }
+    }
+    if (Children.size() > Kept)
+      Children.resize(Kept);
     Frontier = std::move(Children);
   }
   return false;
@@ -528,6 +664,18 @@ SearchOutcome search::searchDerivation(const Description &Operator,
                                        Limits.TimeBudgetMs),
                     analysis::DiffOptions()};
   Ctx.VerifyOpts.Trials = Limits.VerifyTrials;
+  Ctx.VerifyOpts.Metrics = Limits.Metrics;
+
+  obs::TraceSink &T = Ctx.trace();
+  obs::Payload SearchP;
+  if (T.enabled()) {
+    if (!Limits.TraceLabel.empty())
+      SearchP.add("case", Limits.TraceLabel);
+    SearchP.add("beam", Limits.BeamWidth)
+        .add("max_depth", Limits.MaxDepth)
+        .add("widenings", Limits.Widenings);
+  }
+  obs::ScopedSpan SearchSpan(T, "search", 0, std::move(SearchP));
 
   Clock::time_point Start = Clock::now();
   unsigned Width = std::max(1u, Limits.BeamWidth);
@@ -536,7 +684,8 @@ SearchOutcome search::searchDerivation(const Description &Operator,
   for (unsigned Round = 0; Round <= Limits.Widenings; ++Round) {
     ++Ctx.Stats.Rounds;
     LastWidth = Width;
-    Found = beamRound(Operator, Instruction, Width, Ctx, Out);
+    Found = beamRound(Operator, Instruction, Width, Ctx, Out, Round,
+                      SearchSpan.id());
     if (Found || Ctx.Stats.BudgetExhausted)
       break;
     Width *= 2;
@@ -555,6 +704,19 @@ SearchOutcome search::searchDerivation(const Description &Operator,
             : "search space exhausted within depth " +
                   std::to_string(Limits.MaxDepth) + " at beam width " +
                   std::to_string(LastWidth);
+  }
+  if (T.enabled())
+    SearchSpan.event("search-result",
+                     obs::Payload()
+                         .add("found", Found)
+                         .add("nodes", Ctx.Stats.NodesExpanded)
+                         .add("rounds", Ctx.Stats.Rounds)
+                         .add("wall_ms", Ctx.Stats.WallMs)
+                         .add("reason", Out.FailureReason));
+  if (Ctx.met()) {
+    Ctx.met()->counter(Found ? "search.found" : "search.failed").add();
+    Ctx.met()->counter("search.nodes_expanded").add(Ctx.Stats.NodesExpanded);
+    Ctx.met()->counter("search.hash_hits").add(Ctx.Stats.HashHits);
   }
   Out.Stats = Ctx.Stats;
   return Out;
@@ -587,7 +749,27 @@ DiscoveryResult search::discoverAndVerify(const std::string &OperatorId,
   Case.InstructionId = InstructionId;
   Case.OperatorScript = Result.Outcome.OperatorScript;
   Case.InstructionScript = Result.Outcome.InstructionScript;
-  Result.Replay = analysis::runAnalysis(Case, M);
-  Result.Verified = Result.Replay.Succeeded;
+  {
+    obs::TraceSink &T =
+        Limits.Trace ? *Limits.Trace : obs::TraceSink::noop();
+    obs::Payload P;
+    if (T.enabled())
+      P.add("case", Limits.TraceLabel.empty() ? Case.Id : Limits.TraceLabel)
+          .add("steps_op",
+               static_cast<uint64_t>(Case.OperatorScript.size()))
+          .add("steps_inst",
+               static_cast<uint64_t>(Case.InstructionScript.size()));
+    obs::ScopedSpan Replay(T, "replay-verify", 0, std::move(P));
+    Result.Replay = analysis::runAnalysis(Case, M);
+    Result.Verified = Result.Replay.Succeeded;
+    if (T.enabled())
+      Replay.event("replay-result",
+                   obs::Payload().add("verified", Result.Verified));
+  }
+  if (Limits.Metrics)
+    Limits.Metrics
+        ->counter(Result.Verified ? "discovery.verified"
+                                  : "discovery.replay-failed")
+        .add();
   return Result;
 }

@@ -33,6 +33,8 @@
 #define EXTRA_SEARCH_SEARCHER_H
 
 #include "analysis/Analysis.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "transform/Transform.h"
 
 #include <cstdint>
@@ -66,6 +68,22 @@ struct SearchLimits {
   /// and positive: shorter derivations win ties without letting length
   /// dominate the distance signal. 0 restores pure-distance ranking.
   double LengthLambda = 0.125;
+
+  /// Structured tracing (optional, non-owning). With an enabled sink
+  /// the search emits a span hierarchy (search > round > depth >
+  /// expand), a "frontier" event per kept state and a "prune" event per
+  /// losing state — reason score-cutoff, duplicate-fingerprint, or
+  /// verify-reject — each carrying the state's canonical fingerprints
+  /// and score breakdown. This is the input to search::postmortem.
+  /// Null (the default) costs one branch per site.
+  obs::TraceSink *Trace = nullptr;
+  /// Metrics registry (optional, non-owning): per-rule apply counters,
+  /// apply/verify/match latencies, beam occupancy, prune reasons, and
+  /// synth accept/reject rates land here when set.
+  obs::Metrics *Metrics = nullptr;
+  /// Label stamped on the root "search" span (conventionally the
+  /// pairing id); lets one trace file carry many searches.
+  std::string TraceLabel;
 };
 
 /// Observability counters for one search (aggregated over widening

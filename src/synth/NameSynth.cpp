@@ -180,7 +180,7 @@ synth::proposeRecordExitCause(const Description &Current,
 std::vector<Proposal>
 synth::synthesizeProposals(const Description &Current, const Description &Other,
                            bool CurrentIsInstruction,
-                           const Vocabulary &Vocab) {
+                           const Vocabulary &Vocab, obs::Metrics *Metrics) {
   std::vector<Proposal> Out = proposeRecordExitCause(Current, Vocab);
   // Multi-site index-to-pointer as one atomic proposal: converting the
   // sites one ply at a time re-derives the names against the *shrunken*
@@ -201,5 +201,17 @@ synth::synthesizeProposals(const Description &Current, const Description &Other,
     for (Proposal &P : Augments)
       Out.push_back(std::move(P));
   }
+  if (Metrics)
+    for (const Proposal &P : Out) {
+      // Classify by the rule family the proposal leads with; a proposal
+      // whose first step is the allocate-temp of a larger macro is named
+      // by the rule the temp serves.
+      std::string Kind = P.Steps.empty() ? "empty" : P.Steps.front().Rule;
+      if (Kind == "allocate-temp" && P.Steps.size() > 1)
+        Kind = P.Steps[1].Rule;
+      if (Kind == "index-to-pointer" && P.Steps.size() > 1)
+        Kind = "index-to-pointer-family";
+      Metrics->counter("synth.proposal." + Kind).add();
+    }
   return Out;
 }

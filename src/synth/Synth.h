@@ -32,6 +32,7 @@
 #define EXTRA_SYNTH_SYNTH_H
 
 #include "isdl/Equiv.h"
+#include "obs/Metrics.h"
 #include "transform/Transform.h"
 
 #include <map>
@@ -105,10 +106,18 @@ std::vector<Proposal> proposeAugments(const isdl::Description &Operator,
 /// \p CurrentIsInstruction gates code synthesis: augments edit the
 /// instruction side only. (Single-step name proposals are exposed above
 /// and reach the searcher through analysis::candidateSteps.)
+///
+/// With \p Metrics installed (optional, non-owning), each generated
+/// proposal increments `synth.proposal.<kind>`, where kind is the
+/// proposal's leading rule family (record-exit-cause,
+/// index-to-pointer-family, add-prologue, replace-output, ...). Whether
+/// a proposal then survives atomic application is the caller's to
+/// record (`synth.accept` / `synth.reject` in the searcher).
 std::vector<Proposal> synthesizeProposals(const isdl::Description &Current,
                                           const isdl::Description &Other,
                                           bool CurrentIsInstruction,
-                                          const Vocabulary &Vocab);
+                                          const Vocabulary &Vocab,
+                                          obs::Metrics *Metrics = nullptr);
 
 } // namespace synth
 } // namespace extra

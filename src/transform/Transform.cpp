@@ -8,6 +8,8 @@
 
 #include "isdl/Traverse.h"
 
+#include <chrono>
+
 using namespace extra;
 using namespace extra::transform;
 using namespace extra::isdl;
@@ -138,9 +140,39 @@ std::string Step::str() const {
 Engine::Engine(Description Initial) : Desc(std::move(Initial)) {}
 
 ApplyResult Engine::apply(const Step &S) {
+  // Observability: time and classify every attempt. The disabled path
+  // costs the two null checks; the clock is read only with metrics on.
+  using ObsClock = std::chrono::steady_clock;
+  ObsClock::time_point ObsStart;
+  if (Met)
+    ObsStart = ObsClock::now();
+  auto Finish = [&](const ApplyResult &R, const char *Outcome) {
+    if (Met) {
+      uint64_t Ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              ObsClock::now() - ObsStart)
+              .count());
+      Met->histogram("transform.apply_ns").record(Ns);
+      Met->counter(std::string(R.Applied ? "rule.apply." : "rule.refuse.") +
+                   S.Rule)
+          .add();
+    }
+    if (Trace && Trace->enabled())
+      Trace->event("rule-apply", TraceSpan,
+                   obs::Payload()
+                       .add("rule", S.Rule)
+                       .add("applied", R.Applied)
+                       .add("outcome", Outcome)
+                       .add("detail", R.Applied ? R.Note : R.Reason));
+  };
+
   const Transformation *T = Registry::instance().lookup(S.Rule);
-  if (!T)
-    return ApplyResult::failure("unknown transformation '" + S.Rule + "'");
+  if (!T) {
+    ApplyResult R =
+        ApplyResult::failure("unknown transformation '" + S.Rule + "'");
+    Finish(R, "unknown-rule");
+    return R;
+  }
 
   // Work on a copy so a refused or failed application leaves the session
   // state untouched, so the verifier can compare before/after, and so
@@ -151,6 +183,7 @@ ApplyResult Engine::apply(const Step &S) {
   ApplyResult R = T->apply(Ctx);
   if (!R.Applied) {
     Desc = std::move(Before);
+    Finish(R, "refused");
     return R;
   }
 
@@ -159,13 +192,16 @@ ApplyResult Engine::apply(const Step &S) {
     StepObservation Obs{S, Before, Desc, R.Effect, R.Adapter};
     if (!Verifier(Obs, Error)) {
       Desc = std::move(Before);
-      return ApplyResult::failure("step verification failed for '" + S.Rule +
-                                  "': " + Error);
+      ApplyResult F = ApplyResult::failure(
+          "step verification failed for '" + S.Rule + "': " + Error);
+      Finish(F, "verify-reject");
+      return F;
     }
   }
 
   Log.push_back({S, R.Effect, R.Note, std::move(Before),
                  ConstraintsBefore});
+  Finish(R, "applied");
   return R;
 }
 

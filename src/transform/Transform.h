@@ -27,6 +27,8 @@
 #include "constraint/Constraint.h"
 #include "isdl/AST.h"
 #include "isdl/Traverse.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cstdint>
 #include <functional>
@@ -232,11 +234,24 @@ public:
   /// Installs a per-step verifier (differential semantic check).
   void setVerifier(StepVerifier V) { Verifier = std::move(V); }
 
+  /// Observability hooks, both optional and non-owning. With metrics
+  /// installed, apply() records per-rule apply/refuse counters and the
+  /// apply latency histogram; with a trace sink, every attempt emits a
+  /// "rule-apply" event under \p Span. Disabled hooks cost one branch.
+  void setMetrics(obs::Metrics *M) { Met = M; }
+  void setTrace(obs::TraceSink *T, uint64_t Span = 0) {
+    Trace = T;
+    TraceSpan = Span;
+  }
+
 private:
   isdl::Description Desc;
   constraint::ConstraintSet Constraints;
   std::vector<LogEntry> Log;
   StepVerifier Verifier;
+  obs::Metrics *Met = nullptr;
+  obs::TraceSink *Trace = nullptr;
+  uint64_t TraceSpan = 0;
 };
 
 //===----------------------------------------------------------------------===//

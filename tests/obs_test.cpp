@@ -1,0 +1,393 @@
+//===- obs_test.cpp - Tracing, metrics, and postmortem tests ----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability layer's contract: JSONL traces round-trip through
+// the reader with parentage and ordering intact, the disabled sink costs
+// nothing and crashes nothing, the metrics registry survives concurrent
+// writers, and search::postmortem pins the divergence depth and needed
+// rule from a trace — synthetic first, then a real traced search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "obs/TraceFile.h"
+
+#include "analysis/Derivations.h"
+#include "descriptions/Descriptions.h"
+#include "search/Canon.h"
+#include "search/Postmortem.h"
+#include "search/Searcher.h"
+#include "transform/Transform.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+#include <thread>
+
+using namespace extra;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Payload and escaping
+//===----------------------------------------------------------------------===//
+
+TEST(ObsPayload, RendersTypedValues) {
+  obs::Payload P;
+  P.add("s", "text").add("u", uint64_t(7)).add("i", int64_t(-3));
+  P.add("d", 2.5).add("b", true).addHex("fp", uint64_t(0xdeadbeef));
+  std::string R = P.rendered();
+  EXPECT_NE(R.find("\"s\":\"text\""), std::string::npos);
+  EXPECT_NE(R.find("\"u\":7"), std::string::npos);
+  EXPECT_NE(R.find("\"i\":-3"), std::string::npos);
+  EXPECT_NE(R.find("\"b\":true"), std::string::npos);
+  EXPECT_NE(R.find("\"fp\":\"0x00000000deadbeef\""), std::string::npos);
+  EXPECT_EQ(R[0], ',') << "payload fragment must lead with a comma";
+}
+
+TEST(ObsPayload, EscapesJsonMetacharacters) {
+  EXPECT_EQ(obs::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(obs::jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+//===----------------------------------------------------------------------===//
+// Sink round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, RoundTripParentageAndOrdering) {
+  std::ostringstream OS;
+  uint64_t Outer = 0, Inner = 0;
+  {
+    obs::JsonlTraceSink Sink(OS);
+    EXPECT_TRUE(Sink.enabled());
+    Outer = Sink.beginSpan("outer", 0,
+                           obs::Payload().add("case", "t/x"));
+    Inner = Sink.beginSpan("inner", Outer, obs::Payload());
+    Sink.event("tick", Inner,
+               obs::Payload().add("n", 1u).addHex("fp", uint64_t(0xabcd)));
+    Sink.event("tick", Inner, obs::Payload().add("n", 2u));
+    Sink.endSpan(Inner);
+    Sink.endSpan(Outer);
+    EXPECT_EQ(Sink.recordCount(), 4u);
+  }
+  std::istringstream In(OS.str());
+  std::string Err;
+  auto Trace = obs::readTrace(In, &Err);
+  ASSERT_TRUE(Trace.has_value()) << Err;
+  ASSERT_EQ(Trace->size(), 4u);
+
+  const obs::TraceRecord *OuterR = nullptr, *InnerR = nullptr;
+  std::vector<const obs::TraceRecord *> Ticks;
+  for (const obs::TraceRecord &R : *Trace) {
+    if (R.K == obs::TraceRecord::Kind::Span && R.Name == "outer")
+      OuterR = &R;
+    else if (R.K == obs::TraceRecord::Kind::Span && R.Name == "inner")
+      InnerR = &R;
+    else if (R.Name == "tick")
+      Ticks.push_back(&R);
+  }
+  ASSERT_NE(OuterR, nullptr);
+  ASSERT_NE(InnerR, nullptr);
+  ASSERT_EQ(Ticks.size(), 2u);
+
+  EXPECT_EQ(OuterR->Id, Outer);
+  EXPECT_EQ(OuterR->Parent, 0u);
+  EXPECT_EQ(InnerR->Parent, Outer);
+  EXPECT_EQ(Ticks[0]->Span, Inner);
+  EXPECT_EQ(OuterR->field("case"), "t/x");
+  EXPECT_EQ(Ticks[0]->fieldU64("fp"), 0xabcdu);
+  EXPECT_EQ(Ticks[0]->fieldU64("n"), 1u);
+  EXPECT_EQ(Ticks[1]->fieldU64("n"), 2u);
+
+  // Sequence numbers are unique, dense, and in file order; event
+  // timestamps are monotonic in sequence order (span records carry
+  // their *start* time, so they are excluded).
+  uint64_t PrevSeq = 0, PrevEventTs = 0;
+  bool First = true;
+  for (const obs::TraceRecord &R : *Trace) {
+    if (!First) {
+      EXPECT_EQ(R.Seq, PrevSeq + 1);
+    }
+    First = false;
+    PrevSeq = R.Seq;
+    if (R.K == obs::TraceRecord::Kind::Event) {
+      EXPECT_GE(R.TsUs, PrevEventTs);
+      PrevEventTs = R.TsUs;
+    }
+  }
+  // A span's wall time covers its children's lifetime.
+  EXPECT_GE(OuterR->WallUs, InnerR->WallUs);
+}
+
+TEST(ObsTrace, DestructorClosesOpenSpans) {
+  std::ostringstream OS;
+  {
+    obs::JsonlTraceSink Sink(OS);
+    Sink.beginSpan("left-open", 0, obs::Payload());
+  }
+  std::istringstream In(OS.str());
+  auto Trace = obs::readTrace(In);
+  ASSERT_TRUE(Trace.has_value());
+  ASSERT_EQ(Trace->size(), 1u);
+  EXPECT_EQ((*Trace)[0].Name, "left-open");
+}
+
+TEST(ObsTrace, NoopSinkIsDisabledAndSafe) {
+  obs::TraceSink &T = obs::TraceSink::noop();
+  EXPECT_FALSE(T.enabled());
+  EXPECT_EQ(T.beginSpan("x", 0), 0u);
+  T.event("e", 0);
+  T.endSpan(0);
+  obs::ScopedSpan S(T, "scoped");
+  EXPECT_EQ(S.id(), 0u);
+  S.event("e"); // Must not crash or emit.
+}
+
+TEST(ObsTraceFile, RejectsMalformedLines) {
+  std::istringstream In("{\"t\":\"event\",\"seq\":1,\"name\":\"a\"}\n"
+                        "this is not json\n");
+  std::string Err;
+  auto Trace = obs::readTrace(In, &Err);
+  EXPECT_FALSE(Trace.has_value());
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetrics, CountersAndHistograms) {
+  obs::Metrics M;
+  M.counter("a.b").add();
+  M.counter("a.b").add(4);
+  EXPECT_EQ(M.counter("a.b").value(), 5u);
+
+  obs::Histogram &H = M.histogram("lat");
+  for (uint64_t V : {1u, 2u, 4u, 100u, 1000u})
+    H.record(V);
+  obs::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 1107u);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 1000u);
+  EXPECT_GE(S.P50, 2u);   // Bucket upper bounds: estimates, not exact.
+  EXPECT_LE(S.P50, 128u);
+  EXPECT_GE(S.P99, S.P50);
+
+  std::string J = M.json();
+  EXPECT_NE(J.find("\"a.b\":5"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"lat\""), std::string::npos) << J;
+}
+
+TEST(ObsMetrics, ConcurrentWritersSumExactly) {
+  obs::Metrics M;
+  constexpr unsigned Threads = 4, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&M] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        M.counter("shared").add();
+        M.histogram("h").record(I);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(M.counter("shared").value(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(M.histogram("h").snapshot().Count,
+            uint64_t(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Postmortem on a synthetic trace
+//===----------------------------------------------------------------------===//
+
+/// Fingerprints of every prefix of one side of a recorded derivation.
+std::vector<uint64_t> prefixFps(const std::string &DescId,
+                                const transform::Script &S) {
+  auto D = descriptions::load(DescId);
+  EXPECT_TRUE(D) << DescId;
+  transform::Engine E(std::move(*D));
+  std::vector<uint64_t> Fps{search::fingerprint(E.current())};
+  for (const transform::Step &St : S) {
+    EXPECT_TRUE(E.apply(St).Applied) << St.str();
+    Fps.push_back(search::fingerprint(E.current()));
+  }
+  return Fps;
+}
+
+/// A recorded case with at least one step on each side.
+const analysis::AnalysisCase &twoSidedCase() {
+  for (const analysis::AnalysisCase &C : analysis::table2Cases())
+    if (!C.OperatorScript.empty() && !C.InstructionScript.empty())
+      return C;
+  ADD_FAILURE() << "no two-sided recorded case in the library";
+  return analysis::table2Cases().front();
+}
+
+TEST(Postmortem, SyntheticTracePinsDivergence) {
+  const analysis::AnalysisCase &Case = twoSidedCase();
+  std::vector<uint64_t> FpOp = prefixFps(Case.OperatorId,
+                                         Case.OperatorScript);
+  std::vector<uint64_t> FpInst = prefixFps(Case.InstructionId,
+                                           Case.InstructionScript);
+
+  // Script the story: the beam holds the line to depth 1 (one operator
+  // step applied), then at depth 2 keeps only an off-line state while
+  // the on-line successor — the first recorded *instruction* step —
+  // loses to the score cutoff.
+  std::ostringstream OS;
+  {
+    obs::JsonlTraceSink Sink(OS);
+    uint64_t S = Sink.beginSpan("search", 0,
+                                obs::Payload().add("case", Case.Id));
+    uint64_t R0 = Sink.beginSpan(
+        "round", S, obs::Payload().add("round", 0u).add("width", 8u));
+    auto State = [&](uint64_t O, uint64_t I, unsigned Depth) {
+      return obs::Payload()
+          .add("depth", Depth)
+          .add("round", 0u)
+          .addHex("fp_op", O)
+          .addHex("fp_inst", I)
+          .add("score", 10.0 - Depth)
+          .add("distance", 10u - Depth);
+    };
+    Sink.event("frontier", R0, State(FpOp[0], FpInst[0], 0));
+    uint64_t D1 = Sink.beginSpan(
+        "depth", R0, obs::Payload().add("depth", 1u).add("round", 0u));
+    Sink.event("frontier", D1, State(FpOp[1], FpInst[0], 1));
+    Sink.endSpan(D1);
+    uint64_t D2 = Sink.beginSpan(
+        "depth", R0, obs::Payload().add("depth", 2u).add("round", 0u));
+    Sink.event("frontier", D2, State(0x1234, 0x5678, 2)); // off-line
+    Sink.event("prune", D2,
+               State(FpOp[1], FpInst[1], 2)
+                   .add("reason", "score-cutoff")
+                   .add("cutoff", 7.25)
+                   .add("rule", Case.InstructionScript[0].Rule)
+                   .add("side", "instruction"));
+    Sink.endSpan(D2);
+    Sink.endSpan(R0);
+    Sink.endSpan(S);
+  }
+
+  std::istringstream In(OS.str());
+  std::string Err;
+  auto Trace = obs::readTrace(In, &Err);
+  ASSERT_TRUE(Trace.has_value()) << Err;
+
+  search::PostmortemReport Rep = search::postmortem(*Trace, Case);
+  ASSERT_TRUE(Rep.Ok) << Rep.Error;
+  EXPECT_EQ(Rep.Case, Case.Id);
+  EXPECT_FALSE(Rep.GoalReached);
+  ASSERT_TRUE(Rep.Diverged);
+  EXPECT_EQ(Rep.DivergenceDepth, 2u);
+  EXPECT_EQ(Rep.RecordedOpSteps, 1u);
+  EXPECT_EQ(Rep.RecordedInstSteps, 0u);
+  EXPECT_EQ(Rep.NeededSide, "instruction");
+  EXPECT_EQ(Rep.NeededRule, Case.InstructionScript[0].str());
+  EXPECT_EQ(Rep.PruneReason, "score-cutoff");
+  EXPECT_DOUBLE_EQ(Rep.CutoffScore, 7.25);
+  EXPECT_EQ(Rep.PruneBreakdown.at("score-cutoff"), 1u);
+  EXPECT_GT(Rep.CandidatePool, 0);
+  // The rendering names the essentials.
+  std::string S = Rep.str();
+  EXPECT_NE(S.find("depth 2"), std::string::npos) << S;
+  EXPECT_NE(S.find("score-cutoff"), std::string::npos) << S;
+}
+
+TEST(Postmortem, SurvivingLineReportsNoDivergence) {
+  const analysis::AnalysisCase &Case = twoSidedCase();
+  std::vector<uint64_t> FpOp = prefixFps(Case.OperatorId,
+                                         Case.OperatorScript);
+  std::vector<uint64_t> FpInst = prefixFps(Case.InstructionId,
+                                           Case.InstructionScript);
+  std::ostringstream OS;
+  {
+    obs::JsonlTraceSink Sink(OS);
+    uint64_t S = Sink.beginSpan("search", 0,
+                                obs::Payload().add("case", Case.Id));
+    uint64_t R0 = Sink.beginSpan(
+        "round", S, obs::Payload().add("round", 0u).add("width", 8u));
+    Sink.event("frontier", R0,
+               obs::Payload()
+                   .add("depth", 0u)
+                   .add("round", 0u)
+                   .addHex("fp_op", FpOp[0])
+                   .addHex("fp_inst", FpInst[0]));
+    uint64_t D1 = Sink.beginSpan(
+        "depth", R0, obs::Payload().add("depth", 1u).add("round", 0u));
+    Sink.event("frontier", D1,
+               obs::Payload()
+                   .add("depth", 1u)
+                   .add("round", 0u)
+                   .addHex("fp_op", FpOp[1])
+                   .addHex("fp_inst", FpInst[0]));
+    Sink.endSpan(D1);
+    Sink.endSpan(R0);
+    Sink.endSpan(S);
+  }
+  std::istringstream In(OS.str());
+  auto Trace = obs::readTrace(In);
+  ASSERT_TRUE(Trace.has_value());
+  search::PostmortemReport Rep = search::postmortem(*Trace, Case);
+  ASSERT_TRUE(Rep.Ok) << Rep.Error;
+  EXPECT_FALSE(Rep.Diverged);
+}
+
+//===----------------------------------------------------------------------===//
+// A real traced search end to end
+//===----------------------------------------------------------------------===//
+
+TEST(ObsSearch, TracedDiscoveryProducesParseableTrace) {
+  auto Operator = descriptions::load("pc2.copy");
+  auto Instruction = descriptions::load("vax.movc3");
+  ASSERT_TRUE(Operator && Instruction);
+
+  std::ostringstream OS;
+  obs::Metrics Met;
+  search::SearchOutcome Out;
+  {
+    obs::JsonlTraceSink Sink(OS);
+    search::SearchLimits Limits;
+    Limits.Trace = &Sink;
+    Limits.Metrics = &Met;
+    Limits.TraceLabel = "vax.movc3/pc2.copy";
+    Out = search::searchDerivation(*Operator, *Instruction, Limits);
+  }
+  EXPECT_TRUE(Out.Found);
+
+  std::istringstream In(OS.str());
+  std::string Err;
+  auto Trace = obs::readTrace(In, &Err);
+  ASSERT_TRUE(Trace.has_value()) << Err;
+
+  unsigned SearchSpans = 0, Frontiers = 0, Goals = 0;
+  for (const obs::TraceRecord &R : *Trace) {
+    if (R.K == obs::TraceRecord::Kind::Span && R.Name == "search") {
+      ++SearchSpans;
+      EXPECT_EQ(R.field("case"), "vax.movc3/pc2.copy");
+    }
+    if (R.Name == "frontier")
+      ++Frontiers;
+    if (R.Name == "goal")
+      ++Goals;
+  }
+  EXPECT_EQ(SearchSpans, 1u);
+  EXPECT_GT(Frontiers, 0u);
+  EXPECT_EQ(Goals, 1u);
+
+  // The metrics registry saw the search: per-rule applies, beam shape,
+  // and verify outcomes all land under their taxonomy names.
+  bool RuleApplies = false;
+  for (const auto &[Name, Value] : Met.counters())
+    if (Name.rfind("rule.apply.", 0) == 0 && Value > 0)
+      RuleApplies = true;
+  EXPECT_TRUE(RuleApplies);
+  EXPECT_GT(Met.histogram("search.beam.children").snapshot().Count, 0u);
+  EXPECT_GT(Met.counter("verify.pass").value(), 0u);
+}
+
+} // namespace

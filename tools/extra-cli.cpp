@@ -16,12 +16,20 @@
 //   extra-cli replay <desc-id> <script-file>
 //   extra-cli search --case <id> | <op-id> <inst-id> | --all
 //                                      discover derivation scripts
+//   extra-cli trace <case-id> [--out trace.jsonl]
+//                                      traced single-case discovery
+//   extra-cli postmortem <trace.jsonl> --against <case-id>
+//                                      why the beam lost the recorded line
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Advisor.h"
 #include "analysis/Derivations.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "obs/TraceFile.h"
 #include "search/BatchDriver.h"
+#include "search/Postmortem.h"
 #include "transform/ScriptIO.h"
 #include "descriptions/Descriptions.h"
 #include "isdl/Printer.h"
@@ -30,6 +38,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 
 using namespace extra;
 using namespace extra::analysis;
@@ -54,7 +64,20 @@ int usage() {
                "         | --all          autonomously discover derivation\n"
                "                          scripts (no recorded script used)\n"
                "    options: -x (extension mode), --threads N, --beam W,\n"
-               "             --depth D, --nodes N, --time-ms T\n");
+               "             --depth D, --nodes N, --time-ms T,\n"
+               "             --trace FILE (JSONL span/event trace),\n"
+               "             --metrics FILE (counter/histogram JSON),\n"
+               "             --min-verified N (fail below N verified)\n"
+               "  trace <case-id> [--out trace.jsonl]\n"
+               "                          run one traced discovery (search\n"
+               "                          options above apply); succeeds\n"
+               "                          even when discovery fails — the\n"
+               "                          trace is the product\n"
+               "  postmortem <trace.jsonl> --against <case-id>\n"
+               "                          replay the recorded derivation\n"
+               "                          against a trace: first depth the\n"
+               "                          line left the beam, the rule it\n"
+               "                          needed, that rule's priors rank\n");
   return 2;
 }
 
@@ -255,17 +278,24 @@ void printSearchStats(const extra::search::SearchStats &St) {
 }
 
 int reportDiscovery(const std::string &Label,
-                    const extra::search::DiscoveryResult &R, bool Verbose) {
+                    const extra::search::DiscoveryResult &R, bool Verbose,
+                    double WallMs = -1) {
   const extra::search::SearchOutcome &O = R.Outcome;
+  std::string Timed = Label;
+  if (WallMs >= 0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " [%.1f ms]", WallMs);
+    Timed += Buf;
+  }
   if (!O.Found) {
-    std::printf("%s: NOT FOUND — %s\n", Label.c_str(),
+    std::printf("%s: NOT FOUND — %s\n", Timed.c_str(),
                 O.FailureReason.c_str());
     printSearchStats(O.Stats);
     return 1;
   }
   std::printf("%s: discovered %zu operator + %zu instruction step(s); "
               "end-to-end replay %s\n",
-              Label.c_str(), O.OperatorScript.size(),
+              Timed.c_str(), O.OperatorScript.size(),
               O.InstructionScript.size(),
               R.Verified ? "VERIFIED"
                          : ("FAILED: " + R.Replay.FailureReason).c_str());
@@ -288,6 +318,9 @@ int cmdSearch(int argc, char **argv) {
   analysis::Mode M = Mode::Base;
   bool All = false;
   std::string CaseId, OperatorId, InstructionId;
+  std::string TracePath, MetricsPath;
+  uint64_t MinVerified = 0;
+  bool HaveMinVerified = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -314,7 +347,14 @@ int cmdSearch(int argc, char **argv) {
       Opts.Limits.MaxNodes = V;
     else if (Arg == "--time-ms" && IntOpt(V))
       Opts.Limits.TimeBudgetMs = V;
-    else if (Arg[0] != '-' && OperatorId.empty())
+    else if (Arg == "--trace" && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (Arg == "--metrics" && I + 1 < argc)
+      MetricsPath = argv[++I];
+    else if (Arg == "--min-verified" && IntOpt(V)) {
+      MinVerified = V;
+      HaveMinVerified = true;
+    } else if (Arg[0] != '-' && OperatorId.empty())
       OperatorId = Arg;
     else if (Arg[0] != '-' && InstructionId.empty())
       InstructionId = Arg;
@@ -348,6 +388,22 @@ int cmdSearch(int argc, char **argv) {
     return usage();
   }
 
+  std::ofstream TraceOut;
+  std::unique_ptr<obs::JsonlTraceSink> Sink;
+  if (!TracePath.empty()) {
+    TraceOut.open(TracePath);
+    if (!TraceOut) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    Sink = std::make_unique<obs::JsonlTraceSink>(TraceOut);
+    Opts.Limits.Trace = Sink.get();
+  }
+  obs::Metrics Met;
+  if (!MetricsPath.empty())
+    Opts.Limits.Metrics = &Met;
+
   extra::search::BatchStats Stats;
   std::vector<extra::search::BatchResult> Results =
       extra::search::runBatch(Cases, Opts, &Stats);
@@ -357,17 +413,144 @@ int cmdSearch(int argc, char **argv) {
     if (Results.size() > 1)
       std::printf("----\n");
     Rc |= reportDiscovery(R.Case.Id, R.Discovery,
-                          /*Verbose=*/Results.size() == 1);
+                          /*Verbose=*/Results.size() == 1, R.WallMs);
   }
   if (Results.size() > 1)
     std::printf("----\nbatch: %u/%u discovered, %u verified, %u thread(s), "
-                "%llu nodes, %llu hash hits, %.1f ms\n",
+                "%llu nodes, %llu hash hits, %.1f ms wall "
+                "(%.1f ms summed over cases; slowest %s at %.1f ms)\n",
                 Stats.Discovered, Stats.Cases, Stats.Verified,
                 Stats.ThreadsUsed,
                 static_cast<unsigned long long>(Stats.NodesExpanded),
                 static_cast<unsigned long long>(Stats.HashHits),
-                Stats.WallMs);
+                Stats.WallMs, Stats.CaseWallMs, Stats.SlowestCase.c_str(),
+                Stats.SlowestCaseMs);
+
+  if (Sink) {
+    std::printf("trace: %llu record(s) -> %s\n",
+                static_cast<unsigned long long>(Sink->recordCount()),
+                TracePath.c_str());
+    Sink.reset(); // Flush open spans before the stream closes.
+  }
+  if (!MetricsPath.empty()) {
+    std::ofstream MO(MetricsPath);
+    if (!MO) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+    MO << Met.json() << "\n";
+    std::printf("metrics: %s\n", MetricsPath.c_str());
+  }
+  if (HaveMinVerified && Stats.Verified < MinVerified) {
+    std::fprintf(stderr,
+                 "FAIL: %u verified discoveries, below the --min-verified "
+                 "floor of %llu\n",
+                 Stats.Verified,
+                 static_cast<unsigned long long>(MinVerified));
+    return 1;
+  }
   return All ? 0 : Rc; // --all is a survey, not an assertion.
+}
+
+int cmdTrace(int argc, char **argv) {
+  if (argc < 3 || argv[2][0] == '-')
+    return usage();
+  const AnalysisCase *Case = findCase(argv[2]);
+  if (!Case) {
+    std::fprintf(stderr, "unknown case '%s' (try `extra-cli cases`)\n",
+                 argv[2]);
+    return 1;
+  }
+  std::string Out = "trace.jsonl";
+  extra::search::SearchLimits Limits;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto IntOpt = [&](uint64_t &Slot) {
+      if (I + 1 >= argc)
+        return false;
+      Slot = std::strtoull(argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t V = 0;
+    if (Arg == "--out" && I + 1 < argc)
+      Out = argv[++I];
+    else if (Arg == "--beam" && IntOpt(V))
+      Limits.BeamWidth = static_cast<unsigned>(V);
+    else if (Arg == "--depth" && IntOpt(V))
+      Limits.MaxDepth = static_cast<unsigned>(V);
+    else if (Arg == "--nodes" && IntOpt(V))
+      Limits.MaxNodes = V;
+    else if (Arg == "--time-ms" && IntOpt(V))
+      Limits.TimeBudgetMs = V;
+    else
+      return usage();
+  }
+
+  std::ofstream OS(Out);
+  if (!OS) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", Out.c_str());
+    return 1;
+  }
+  {
+    obs::JsonlTraceSink Sink(OS);
+    Limits.Trace = &Sink;
+    Limits.TraceLabel = Case->Id;
+    extra::search::DiscoveryResult R = extra::search::discoverAndVerify(
+        Case->OperatorId, Case->InstructionId, Limits,
+        Case->RequiresExtension ? Mode::Extension : Mode::Base);
+    // A failed discovery is the expected use of this command — the trace
+    // is the product, so only I/O failures change the exit code.
+    reportDiscovery(Case->Id, R, /*Verbose=*/false);
+    std::printf("trace: %llu record(s) -> %s\n",
+                static_cast<unsigned long long>(Sink.recordCount()),
+                Out.c_str());
+  }
+  return OS.good() ? 0 : 1;
+}
+
+int cmdPostmortem(int argc, char **argv) {
+  if (argc < 3 || argv[2][0] == '-')
+    return usage();
+  std::string TracePath = argv[2];
+  std::string Against;
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--against") && I + 1 < argc)
+      Against = argv[++I];
+    else
+      return usage();
+  }
+  if (Against.empty())
+    return usage();
+  const AnalysisCase *Case = findCase(Against);
+  if (!Case) {
+    std::fprintf(stderr, "unknown case '%s' (try `extra-cli cases`)\n",
+                 Against.c_str());
+    return 1;
+  }
+  std::ifstream In(TracePath);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", TracePath.c_str());
+    return 1;
+  }
+  std::string Err;
+  auto Trace = obs::readTrace(In, &Err);
+  if (!Trace) {
+    std::fprintf(stderr, "bad trace: %s\n", Err.c_str());
+    return 1;
+  }
+  extra::search::PostmortemOptions PO;
+  PO.CaseFilter = Case->Id;
+  extra::search::PostmortemReport Rep =
+      extra::search::postmortem(*Trace, *Case, PO);
+  if (!Rep.Ok && Rep.Error.find("no search span matches") == 0) {
+    // The trace may predate case labels; retry unfiltered (unambiguous
+    // only when the trace holds a single search).
+    PO.CaseFilter.clear();
+    Rep = extra::search::postmortem(*Trace, *Case, PO);
+  }
+  std::fputs(Rep.str().c_str(), stdout);
+  return Rep.Ok ? 0 : 1;
 }
 
 } // namespace
@@ -396,5 +579,9 @@ int main(int argc, char **argv) {
     return cmdReplay(argc, argv);
   if (!std::strcmp(Cmd, "search"))
     return cmdSearch(argc, argv);
+  if (!std::strcmp(Cmd, "trace"))
+    return cmdTrace(argc, argv);
+  if (!std::strcmp(Cmd, "postmortem"))
+    return cmdPostmortem(argc, argv);
   return usage();
 }
