@@ -10,7 +10,11 @@
 # file holds one object per benchmark run:
 #   {"bench":"<binary>","name":"<benchmark>","iterations":N,
 #    "ns_per_op":X,"counters":{...}}
-set -u
+# A crashed or failing suite contributes an error record instead:
+#   {"bench":"<binary>","error":"exited <code>"}
+# and fails the script, so CI cannot mistake a partial sweep for a full
+# one.
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-${BUILD_DIR}/bench-summary.jsonl}"
@@ -27,22 +31,30 @@ if [ -z "${BENCHES}" ]; then
   exit 2
 fi
 
+TMP=$(mktemp)
+trap 'rm -f "${TMP}"' EXIT
+
 : > "${OUT}"
 STATUS=0
 for B in ${BENCHES}; do
-  echo "==== $(basename "${B}") ===="
-  # tee keeps the human-readable report visible while the grep peels off
-  # the machine-readable lines; `sed` strips the prefix so the file is
-  # plain JSONL.
-  if ! "${B}" | tee /dev/stderr |
-      grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //' >> "${OUT}"; then
-    # grep finding no lines is only fatal if the binary itself failed.
-    RC=${PIPESTATUS[0]}
-    if [ "${RC}" -ne 0 ]; then
-      echo "error: $(basename "${B}") exited ${RC}" >&2
-      STATUS=1
-    fi
+  NAME=$(basename "${B}")
+  echo "==== ${NAME} ===="
+  # Run to a temp file first: the exit code must be the binary's own,
+  # never a pipeline stage's, and a crash mid-output must not leave torn
+  # BENCH_JSON lines in the summary.
+  RC=0
+  "${B}" > "${TMP}" 2>&1 || RC=$?
+  cat "${TMP}"
+  if [ "${RC}" -ne 0 ]; then
+    echo "error: ${NAME} exited ${RC}" >&2
+    printf '{"bench":"%s","error":"exited %d"}\n' "${NAME}" "${RC}" \
+      >> "${OUT}"
+    STATUS=1
+    continue
   fi
+  # grep exits 1 on a suite that emits no summaries; that is not an
+  # error (some suites are report-only).
+  grep '^BENCH_JSON ' "${TMP}" | sed 's/^BENCH_JSON //' >> "${OUT}" || true
 done
 
 echo "collected $(wc -l < "${OUT}") benchmark summaries -> ${OUT}"

@@ -164,6 +164,11 @@ bool analysis::equivalentOnRandomInputs(
     const DiffOptions &Opts, std::string &Error) {
   std::mt19937_64 Rng(Opts.Seed);
   for (unsigned T = 0; T < Opts.Trials; ++T) {
+    if (Opts.Stop && Opts.Stop()) {
+      Error = "verification cancelled (deadline) after " + std::to_string(T) +
+              " trials";
+      return false;
+    }
     interp::Memory M = drawMemory(Rng, Opts);
     std::vector<int64_t> BInputs = drawInputs(B, Constraints, Rng, Opts);
     std::vector<int64_t> AInputs = MapInputs ? MapInputs(BInputs) : BInputs;

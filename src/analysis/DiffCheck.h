@@ -42,6 +42,11 @@ struct DiffOptions {
   /// makeStepVerifier record `verify.pass`/`verify.fail` counters and the
   /// `verify.ns` latency histogram; null disables for one branch.
   obs::Metrics *Metrics = nullptr;
+  /// Optional cancellation probe, polled once per trial. When it returns
+  /// true the comparison stops early and reports a failure mentioning
+  /// cancellation — deadline enforcement reaches inside long verification
+  /// loops this way instead of waiting for all trials.
+  std::function<bool()> Stop;
 };
 
 /// Draws one input vector for \p D: values honor declared register

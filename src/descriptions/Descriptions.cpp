@@ -8,6 +8,7 @@
 
 #include "isdl/Parser.h"
 #include "isdl/Validate.h"
+#include "support/FaultInjection.h"
 
 #include <map>
 
@@ -810,6 +811,9 @@ const char *descriptions::sourceFor(const std::string &Id) {
 }
 
 std::unique_ptr<isdl::Description> descriptions::load(const std::string &Id) {
+  // The library text is a program invariant — suppress injection so the
+  // asserts below cannot trip under a fault-injection run.
+  FaultSuppress Quiet;
   const char *Source = sourceFor(Id);
   assert(Source && "unknown description id");
   if (!Source)
@@ -822,6 +826,22 @@ std::unique_ptr<isdl::Description> descriptions::load(const std::string &Id) {
     return nullptr;
   }
   return D;
+}
+
+Expected<std::unique_ptr<isdl::Description>>
+descriptions::loadChecked(const std::string &Id) {
+  const char *Source = sourceFor(Id);
+  if (!Source)
+    return makeFault(FaultCategory::Internal,
+                     "unknown description id '" + Id + "'");
+  auto D = isdl::parseDescriptionChecked(Source);
+  if (!D)
+    return D.fault();
+  DiagnosticEngine Diags;
+  if (!isdl::validate(**D, Diags))
+    return makeFault(FaultCategory::Validate,
+                     "description '" + Id + "': " + Diags.str());
+  return std::move(*D);
 }
 
 //===----------------------------------------------------------------------===//

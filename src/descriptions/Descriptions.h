@@ -23,6 +23,7 @@
 #define EXTRA_DESCRIPTIONS_DESCRIPTIONS_H
 
 #include "isdl/AST.h"
+#include "support/Error.h"
 
 #include <memory>
 #include <string>
@@ -46,8 +47,18 @@ const std::vector<Entry> &allEntries();
 const char *sourceFor(const std::string &Id);
 
 /// Parses and validates the library description \p Id. Asserts that the
-/// library text is well-formed (it is tested to be).
+/// library text is well-formed (it is tested to be). Runs with fault
+/// injection suppressed: the library is an invariant of the program, so
+/// injected parser/validator faults must not fire inside it.
 std::unique_ptr<isdl::Description> load(const std::string &Id);
+
+/// Fault-typed variant of load() for the robustness layer: unknown ids,
+/// parse failures, and validation failures come back as typed Faults
+/// instead of tripping asserts. Unlike load(), this path *is* subject to
+/// fault injection — it is the entry the discovery searcher uses, and the
+/// one the containment machinery must survive.
+Expected<std::unique_ptr<isdl::Description>>
+loadChecked(const std::string &Id);
 
 //===----------------------------------------------------------------------===//
 // Table 1 catalog: exotic instruction statistics

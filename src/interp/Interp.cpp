@@ -7,6 +7,7 @@
 #include "interp/Interp.h"
 
 #include "isdl/Printer.h"
+#include "support/FaultInjection.h"
 
 using namespace extra;
 using namespace extra::interp;
@@ -50,9 +51,12 @@ public:
 private:
   enum class Flow { Next, Exit };
 
-  void fail(const std::string &Message) {
-    if (Result.Error.empty())
+  void fail(const std::string &Message,
+            FaultCategory C = FaultCategory::None) {
+    if (Result.Error.empty()) {
       Result.Error = Message;
+      Result.Category = C;
+    }
   }
   bool failed() const { return !Result.Error.empty(); }
 
@@ -88,7 +92,8 @@ private:
 
   Flow execStmt(const Stmt &S) {
     if (++Result.Steps > Opts.MaxSteps) {
-      fail("step limit exceeded (possible non-terminating loop)");
+      fail("step limit exceeded (possible non-terminating loop)",
+           FaultCategory::InterpBudget);
       return Flow::Next;
     }
     switch (S.getKind()) {
@@ -273,6 +278,14 @@ private:
 
 ExecResult interp::run(const Description &D, const std::vector<int64_t> &Inputs,
                        const Memory &InitialMemory, const ExecOptions &Opts) {
+  // Fault-injection site: a synthetic execution failure, surfaced as a
+  // failed ExecResult value like any genuine one.
+  if (FaultInjector::instance().shouldFail("interp")) {
+    ExecResult R;
+    R.Error = "injected fault: interp";
+    R.Category = FaultCategory::Internal;
+    return R;
+  }
   Evaluator E(D, Inputs, InitialMemory, Opts);
   return E.run();
 }

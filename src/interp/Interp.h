@@ -32,6 +32,7 @@
 #define EXTRA_INTERP_INTERP_H
 
 #include "isdl/AST.h"
+#include "support/Error.h"
 
 #include <cstdint>
 #include <map>
@@ -54,6 +55,11 @@ struct ExecOptions {
 struct ExecResult {
   bool Ok = false;
   std::string Error;            ///< Failure reason when !Ok.
+  /// Typed classification of the failure: InterpBudget for a step-limit
+  /// overrun, Internal for injected faults, None for clean runs and for
+  /// ordinary semantic errors (input exhaustion, assertion failures —
+  /// those are properties of the description, not faults of the system).
+  FaultCategory Category = FaultCategory::None;
   std::vector<int64_t> Outputs; ///< Values emitted by `output`.
   Memory FinalMemory;           ///< Memory after execution.
   uint64_t Steps = 0;           ///< Statements executed.

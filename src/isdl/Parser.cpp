@@ -6,6 +6,8 @@
 
 #include "isdl/Parser.h"
 
+#include "support/FaultInjection.h"
+
 using namespace extra;
 using namespace extra::isdl;
 
@@ -53,6 +55,7 @@ private:
   TypeRef parseOptionalType(bool &Ok);
   StmtList parseStmtList(const char *Context);
   StmtPtr parseStmt();
+  StmtPtr parseStmtInner();
   ExprPtr parseExpr();
   ExprPtr parseOr();
   ExprPtr parseAnd();
@@ -65,9 +68,25 @@ private:
 
   bool atStmtStart() const;
 
+  /// Recursion guard shared by expression and statement nesting: a
+  /// description deep enough to threaten the parser's own stack is a
+  /// malformed input, reported as a diagnostic like any other (the
+  /// robustness layer's no-crash contract). The bound comfortably clears
+  /// every library description and the 200-deep nesting tests.
+  static constexpr unsigned MaxNesting = 512;
+  bool enterNested() {
+    if (++Depth <= MaxNesting)
+      return true;
+    Diags.error(peek().Loc, "nesting too deep (limit " +
+                                std::to_string(MaxNesting) + ")");
+    return false;
+  }
+  void leaveNested() { --Depth; }
+
   std::vector<Token> Tokens;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
+  unsigned Depth = 0;
 };
 
 } // namespace
@@ -265,6 +284,16 @@ StmtList Parser::parseStmtList(const char *Context) {
 }
 
 StmtPtr Parser::parseStmt() {
+  if (!enterNested()) {
+    leaveNested();
+    return nullptr;
+  }
+  StmtPtr Out = parseStmtInner();
+  leaveNested();
+  return Out;
+}
+
+StmtPtr Parser::parseStmtInner() {
   SourceLoc Loc = peek().Loc;
   StmtPtr Out;
 
@@ -399,7 +428,15 @@ StmtPtr Parser::parseStmt() {
 // Expressions
 //===----------------------------------------------------------------------===//
 
-ExprPtr Parser::parseExpr() { return parseOr(); }
+ExprPtr Parser::parseExpr() {
+  if (!enterNested()) {
+    leaveNested();
+    return nullptr;
+  }
+  ExprPtr E = parseOr();
+  leaveNested();
+  return E;
+}
 
 ExprPtr Parser::parseOr() {
   ExprPtr L = parseAnd();
@@ -584,6 +621,13 @@ StmtList Parser::parseStmtsTop() {
 
 std::unique_ptr<Description>
 isdl::parseDescription(std::string_view Source, DiagnosticEngine &Diags) {
+  // Fault-injection site: a synthetic front-end failure, reported exactly
+  // like a genuine parse error so the containment layers above cannot
+  // tell the difference.
+  if (FaultInjector::instance().shouldFail("parser")) {
+    Diags.error("injected fault: parser");
+    return nullptr;
+  }
   Lexer L(Source, Diags);
   Parser P(L.lexAll(), Diags);
   return P.parseDescription();
@@ -599,4 +643,15 @@ StmtList isdl::parseStmts(std::string_view Source, DiagnosticEngine &Diags) {
   Lexer L(Source, Diags);
   Parser P(L.lexAll(), Diags);
   return P.parseStmtsTop();
+}
+
+Expected<std::unique_ptr<Description>>
+isdl::parseDescriptionChecked(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Description> D = parseDescription(Source, Diags);
+  if (!D || Diags.hasErrors())
+    return makeFault(FaultCategory::Parse,
+                     Diags.hasErrors() ? Diags.str()
+                                       : "parse failed without diagnostics");
+  return D;
 }

@@ -16,6 +16,7 @@
 
 #include "isdl/AST.h"
 #include "isdl/Lexer.h"
+#include "support/Error.h"
 
 #include <memory>
 #include <string_view>
@@ -28,6 +29,12 @@ namespace isdl {
 /// \returns the parsed description, or nullptr after reporting errors.
 std::unique_ptr<Description> parseDescription(std::string_view Source,
                                               DiagnosticEngine &Diags);
+
+/// Fault-typed wrapper over parseDescription for callers that propagate
+/// errors as values (the robustness layer): a failed parse becomes a
+/// Fault{Parse} carrying the rendered diagnostics.
+Expected<std::unique_ptr<Description>>
+parseDescriptionChecked(std::string_view Source);
 
 /// Parses a single expression (used by tests and transformation scripts).
 ExprPtr parseExpr(std::string_view Source, DiagnosticEngine &Diags);

@@ -7,6 +7,7 @@
 #include "isdl/Validate.h"
 
 #include "isdl/Traverse.h"
+#include "support/FaultInjection.h"
 
 #include <set>
 
@@ -14,6 +15,12 @@ using namespace extra;
 using namespace extra::isdl;
 
 bool isdl::validate(const Description &D, DiagnosticEngine &Diags) {
+  // Fault-injection site: a synthetic semantic rejection, reported as an
+  // ordinary diagnostic.
+  if (FaultInjector::instance().shouldFail("validate")) {
+    Diags.error("injected fault: validate");
+    return false;
+  }
   unsigned ErrorsBefore = Diags.errorCount();
 
   std::set<std::string> DeclNames;

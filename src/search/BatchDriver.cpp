@@ -7,24 +7,159 @@
 #include "search/BatchDriver.h"
 
 #include "analysis/Derivations.h"
+#include "support/FaultInjection.h"
 #include "transform/Transform.h"
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 using namespace extra;
 using namespace extra::search;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One contained attempt at one case: discoverAndVerify under a
+/// catch-all, with an optional watchdog thread that trips the search's
+/// cooperative cancel flag when the case overshoots its time budget by
+/// half (plus fixed slack for replay verification). The watchdog is a
+/// backstop: the searcher polls its own deadline, but a single very long
+/// expansion (or an injected hang) can starve those checks.
+struct Attempt {
+  DiscoveryResult Discovery;
+  CaseOutcome Outcome = CaseOutcome::Faulted;
+  FaultCategory Category = FaultCategory::None;
+  std::string FaultMessage;
+  double WallMs = 0;
+};
+
+Attempt runAttempt(const BatchCase &C, const SearchLimits &Limits,
+                   bool Watchdog) {
+  Attempt A;
+  SearchLimits L = Limits;
+
+  std::atomic<bool> Cancel{false};
+  std::atomic<bool> Done{false};
+  std::atomic<bool> WatchdogFired{false};
+  std::thread Monitor;
+  if (Watchdog) {
+    L.Cancel = &Cancel;
+    uint64_t DeadlineMs = L.TimeBudgetMs + L.TimeBudgetMs / 2 + 1000;
+    Monitor = std::thread([&Cancel, &Done, &WatchdogFired, DeadlineMs]() {
+      Clock::time_point Deadline =
+          Clock::now() + std::chrono::milliseconds(DeadlineMs);
+      while (!Done.load(std::memory_order_acquire)) {
+        if (Clock::now() >= Deadline) {
+          WatchdogFired.store(true, std::memory_order_release);
+          Cancel.store(true, std::memory_order_release);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  Clock::time_point Start = Clock::now();
+  bool Caught = false;
+  try {
+    A.Discovery = discoverAndVerify(C.OperatorId, C.InstructionId, L, C.M);
+  } catch (const FaultError &FE) {
+    Caught = true;
+    A.Category = FE.fault().Category;
+    A.FaultMessage = FE.fault().Message;
+  } catch (const std::exception &E) {
+    Caught = true;
+    A.Category = FaultCategory::Internal;
+    A.FaultMessage = E.what();
+  } catch (...) {
+    Caught = true;
+    A.Category = FaultCategory::Internal;
+    A.FaultMessage = "unknown exception";
+  }
+  A.WallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
+
+  Done.store(true, std::memory_order_release);
+  if (Monitor.joinable())
+    Monitor.join();
+
+  // Classify. The lattice is ordered: a caught or recorded fault beats
+  // a timeout beats plain exhaustion, and success levels need no tie
+  // breaking (a found derivation cannot also have faulted).
+  const SearchOutcome &O = A.Discovery.Outcome;
+  if (A.Discovery.Verified) {
+    A.Outcome = CaseOutcome::Verified;
+  } else if (O.Found) {
+    A.Outcome = CaseOutcome::Discovered;
+  } else if (Caught || O.SearchFault.isFault()) {
+    A.Outcome = CaseOutcome::Faulted;
+    if (!Caught) {
+      A.Category = O.SearchFault.Category;
+      A.FaultMessage = O.SearchFault.Message;
+    }
+  } else if (O.Stats.TimedOut || WatchdogFired.load()) {
+    A.Outcome = CaseOutcome::TimedOut;
+  } else {
+    A.Outcome = CaseOutcome::Exhausted;
+  }
+  return A;
+}
+
+/// Reduces a kept attempt to its canonical checkpoint record.
+CheckpointRecord toRecord(const BatchCase &C, const Attempt &A,
+                          bool Retried) {
+  CheckpointRecord R;
+  R.Case = C.Id;
+  R.Outcome = A.Outcome;
+  R.Category = A.Category;
+  R.FaultMessage = A.FaultMessage;
+  const SearchOutcome &O = A.Discovery.Outcome;
+  R.Found = O.Found;
+  R.Verified = A.Discovery.Verified;
+  R.Retried = Retried;
+  if (O.Found) {
+    R.OpSteps = O.OperatorScript.size();
+    R.InstSteps = O.InstructionScript.size();
+  } else if (O.Partial.Valid) {
+    R.OpSteps = O.Partial.OperatorScript.size();
+    R.InstSteps = O.Partial.InstructionScript.size();
+  }
+  R.Nodes = O.Stats.NodesExpanded;
+  R.PartialDistance = (!O.Found && O.Partial.Valid)
+                          ? static_cast<int64_t>(O.Partial.Distance)
+                          : -1;
+  R.WallMs = A.WallMs;
+  return R;
+}
+
+} // namespace
+
 std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
                                           const BatchOptions &Opts,
                                           BatchStats *Stats) {
-  using Clock = std::chrono::steady_clock;
   Clock::time_point Start = Clock::now();
 
   std::vector<BatchResult> Results(Cases.size());
+  std::vector<char> Skip(Cases.size(), 0);
   for (size_t I = 0; I < Cases.size(); ++I)
     Results[I].Case = Cases[I];
+
+  // Resume: satisfy already-recorded cases from the checkpoint file
+  // before any worker starts. Idempotent — re-running a fully recorded
+  // batch does no search work at all.
+  if (Opts.Resume && !Opts.CheckpointPath.empty()) {
+    std::vector<CheckpointRecord> Prior = readCheckpoints(Opts.CheckpointPath);
+    for (size_t I = 0; I < Cases.size(); ++I)
+      for (const CheckpointRecord &R : Prior)
+        if (R.Case == Cases[I].Id) {
+          Results[I].Record = R;
+          Results[I].FromCheckpoint = true;
+          Skip[I] = 1;
+        }
+  }
 
   unsigned Threads = Opts.Threads;
   if (Threads == 0)
@@ -36,22 +171,56 @@ std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
   // before workers start; every later access is then read-only.
   (void)transform::Registry::instance();
 
+  std::mutex CheckpointMu;
   std::atomic<size_t> Next{0};
   auto Worker = [&]() {
     for (size_t I = Next.fetch_add(1); I < Cases.size();
          I = Next.fetch_add(1)) {
+      if (Skip[I])
+        continue;
       const BatchCase &C = Cases[I];
       // Per-case limits: the trace label is the case id, so all searches
       // can share one sink and still be told apart in the postmortem.
       SearchLimits L = Opts.Limits;
       if (L.TraceLabel.empty())
         L.TraceLabel = C.Id;
-      Clock::time_point CaseStart = Clock::now();
-      Results[I].Discovery =
-          discoverAndVerify(C.OperatorId, C.InstructionId, L, C.M);
-      Results[I].WallMs =
-          std::chrono::duration<double, std::milli>(Clock::now() - CaseStart)
-              .count();
+
+      // The injection scope is the case id, so whether a site fires in
+      // this case depends only on (seed, site, case, per-case counter) —
+      // never on which worker ran it or in what order.
+      Attempt Kept;
+      bool Retried = false;
+      {
+        FaultScope Scope(C.Id);
+        Kept = runAttempt(C, L, Opts.Watchdog);
+      }
+      if (Opts.DegradedRetry && (Kept.Outcome == CaseOutcome::TimedOut ||
+                                 Kept.Outcome == CaseOutcome::Faulted)) {
+        // One automatic retry at half beam and half nodes: a cheaper
+        // probe that often still lands the short derivations, under a
+        // distinct injection scope so a deterministically injected
+        // first-attempt fault does not deterministically recur.
+        SearchLimits Degraded = L;
+        Degraded.BeamWidth = std::max(1u, L.BeamWidth / 2);
+        Degraded.MaxNodes = std::max<uint64_t>(1000, L.MaxNodes / 2);
+        Retried = true;
+        FaultScope Scope(C.Id + "#retry1");
+        Attempt Again = runAttempt(C, Degraded, Opts.Watchdog);
+        Again.WallMs += Kept.WallMs;
+        if (caseOutcomeRank(Again.Outcome) > caseOutcomeRank(Kept.Outcome))
+          Kept = std::move(Again);
+        else
+          Kept.WallMs = Again.WallMs; // Total spent either way.
+      }
+
+      Results[I].Record = toRecord(C, Kept, Retried);
+      Results[I].WallMs = Kept.WallMs;
+      Results[I].Discovery = std::move(Kept.Discovery);
+
+      if (!Opts.CheckpointPath.empty()) {
+        std::lock_guard<std::mutex> Lock(CheckpointMu);
+        appendCheckpoint(Opts.CheckpointPath, Results[I].Record);
+      }
       if (L.Metrics)
         L.Metrics->histogram("batch.case_wall_ms")
             .record(static_cast<uint64_t>(Results[I].WallMs));
@@ -74,8 +243,24 @@ std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
     Stats->Cases = static_cast<unsigned>(Cases.size());
     Stats->ThreadsUsed = std::max(1u, Threads);
     for (const BatchResult &R : Results) {
-      Stats->Discovered += R.Discovery.Outcome.Found ? 1 : 0;
-      Stats->Verified += R.Discovery.Verified ? 1 : 0;
+      Stats->Discovered += R.Record.Found ? 1 : 0;
+      Stats->Verified += R.Record.Verified ? 1 : 0;
+      switch (R.Record.Outcome) {
+      case CaseOutcome::Verified:
+      case CaseOutcome::Discovered:
+        break;
+      case CaseOutcome::Exhausted:
+        ++Stats->Exhausted;
+        break;
+      case CaseOutcome::TimedOut:
+        ++Stats->TimedOut;
+        break;
+      case CaseOutcome::Faulted:
+        ++Stats->Faulted;
+        break;
+      }
+      Stats->Retried += R.Record.Retried ? 1 : 0;
+      Stats->Resumed += R.FromCheckpoint ? 1 : 0;
       Stats->NodesExpanded += R.Discovery.Outcome.Stats.NodesExpanded;
       Stats->HashHits += R.Discovery.Outcome.Stats.HashHits;
       Stats->DeadEnds += R.Discovery.Outcome.Stats.DeadEnds;
@@ -90,6 +275,26 @@ std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
             .count();
   }
   return Results;
+}
+
+std::string search::batchReportText(const std::vector<BatchResult> &Results) {
+  unsigned Counts[5] = {0, 0, 0, 0, 0};
+  std::string Out = "batch report (" + std::to_string(Results.size()) +
+                    " cases)\n";
+  for (const BatchResult &R : Results) {
+    Out += R.Record.reportLine() + "\n";
+    unsigned Idx = static_cast<unsigned>(R.Record.Outcome);
+    if (Idx < 5)
+      ++Counts[Idx];
+  }
+  Out += "summary:";
+  for (CaseOutcome O :
+       {CaseOutcome::Verified, CaseOutcome::Discovered, CaseOutcome::Exhausted,
+        CaseOutcome::TimedOut, CaseOutcome::Faulted})
+    Out += " " + std::string(caseOutcomeName(O)) + "=" +
+           std::to_string(Counts[static_cast<unsigned>(O)]);
+  Out += "\n";
+  return Out;
 }
 
 std::vector<BatchCase> search::libraryCases() {

@@ -13,11 +13,30 @@
 /// thread count and of scheduling — each search is deterministic and
 /// shares no mutable state.
 ///
+/// Resilience (the robustness layer):
+///
+///  * **Fault containment.** Each case runs inside a fault-injection
+///    scope named by its id, under a catch-all, with a watchdog thread
+///    that raises the search's cooperative cancel flag if the case
+///    overshoots 1.5x its time budget (plus slack) — a backstop for
+///    deadline checks starved by one long expansion. A crash or hang in
+///    one case becomes a typed `Faulted`/`TimedOut` outcome; the batch
+///    always completes and reports every case.
+///  * **Degraded retry.** A `TimedOut` or `Faulted` case is retried once
+///    at half beam width and half node budget (under a distinct
+///    injection scope); the retry result is kept only when it outranks
+///    the first attempt.
+///  * **Checkpoint/resume.** With a checkpoint path set, every finished
+///    case appends one CheckpointRecord line; a resumed run skips the
+///    recorded cases and reconstructs their report lines from the file,
+///    byte-identically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTRA_SEARCH_BATCHDRIVER_H
 #define EXTRA_SEARCH_BATCHDRIVER_H
 
+#include "search/Checkpoint.h"
 #include "search/Searcher.h"
 
 #include <string>
@@ -41,6 +60,16 @@ struct BatchOptions {
   /// least 2 so the batch path is always exercised concurrently).
   unsigned Threads = 0;
   SearchLimits Limits;
+  /// JSONL checkpoint file: one CheckpointRecord appended per finished
+  /// case. Empty disables checkpointing.
+  std::string CheckpointPath;
+  /// Skip cases already recorded in CheckpointPath (idempotent resume).
+  bool Resume = false;
+  /// Retry a TimedOut/Faulted case once at half beam and half nodes.
+  bool DegradedRetry = true;
+  /// Per-case watchdog over the cooperative cancel flag; disable only in
+  /// tests that want deterministic timing-free behavior.
+  bool Watchdog = true;
 };
 
 /// The outcome of one batch entry.
@@ -51,6 +80,12 @@ struct BatchResult {
   /// Also recorded in the `batch.case_wall_ms` histogram when a metrics
   /// registry rides in BatchOptions::Limits.
   double WallMs = 0;
+  /// The canonical per-case report data (always filled — from the live
+  /// run, or from the checkpoint file on resume).
+  CheckpointRecord Record;
+  /// True when the case was skipped on resume and Record came from the
+  /// checkpoint file (Discovery is then empty).
+  bool FromCheckpoint = false;
 };
 
 /// Aggregated counters for one batch run.
@@ -58,6 +93,11 @@ struct BatchStats {
   unsigned Cases = 0;
   unsigned Discovered = 0; ///< Searches that reached common form.
   unsigned Verified = 0;   ///< Discoveries surviving the full replay.
+  unsigned Exhausted = 0;  ///< Typed outcome counts (see CaseOutcome).
+  unsigned TimedOut = 0;
+  unsigned Faulted = 0;
+  unsigned Retried = 0;    ///< Cases whose degraded retry ran.
+  unsigned Resumed = 0;    ///< Cases satisfied from the checkpoint file.
   unsigned ThreadsUsed = 0;
   uint64_t NodesExpanded = 0;
   uint64_t HashHits = 0;
@@ -69,9 +109,17 @@ struct BatchStats {
 };
 
 /// Runs every case, in parallel, and returns results in input order.
+/// Never throws for a case-level failure: every case lands on a typed
+/// CaseOutcome in its Record.
 std::vector<BatchResult> runBatch(const std::vector<BatchCase> &Cases,
                                   const BatchOptions &Opts,
                                   BatchStats *Stats = nullptr);
+
+/// The deterministic batch report: one Record::reportLine per case in
+/// input order plus an outcome summary. A pure function of the records —
+/// no wall-clock content — so a killed-and-resumed batch renders byte-
+/// identically to an uninterrupted one.
+std::string batchReportText(const std::vector<BatchResult> &Results);
 
 /// All recorded analysis pairings (Table 2, the extended cases, and the
 /// §4.3 movc3 case) as BatchCases — ids and modes only; the searcher

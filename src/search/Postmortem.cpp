@@ -329,6 +329,82 @@ PostmortemReport search::postmortem(const std::vector<TraceRecord> &Trace,
   return Rep;
 }
 
+PartialSummary
+search::summarizePartial(const std::vector<TraceRecord> &Trace) {
+  PartialSummary Sum;
+
+  // Span id -> parent and span id -> case label, for attributing each
+  // partial event to its search.
+  std::map<uint64_t, uint64_t> ParentOf;
+  std::map<uint64_t, std::string> SearchCase;
+  for (const TraceRecord &R : Trace)
+    if (R.K == TraceRecord::Kind::Span) {
+      ParentOf[R.Id] = R.Parent;
+      if (R.Name == "search")
+        SearchCase[R.Id] = R.field("case");
+    }
+  auto CaseOf = [&](uint64_t SpanId) -> std::string {
+    for (uint64_t Id = SpanId; Id != 0;) {
+      auto C = SearchCase.find(Id);
+      if (C != SearchCase.end())
+        return C->second;
+      auto It = ParentOf.find(Id);
+      if (It == ParentOf.end())
+        return std::string();
+      Id = It->second;
+    }
+    return std::string();
+  };
+
+  for (const TraceRecord &R : Trace) {
+    if (R.K != TraceRecord::Kind::Event || R.Name != "search.partial")
+      continue;
+    PartialCaseSummary P;
+    P.Case = CaseOf(R.Span);
+    P.Distance = static_cast<unsigned>(R.fieldU64("distance"));
+    P.Depth = static_cast<unsigned>(R.fieldU64("depth"));
+    P.Round = static_cast<unsigned>(R.fieldU64("round"));
+    P.FpOp = R.fieldU64("fp_op");
+    P.FpInst = R.fieldU64("fp_inst");
+    P.StepsOp = R.fieldU64("steps_op");
+    P.StepsInst = R.fieldU64("steps_inst");
+    P.RoutineA = R.field("routine_a");
+    P.RoutineB = R.field("routine_b");
+    P.Detail = R.field("detail");
+    Sum.Cases.push_back(std::move(P));
+  }
+  std::stable_sort(Sum.Cases.begin(), Sum.Cases.end(),
+                   [](const PartialCaseSummary &A,
+                      const PartialCaseSummary &B) {
+                     return A.Distance < B.Distance;
+                   });
+  return Sum;
+}
+
+std::string PartialSummary::str() const {
+  if (Cases.empty())
+    return "no partial results traced\n";
+  std::string S = "partial results (" + std::to_string(Cases.size()) +
+                  " failed searches, nearest miss first)\n";
+  for (const PartialCaseSummary &P : Cases) {
+    S += "  ";
+    S += P.Case.empty() ? "<unlabeled>" : P.Case;
+    S += ": distance " + std::to_string(P.Distance) + " at depth " +
+         std::to_string(P.Depth) + " (round " + std::to_string(P.Round) +
+         "), script prefix " + std::to_string(P.StepsOp) + "+" +
+         std::to_string(P.StepsInst) + "\n";
+    if (!P.RoutineA.empty() || !P.RoutineB.empty()) {
+      S += "    diverges at " +
+           (P.RoutineA.empty() ? std::string("?") : P.RoutineA) + " vs " +
+           (P.RoutineB.empty() ? std::string("?") : P.RoutineB);
+      if (!P.Detail.empty())
+        S += ": " + P.Detail;
+      S += "\n";
+    }
+  }
+  return S;
+}
+
 std::string PostmortemReport::str() const {
   std::string S;
   if (!Ok)

@@ -102,6 +102,35 @@ PostmortemReport postmortem(const std::vector<obs::TraceRecord> &Trace,
                             const analysis::AnalysisCase &Recorded,
                             const PostmortemOptions &Opts = {});
 
+/// One `search.partial` event — the anytime result a failed search left
+/// behind: the closest-to-common-form state it reached, the script
+/// prefix that got there, and (when computed) where the state still
+/// diverges. Needs no recorded script, so it covers the searches the
+/// line-based postmortem cannot.
+struct PartialCaseSummary {
+  std::string Case;      ///< "case" label of the owning search span.
+  unsigned Distance = 0; ///< Structural distance at the best state.
+  unsigned Depth = 0;
+  unsigned Round = 0;
+  uint64_t FpOp = 0, FpInst = 0;
+  uint64_t StepsOp = 0, StepsInst = 0;
+  std::string RoutineA, RoutineB, Detail; ///< Divergence; may be empty.
+};
+
+/// All failed searches in one trace, closest-first.
+struct PartialSummary {
+  std::vector<PartialCaseSummary> Cases;
+  /// Multi-line human-readable rendering ("no partial results traced"
+  /// when empty).
+  std::string str() const;
+};
+
+/// Collects every `search.partial` event in \p Trace, labeled with its
+/// search's case and sorted by ascending distance (nearest miss first).
+/// Deterministic; an event outside any search span is kept with an empty
+/// case label rather than dropped.
+PartialSummary summarizePartial(const std::vector<obs::TraceRecord> &Trace);
+
 } // namespace search
 } // namespace extra
 

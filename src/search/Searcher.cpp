@@ -215,6 +215,18 @@ struct SearchContext {
   Clock::time_point Deadline;
   analysis::DiffOptions VerifyOpts;
 
+  /// The closest-to-common-form state seen so far (anytime result). The
+  /// descriptions are cloned only on a strict distance improvement, so
+  /// the cost is a handful of clones per search, not one per node.
+  struct BestLine {
+    bool Valid = false;
+    Description Op, Inst;
+    uint64_t FpOp = 0, FpInst = 0;
+    unsigned Distance = 0;
+    unsigned Depth = 0, Round = 0;
+    Script OpScript, InstScript;
+  } Best;
+
   /// The trace sink (the shared no-op sink when tracing is off, so call
   /// sites guard on enabled() only).
   obs::TraceSink &trace() const {
@@ -223,13 +235,43 @@ struct SearchContext {
   /// The metrics registry, or null.
   obs::Metrics *met() const { return Limits.Metrics; }
 
+  /// True once the wall-clock budget is spent or the external cancel
+  /// flag is raised. This is the predicate the fine-grained checkpoints
+  /// poll (candidate bursts, macro-move closures, differential trials) —
+  /// a deadline can fire *inside* an expansion, not only between them.
+  bool deadlinePassed() const {
+    if (Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed))
+      return true;
+    return Clock::now() >= Deadline;
+  }
+
   bool exhausted() {
-    if (Stats.NodesExpanded >= Limits.MaxNodes ||
-        Clock::now() >= Deadline) {
+    if (Stats.NodesExpanded >= Limits.MaxNodes) {
       Stats.BudgetExhausted = true;
       return true;
     }
+    if (deadlinePassed()) {
+      Stats.BudgetExhausted = true;
+      Stats.TimedOut = true;
+      return true;
+    }
     return false;
+  }
+
+  /// Records \p N as the best line when it strictly improves on it.
+  void noteBest(const Node &N, unsigned Depth, unsigned Round) {
+    if (Best.Valid && N.Distance >= Best.Distance)
+      return;
+    Best.Valid = true;
+    Best.Op = N.Op.clone();
+    Best.Inst = N.Inst.clone();
+    Best.FpOp = N.FpOp;
+    Best.FpInst = N.FpInst;
+    Best.Distance = N.Distance;
+    Best.Depth = Depth;
+    Best.Round = Round;
+    Best.OpScript = N.OpScript;
+    Best.InstScript = N.InstScript;
   }
 };
 
@@ -259,12 +301,19 @@ obs::Payload statePayload(const Node &N, unsigned Depth, unsigned Round) {
 /// scan stays deterministic and converges to the same fixed point.
 /// Bounded as a backstop; in practice the closure converges in a handful
 /// of steps.
-void simplifyToFixpoint(transform::Engine &E, Script &Recorded) {
+void simplifyToFixpoint(transform::Engine &E, Script &Recorded,
+                        const SearchContext *Ctx = nullptr) {
   const analysis::Priors &P = analysis::Priors::instance();
   const std::vector<std::string> Closure(std::begin(ClosureRules),
                                          std::end(ClosureRules));
   const unsigned MaxSteps = 24;
   for (unsigned Count = 0; Count < MaxSteps;) {
+    // Deadline checkpoint: a macro-move closure runs up to MaxSteps full
+    // rule applications (each with differential verification), long
+    // enough to blow well past a deadline that is only checked between
+    // beam expansions.
+    if (Ctx && Ctx->deadlinePassed())
+      return;
     std::vector<std::string> Ordered = Closure;
     P.orderBySuccessor(Recorded.empty() ? std::string() : Recorded.back().Rule,
                        Ordered);
@@ -317,7 +366,8 @@ void simplifyToFixpoint(transform::Engine &E, Script &Recorded) {
 /// one-step-per-ply beam discards the whole valley. Every chained step
 /// still runs through the engine's verifier and is recorded in the
 /// script, so replay and differential checking see ordinary steps.
-void pinAndSimplify(transform::Engine &E, const Step &Fix, Script &Recorded) {
+void pinAndSimplify(transform::Engine &E, const Step &Fix, Script &Recorded,
+                    const SearchContext *Ctx = nullptr) {
   auto It = Fix.Args.find("operand");
   if (It == Fix.Args.end())
     return;
@@ -326,7 +376,9 @@ void pinAndSimplify(transform::Engine &E, const Step &Fix, Script &Recorded) {
   Step Gcp{"global-constant-propagate", "", {{"var", Pinned}}};
   if (E.apply(Gcp).Applied)
     Recorded.push_back(std::move(Gcp));
-  simplifyToFixpoint(E, Recorded);
+  simplifyToFixpoint(E, Recorded, Ctx);
+  if (Ctx && Ctx->deadlinePassed())
+    return;
 
   Step DeadAssign{"dead-assign-elim", "", {{"var", Pinned}}};
   if (E.apply(DeadAssign).Applied) {
@@ -334,7 +386,7 @@ void pinAndSimplify(transform::Engine &E, const Step &Fix, Script &Recorded) {
     Step DeadDecl{"dead-decl-elim", "", {{"var", Pinned}}};
     if (E.apply(DeadDecl).Applied)
       Recorded.push_back(std::move(DeadDecl));
-    simplifyToFixpoint(E, Recorded);
+    simplifyToFixpoint(E, Recorded, Ctx);
   }
 }
 
@@ -382,6 +434,7 @@ bool beamRound(const Description &Operator, const Description &Instruction,
   Root.FpInst = fingerprint(Root.Inst);
   Root.Distance = analysis::structuralDistance(Root.Op, Root.Inst);
   Root.Score = Root.Distance;
+  Ctx.noteBest(Root, 0, RoundIdx);
   if (T.enabled())
     RoundSpan.event("frontier", statePayload(Root, 0, RoundIdx));
   if (Root.FpOp == Root.FpInst &&
@@ -479,6 +532,7 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           Child.Score = Child.Distance +
                         Ctx.Limits.LengthLambda *
                             (Child.OpScript.size() + Child.InstScript.size());
+          Ctx.noteBest(Child, Depth, RoundIdx);
           if (T.enabled() && !AppliedSteps.empty()) {
             Child.ViaRule = AppliedSteps.front().Rule;
             Child.ViaSide = Side;
@@ -522,6 +576,13 @@ bool beamRound(const Description &Operator, const Description &Instruction,
         }
         for (Step &S : Cands) {
           ++Ctx.Stats.CandidatesTried;
+          // In-expansion deadline checkpoint (every 8 candidates): a
+          // single frontier node tries hundreds of candidates, each one
+          // an engine apply plus differential trials — checking only
+          // between expansions lets one node overshoot the budget by
+          // orders of magnitude.
+          if ((Ctx.Stats.CandidatesTried & 7) == 0 && Ctx.exhausted())
+            return false;
 
           // fix-operand-value additionally spawns a pin-and-simplify
           // macro child (Variant 1); the plain child stays in the pool
@@ -555,7 +616,7 @@ bool beamRound(const Description &Operator, const Description &Instruction,
             }
             Script AppliedSteps{S};
             if (Variant == 1)
-              pinAndSimplify(Scratch, S, AppliedSteps);
+              pinAndSimplify(Scratch, S, AppliedSteps, &Ctx);
             if (MakeChild(Scratch, std::move(AppliedSteps))) {
               Goal = true;
               break;
@@ -578,6 +639,8 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           if (Prop.Steps.empty())
             continue;
           ++Ctx.Stats.CandidatesTried;
+          if ((Ctx.Stats.CandidatesTried & 7) == 0 && Ctx.exhausted())
+            return false;
           transform::Engine Scratch(Cur.clone());
           InitScratch(Scratch);
           Script AppliedSteps;
@@ -603,7 +666,7 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           // (stripping outputs can empty an if arm); close over the
           // cleanup rules so the child lands on the tidy form.
           if (Augmenting)
-            simplifyToFixpoint(Scratch, AppliedSteps);
+            simplifyToFixpoint(Scratch, AppliedSteps, &Ctx);
           if (MakeChild(Scratch, std::move(AppliedSteps))) {
             Goal = true;
             break;
@@ -665,6 +728,10 @@ SearchOutcome search::searchDerivation(const Description &Operator,
                     analysis::DiffOptions()};
   Ctx.VerifyOpts.Trials = Limits.VerifyTrials;
   Ctx.VerifyOpts.Metrics = Limits.Metrics;
+  // Deadline enforcement inside differential verification: each per-node
+  // verifier polls this once per trial, so a slow description cannot
+  // ride a single verification far past the budget.
+  Ctx.VerifyOpts.Stop = [&Ctx] { return Ctx.deadlinePassed(); };
 
   obs::TraceSink &T = Ctx.trace();
   obs::Payload SearchP;
@@ -684,8 +751,20 @@ SearchOutcome search::searchDerivation(const Description &Operator,
   for (unsigned Round = 0; Round <= Limits.Widenings; ++Round) {
     ++Ctx.Stats.Rounds;
     LastWidth = Width;
-    Found = beamRound(Operator, Instruction, Width, Ctx, Out, Round,
-                      SearchSpan.id());
+    // Fault containment: anything thrown below the engine's own
+    // containment layer (proposal synthesis, a rule helper) becomes a
+    // typed fault on the outcome — the search never rethrows, and the
+    // best partial line survives the abort.
+    try {
+      Found = beamRound(Operator, Instruction, Width, Ctx, Out, Round,
+                        SearchSpan.id());
+    } catch (const FaultError &FE) {
+      Out.SearchFault = FE.fault();
+      break;
+    } catch (const std::exception &E) {
+      Out.SearchFault = makeFault(FaultCategory::Internal, E.what());
+      break;
+    }
     if (Found || Ctx.Stats.BudgetExhausted)
       break;
     Width *= 2;
@@ -696,14 +775,53 @@ SearchOutcome search::searchDerivation(const Description &Operator,
 
   if (!Found) {
     Out.Found = false;
-    Out.FailureReason =
-        Ctx.Stats.BudgetExhausted
-            ? "search budget exhausted (" +
-                  std::to_string(Ctx.Stats.NodesExpanded) +
-                  " nodes expanded)"
-            : "search space exhausted within depth " +
-                  std::to_string(Limits.MaxDepth) + " at beam width " +
-                  std::to_string(LastWidth);
+    if (Out.SearchFault.isFault())
+      Out.FailureReason = "search faulted: " + Out.SearchFault.str();
+    else if (Ctx.Stats.TimedOut)
+      Out.FailureReason = "search time budget exhausted (" +
+                          std::to_string(Ctx.Stats.NodesExpanded) +
+                          " nodes expanded)";
+    else if (Ctx.Stats.BudgetExhausted)
+      Out.FailureReason = "search budget exhausted (" +
+                          std::to_string(Ctx.Stats.NodesExpanded) +
+                          " nodes expanded)";
+    else
+      Out.FailureReason = "search space exhausted within depth " +
+                          std::to_string(Limits.MaxDepth) +
+                          " at beam width " + std::to_string(LastWidth);
+
+    // Anytime result: surface the best line the beam reached, with a
+    // live divergence report computed against the preserved state.
+    if (Ctx.Best.Valid) {
+      Out.Partial.Valid = true;
+      Out.Partial.FpOp = Ctx.Best.FpOp;
+      Out.Partial.FpInst = Ctx.Best.FpInst;
+      Out.Partial.Distance = Ctx.Best.Distance;
+      Out.Partial.Depth = Ctx.Best.Depth;
+      Out.Partial.Round = Ctx.Best.Round;
+      Out.Partial.OperatorScript = Ctx.Best.OpScript;
+      Out.Partial.InstructionScript = Ctx.Best.InstScript;
+      MatchResult M = matchDescriptions(Ctx.Best.Op, Ctx.Best.Inst);
+      Out.Partial.Divergence = M.Divergence;
+      if (T.enabled()) {
+        obs::Payload P;
+        P.add("distance", Out.Partial.Distance)
+            .add("depth", Out.Partial.Depth)
+            .add("round", Out.Partial.Round)
+            .addHex("fp_op", Out.Partial.FpOp)
+            .addHex("fp_inst", Out.Partial.FpInst)
+            .add("steps_op",
+                 static_cast<uint64_t>(Out.Partial.OperatorScript.size()))
+            .add("steps_inst",
+                 static_cast<uint64_t>(
+                     Out.Partial.InstructionScript.size()));
+        if (Out.Partial.Divergence.Valid)
+          P.add("routine_a", Out.Partial.Divergence.RoutineA)
+              .add("routine_b", Out.Partial.Divergence.RoutineB)
+              .add("detail", Out.Partial.Divergence.Detail);
+        SearchSpan.event("search.partial", std::move(P));
+      }
+    }
   }
   if (T.enabled())
     SearchSpan.event("search-result",
@@ -727,15 +845,26 @@ DiscoveryResult search::discoverAndVerify(const std::string &OperatorId,
                                           const SearchLimits &Limits,
                                           analysis::Mode M) {
   DiscoveryResult Result;
-  auto Operator = descriptions::load(OperatorId);
-  auto Instruction = descriptions::load(InstructionId);
-  if (!Operator || !Instruction) {
-    Result.Outcome.FailureReason = "cannot load descriptions '" + OperatorId +
-                                   "' / '" + InstructionId + "'";
+  // loadChecked is the fault-typed (and fault-injectable) entry: a parse
+  // or validation failure comes back as a typed Fault on the outcome
+  // instead of tripping the library asserts in load().
+  auto Operator = descriptions::loadChecked(OperatorId);
+  if (!Operator) {
+    Result.Outcome.SearchFault = Operator.fault();
+    Result.Outcome.FailureReason = "cannot load description '" + OperatorId +
+                                   "': " + Operator.fault().str();
+    return Result;
+  }
+  auto Instruction = descriptions::loadChecked(InstructionId);
+  if (!Instruction) {
+    Result.Outcome.SearchFault = Instruction.fault();
+    Result.Outcome.FailureReason = "cannot load description '" +
+                                   InstructionId +
+                                   "': " + Instruction.fault().str();
     return Result;
   }
 
-  Result.Outcome = searchDerivation(*Operator, *Instruction, Limits);
+  Result.Outcome = searchDerivation(**Operator, **Instruction, Limits);
   if (!Result.Outcome.Found)
     return Result;
 
@@ -760,7 +889,15 @@ DiscoveryResult search::discoverAndVerify(const std::string &OperatorId,
           .add("steps_inst",
                static_cast<uint64_t>(Case.InstructionScript.size()));
     obs::ScopedSpan Replay(T, "replay-verify", 0, std::move(P));
-    Result.Replay = analysis::runAnalysis(Case, M);
+    // The replay runs at full trial counts and can dwarf the search
+    // itself; thread the external cancel flag into its differential
+    // options so a watchdog deadline reaches inside it too.
+    analysis::DiffOptions ReplayOpts;
+    if (Limits.Cancel)
+      ReplayOpts.Stop = [C = Limits.Cancel] {
+        return C->load(std::memory_order_relaxed);
+      };
+    Result.Replay = analysis::runAnalysis(Case, M, ReplayOpts);
     Result.Verified = Result.Replay.Succeeded;
     if (T.enabled())
       Replay.event("replay-result",

@@ -35,8 +35,10 @@
 #include "analysis/Analysis.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Error.h"
 #include "transform/Transform.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -84,6 +86,14 @@ struct SearchLimits {
   /// Label stamped on the root "search" span (conventionally the
   /// pairing id); lets one trace file carry many searches.
   std::string TraceLabel;
+  /// Cooperative cancellation (optional, non-owning). When set, the
+  /// search polls the flag at the same fine-grained points as the
+  /// deadline — between frontier expansions, every few candidate
+  /// attempts, inside macro-move closures, and per differential trial —
+  /// and stops as if the time budget had expired. The batch driver's
+  /// watchdog uses this to bound cases whose between-expansion deadline
+  /// check is starved by one long expansion.
+  std::atomic<bool> *Cancel = nullptr;
 };
 
 /// Observability counters for one search (aggregated over widening
@@ -98,6 +108,9 @@ struct SearchStats {
   unsigned Rounds = 0;          ///< Beam rounds used (1 = no widening).
   double WallMs = 0;            ///< Total wall time.
   bool BudgetExhausted = false; ///< A hard budget stopped the search.
+  /// True when the stopping budget was the wall clock (or an external
+  /// cancellation), as opposed to the node cap. Implies BudgetExhausted.
+  bool TimedOut = false;
 
   /// Fraction of generated-or-pruned children answered by the table.
   double hashHitRate() const {
@@ -108,6 +121,25 @@ struct SearchStats {
   double nodesPerSec() const {
     return WallMs > 0 ? NodesExpanded * 1000.0 / WallMs : 0.0;
   }
+};
+
+/// The best line a failed search reached: an *anytime* result. Even when
+/// no derivation is found, the closest-to-common-form state the beam
+/// visited — its fingerprints, structural distance, the script prefix
+/// that reached it, and a live divergence report computed against that
+/// state — is preserved so a postmortem can say where the search got
+/// stuck without needing a recorded script.
+struct PartialLine {
+  bool Valid = false;
+  uint64_t FpOp = 0, FpInst = 0;
+  unsigned Distance = 0;      ///< Structural distance at the best state.
+  unsigned Depth = 0;         ///< Beam depth where it was generated.
+  unsigned Round = 0;         ///< Widening round where it was generated.
+  transform::Script OperatorScript;
+  transform::Script InstructionScript;
+  /// Where the best state still diverges (matchDescriptions re-run on
+  /// the preserved state at failure time).
+  isdl::DivergenceReport Divergence;
 };
 
 /// The discovered derivation (or the reason there is none).
@@ -122,6 +154,13 @@ struct SearchOutcome {
   /// ranges derived from the binding.
   constraint::ConstraintSet Constraints;
   SearchStats Stats;
+  /// Typed fault that aborted the search (Category == None when the
+  /// search ran to completion, found or not). Faults thrown below the
+  /// engine's own containment (e.g. in proposal synthesis) land here
+  /// instead of escaping the call.
+  Fault SearchFault;
+  /// Best partial line when !Found (anytime result).
+  PartialLine Partial;
 };
 
 /// Searches for a derivation proving \p Operator equivalent to

@@ -1,0 +1,142 @@
+//===- FaultInjection.h - Deterministic seeded fault injection --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, deterministic fault injector for exercising the
+/// robustness layer. Named sites in the parser, validator, interpreter,
+/// rule application, and synthesis call `shouldFail("<site>")`; when the
+/// injector is armed with a rate for that site, the call deterministically
+/// returns true for a pseudo-random subset of invocations and the site
+/// raises a typed fault (a diagnostic, a failed ExecResult, or a
+/// FaultError for the nearest containment layer to catch).
+///
+/// Design constraints, in order:
+///
+///  * **Zero cost when disabled.** `shouldFail` is an inline relaxed
+///    bool load and a branch; nothing else happens in production.
+///  * **Deterministic and schedule-independent.** The decision for the
+///    Nth check of a site is a pure function of (seed, site, scope, N).
+///    Scope is a thread-local hash set by FaultScope — the batch driver
+///    scopes each case by its id — and the per-site counters are
+///    thread-local and reset at scope entry, so a case sees the same
+///    injected faults whether the batch runs on 1 thread or 8.
+///  * **Configured once, before workers start.** configure()/setSeed()
+///    are not synchronized against concurrent shouldFail(); the batch
+///    drivers and the CLI arm the injector up front.
+///
+/// Spec syntax (CLI `--inject`, env `EXTRA_INJECT`):
+///   "<site>=<rate>[,<site>=<rate>...]"   rate in [0,1]
+/// Unknown site names are rejected so typos surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SUPPORT_FAULTINJECTION_H
+#define EXTRA_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace extra {
+
+class FaultInjector {
+public:
+  /// The process-wide injector.
+  static FaultInjector &instance();
+
+  /// The named sites compiled into the code base.
+  static const std::vector<std::string> &knownSites();
+
+  /// Parses and installs a "<site>=<rate>,..." spec (rates accumulate
+  /// over calls; a later spec overrides a site's earlier rate). Arms the
+  /// injector when any rate is positive. Returns false + \p Error on
+  /// malformed specs or unknown sites.
+  bool configure(const std::string &Spec, std::string *Error = nullptr);
+
+  /// Reads the EXTRA_INJECT environment variable, if set, through
+  /// configure(). Returns false only on a malformed value.
+  bool configureFromEnv(std::string *Error = nullptr);
+
+  /// Seed of the decision stream (default 0x5EED'FA17).
+  void setSeed(uint64_t Seed) { this->Seed = Seed; }
+
+  /// Disarms and forgets all rates, counters, and the seed override.
+  void reset();
+
+  /// True when any site has a positive rate.
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// The hot-path check. Inline fast exit when disarmed.
+  bool shouldFail(std::string_view Site) {
+    if (!Armed.load(std::memory_order_relaxed))
+      return false;
+    return shouldFailSlow(Site);
+  }
+
+  /// Total injected faults since the last reset().
+  uint64_t injectedTotal() const {
+    return Injected.load(std::memory_order_relaxed);
+  }
+  /// (site, fired-count) for every configured site, in site-name order.
+  std::vector<std::pair<std::string, uint64_t>> firedBySite() const;
+
+private:
+  FaultInjector() = default;
+  bool shouldFailSlow(std::string_view Site);
+
+  struct Site {
+    std::string Name;
+    uint64_t NameHash = 0;
+    double Rate = 0;
+    std::atomic<uint64_t> Fired{0};
+  };
+  // Append-only after configure; scanned linearly — the site count is
+  // tiny. A deque because Site holds an atomic (non-movable) and needs
+  // stable addresses across appends.
+  std::deque<Site> Sites;
+  std::atomic<bool> Armed{false};
+  std::atomic<uint64_t> Injected{0};
+  uint64_t Seed = 0x5EEDFA17;
+
+  friend class FaultScope;
+  friend class FaultSuppress;
+};
+
+/// RAII injection scope: decisions inside the scope depend on \p Label
+/// (and restart their per-site counters), so the same case id sees the
+/// same faults regardless of which worker thread runs it or what ran
+/// before. Scopes nest; the previous scope is restored on exit.
+class FaultScope {
+public:
+  explicit FaultScope(std::string_view Label);
+  ~FaultScope();
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+
+private:
+  uint64_t SavedScope;
+  std::vector<uint64_t> SavedCounts;
+};
+
+/// RAII suppression: shouldFail() is false inside, however armed. Used
+/// where a failure would violate an invariant rather than exercise a
+/// recovery path (e.g. descriptions::load asserts the built-in library
+/// parses; the checked loader is the injectable entry point).
+class FaultSuppress {
+public:
+  FaultSuppress();
+  ~FaultSuppress();
+  FaultSuppress(const FaultSuppress &) = delete;
+  FaultSuppress &operator=(const FaultSuppress &) = delete;
+};
+
+} // namespace extra
+
+#endif // EXTRA_SUPPORT_FAULTINJECTION_H

@@ -7,6 +7,7 @@
 #include "synth/Synth.h"
 
 #include "isdl/Traverse.h"
+#include "support/FaultInjection.h"
 
 #include <cctype>
 
@@ -181,6 +182,12 @@ std::vector<Proposal>
 synth::synthesizeProposals(const Description &Current, const Description &Other,
                            bool CurrentIsInstruction,
                            const Vocabulary &Vocab, obs::Metrics *Metrics) {
+  // Fault-injection site: a proposal generator crashing. The searcher's
+  // containment layer catches the typed exception and records a Faulted
+  // outcome instead of dying.
+  if (FaultInjector::instance().shouldFail("synth"))
+    throw FaultError(
+        makeFault(FaultCategory::Synth, "injected fault: synth"));
   std::vector<Proposal> Out = proposeRecordExitCause(Current, Vocab);
   // Multi-site index-to-pointer as one atomic proposal: converting the
   // sites one ply at a time re-derives the names against the *shrunken*

@@ -7,6 +7,7 @@
 #include "transform/Transform.h"
 
 #include "isdl/Traverse.h"
+#include "support/FaultInjection.h"
 
 #include <chrono>
 
@@ -180,7 +181,33 @@ ApplyResult Engine::apply(const Step &S) {
   Description Before = Desc.clone();
   size_t ConstraintsBefore = Constraints.size();
   TransformContext Ctx{Desc, S.Routine, S.Args, &Constraints};
-  ApplyResult R = T->apply(Ctx);
+
+  // Fault containment: a rule that throws (a genuine bug, or an injected
+  // fault) must not take the session down or leave a half-rewritten
+  // description behind. The exception is converted to a typed failure and
+  // the pre-step snapshot restored, exactly like a refusal.
+  ApplyResult R;
+  try {
+    // Fault-injection site: a rule implementation crashing mid-rewrite.
+    if (FaultInjector::instance().shouldFail("rule-apply"))
+      throw FaultError(makeFault(FaultCategory::RuleApplication,
+                                 "injected fault: rule-apply"));
+    R = T->apply(Ctx);
+  } catch (const FaultError &FE) {
+    Desc = std::move(Before);
+    ApplyResult F = ApplyResult::failure("rule '" + S.Rule +
+                                         "' faulted: " + FE.fault().Message);
+    F.Category = FE.fault().Category;
+    Finish(F, "faulted");
+    return F;
+  } catch (const std::exception &E) {
+    Desc = std::move(Before);
+    ApplyResult F =
+        ApplyResult::failure("rule '" + S.Rule + "' faulted: " + E.what());
+    F.Category = FaultCategory::RuleApplication;
+    Finish(F, "faulted");
+    return F;
+  }
   if (!R.Applied) {
     Desc = std::move(Before);
     Finish(R, "refused");

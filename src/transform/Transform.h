@@ -29,6 +29,7 @@
 #include "isdl/Traverse.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Error.h"
 
 #include <cstdint>
 #include <functional>
@@ -101,6 +102,11 @@ struct ApplyResult {
   bool Applied = false;
   /// Why the rule refused, when !Applied.
   std::string Reason;
+  /// Typed classification of the failure: RuleApplication when a rule
+  /// faulted (threw) rather than refused, None for ordinary refusals and
+  /// successes. Ordinary refusals are expected search traffic, not
+  /// faults.
+  FaultCategory Category = FaultCategory::None;
   SemanticsEffect Effect = SemanticsEffect::Preserving;
   /// For InputRefining steps: adapter from new inputs to old inputs.
   InputAdapter Adapter;

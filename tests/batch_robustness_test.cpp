@@ -1,0 +1,302 @@
+//===- batch_robustness_test.cpp - Fault-isolated batch tests ---*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// The robustness layer's acceptance tests: checkpoint records round-trip
+// and tolerate torn writes, injected faults produce identical typed
+// outcomes whatever the thread count, a killed-and-resumed batch renders
+// a byte-identical report, and no fault ever loses a case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/BatchDriver.h"
+#include "search/Checkpoint.h"
+
+#include "analysis/Derivations.h"
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace extra;
+using namespace extra::search;
+
+namespace {
+
+/// Disarms the process-wide injector on scope exit so one test's spec
+/// never leaks into the next.
+struct InjectorReset {
+  ~InjectorReset() { FaultInjector::instance().reset(); }
+};
+
+/// A temp file path unique to this test binary run; removed on exit.
+struct TempFile {
+  std::string Path;
+  explicit TempFile(const std::string &Name)
+      : Path(::testing::TempDir() + Name) {
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+};
+
+std::vector<BatchCase> quickCases() {
+  std::vector<BatchCase> Cases;
+  for (const char *Id :
+       {"vax.movc3/pc2.copy", "i8086.stosb/pc2.clear", "vax.movc5/pc2.clear"}) {
+    const analysis::AnalysisCase *C = analysis::findCase(Id);
+    EXPECT_NE(C, nullptr) << Id;
+    BatchCase B;
+    B.Id = C->Id;
+    B.OperatorId = C->OperatorId;
+    B.InstructionId = C->InstructionId;
+    Cases.push_back(std::move(B));
+  }
+  return Cases;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint records
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, RecordRoundTrips) {
+  CheckpointRecord R;
+  R.Case = "vax.locc/clu.search";
+  R.Outcome = CaseOutcome::TimedOut;
+  R.Category = FaultCategory::Synth;
+  R.FaultMessage = "injected \"fault\"\nwith control chars";
+  R.Found = false;
+  R.Verified = false;
+  R.Retried = true;
+  R.OpSteps = 3;
+  R.InstSteps = 7;
+  R.Nodes = 1234;
+  R.PartialDistance = 5;
+  R.WallMs = 42.5;
+
+  auto Back = CheckpointRecord::fromJsonLine(R.toJsonLine());
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(Back->Case, R.Case);
+  EXPECT_EQ(Back->Outcome, R.Outcome);
+  EXPECT_EQ(Back->Category, R.Category);
+  EXPECT_EQ(Back->FaultMessage, R.FaultMessage);
+  EXPECT_EQ(Back->Found, R.Found);
+  EXPECT_EQ(Back->Verified, R.Verified);
+  EXPECT_EQ(Back->Retried, R.Retried);
+  EXPECT_EQ(Back->OpSteps, R.OpSteps);
+  EXPECT_EQ(Back->InstSteps, R.InstSteps);
+  EXPECT_EQ(Back->Nodes, R.Nodes);
+  EXPECT_EQ(Back->PartialDistance, R.PartialDistance);
+  EXPECT_DOUBLE_EQ(Back->WallMs, R.WallMs);
+  // The report line is wall-clock-free by design.
+  EXPECT_EQ(Back->reportLine().find("42.5"), std::string::npos);
+}
+
+TEST(CheckpointTest, MalformedLinesRejected) {
+  EXPECT_FALSE(CheckpointRecord::fromJsonLine(""));
+  EXPECT_FALSE(CheckpointRecord::fromJsonLine("{\"case\":\"x\",\"outco"));
+  EXPECT_FALSE(CheckpointRecord::fromJsonLine("not json at all"));
+  // A parseable object that is not a checkpoint record.
+  EXPECT_FALSE(CheckpointRecord::fromJsonLine("{\"k\":\"span\",\"id\":3}"));
+  // Unknown outcome name.
+  EXPECT_FALSE(CheckpointRecord::fromJsonLine(
+      "{\"case\":\"x\",\"outcome\":\"sideways\"}"));
+}
+
+TEST(CheckpointTest, ReaderSkipsTornLinesAndDedups) {
+  TempFile F("ckpt_torn.jsonl");
+  CheckpointRecord A;
+  A.Case = "a";
+  A.Outcome = CaseOutcome::Exhausted;
+  CheckpointRecord B;
+  B.Case = "b";
+  B.Outcome = CaseOutcome::Verified;
+  B.Found = B.Verified = true;
+  CheckpointRecord A2 = A;
+  A2.Outcome = CaseOutcome::Verified; // Later record for "a" wins.
+  {
+    std::ofstream OS(F.Path);
+    OS << A.toJsonLine() << "\n";
+    OS << B.toJsonLine() << "\n";
+    OS << A2.toJsonLine() << "\n";
+    OS << "{\"case\":\"c\",\"outc"; // Torn write from a killed run.
+  }
+  std::vector<CheckpointRecord> Records = readCheckpoints(F.Path);
+  ASSERT_EQ(Records.size(), 2u);
+  EXPECT_EQ(Records[0].Case, "a");
+  EXPECT_EQ(Records[0].Outcome, CaseOutcome::Verified);
+  EXPECT_EQ(Records[1].Case, "b");
+}
+
+TEST(CheckpointTest, MissingFileReadsEmpty) {
+  EXPECT_TRUE(readCheckpoints("/nonexistent/ckpt.jsonl").empty());
+}
+
+TEST(CheckpointTest, OutcomeNamesRoundTripAndRank) {
+  for (CaseOutcome O :
+       {CaseOutcome::Verified, CaseOutcome::Discovered, CaseOutcome::Exhausted,
+        CaseOutcome::TimedOut, CaseOutcome::Faulted}) {
+    auto Back = caseOutcomeFromName(caseOutcomeName(O));
+    ASSERT_TRUE(Back);
+    EXPECT_EQ(*Back, O);
+  }
+  EXPECT_FALSE(caseOutcomeFromName("unknown"));
+  EXPECT_GT(caseOutcomeRank(CaseOutcome::Verified),
+            caseOutcomeRank(CaseOutcome::Discovered));
+  EXPECT_GT(caseOutcomeRank(CaseOutcome::Discovered),
+            caseOutcomeRank(CaseOutcome::Exhausted));
+  EXPECT_GT(caseOutcomeRank(CaseOutcome::Exhausted),
+            caseOutcomeRank(CaseOutcome::TimedOut));
+  EXPECT_GT(caseOutcomeRank(CaseOutcome::TimedOut),
+            caseOutcomeRank(CaseOutcome::Faulted));
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-isolated batches
+//===----------------------------------------------------------------------===//
+
+TEST(BatchRobustnessTest, InjectedOutcomesIdenticalAcrossThreadCounts) {
+  // The injector's decisions are scoped to the case id, so where a fault
+  // fires cannot depend on which worker ran the case or in what order.
+  // The whole per-case record — outcome, category, steps, nodes — must be
+  // identical at 1, 2, and 8 threads.
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure(
+      "synth=0.25,rule-apply=0.005", &Err))
+      << Err;
+
+  std::vector<BatchCase> Cases = quickCases();
+  std::vector<std::string> Reports;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    BatchOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Limits.TimeBudgetMs = 30000;
+    std::vector<BatchResult> Results = runBatch(Cases, Opts);
+    Reports.push_back(batchReportText(Results));
+  }
+  EXPECT_EQ(Reports[0], Reports[1]);
+  EXPECT_EQ(Reports[0], Reports[2]);
+}
+
+TEST(BatchRobustnessTest, SynthFaultIsContainedAndTyped) {
+  // Rate 1.0 at the synth site: every attempt (and the degraded retry,
+  // under its own scope) faults. The batch still completes, and the case
+  // lands on a typed Faulted outcome naming the synth category.
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure("synth=1", &Err)) << Err;
+
+  std::vector<BatchCase> Cases = quickCases();
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  BatchStats Stats;
+  std::vector<BatchResult> Results = runBatch(Cases, Opts, &Stats);
+  ASSERT_EQ(Results.size(), Cases.size());
+  for (const BatchResult &R : Results) {
+    EXPECT_EQ(R.Record.Outcome, CaseOutcome::Faulted) << R.Case.Id;
+    EXPECT_EQ(R.Record.Category, FaultCategory::Synth) << R.Case.Id;
+    EXPECT_TRUE(R.Record.Retried) << R.Case.Id;
+  }
+  EXPECT_EQ(Stats.Faulted, static_cast<unsigned>(Cases.size()));
+  EXPECT_GT(FaultInjector::instance().injectedTotal(), 0u);
+}
+
+TEST(BatchRobustnessTest, DegradedRetryRecoversOneShotFault) {
+  // A fault that fires early in the first attempt's scope need not fire
+  // in the retry's distinct scope: with a moderate synth rate the quick
+  // cases still end Verified (directly or via the retry), and a case
+  // that needed the retry says so in its record.
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure("synth=0.25", &Err)) << Err;
+
+  std::vector<BatchCase> Cases = quickCases();
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  std::vector<BatchResult> WithRetry = runBatch(Cases, Opts);
+  Opts.DegradedRetry = false;
+  std::vector<BatchResult> WithoutRetry = runBatch(Cases, Opts);
+
+  int RankWith = 0, RankWithout = 0;
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    RankWith += caseOutcomeRank(WithRetry[I].Record.Outcome);
+    RankWithout += caseOutcomeRank(WithoutRetry[I].Record.Outcome);
+  }
+  // The retry can only improve an outcome, never worsen one.
+  EXPECT_GE(RankWith, RankWithout);
+}
+
+TEST(BatchRobustnessTest, CheckpointResumeRendersByteIdenticalReport) {
+  // Run a batch to completion with a checkpoint; simulate a mid-run kill
+  // by truncating the checkpoint to its first record plus a torn line;
+  // resume. The resumed report must equal the uninterrupted one byte for
+  // byte, and a second resume must do no search work at all.
+  std::vector<BatchCase> Cases = quickCases();
+  TempFile F("ckpt_resume.jsonl");
+
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  Opts.CheckpointPath = F.Path;
+  std::vector<BatchResult> Full = runBatch(Cases, Opts);
+  std::string FullReport = batchReportText(Full);
+
+  std::vector<CheckpointRecord> Records = readCheckpoints(F.Path);
+  ASSERT_EQ(Records.size(), Cases.size());
+
+  // "Kill": keep only the first finished case, with a torn trailing line.
+  CheckpointRecord Kept;
+  for (const CheckpointRecord &R : Records)
+    if (R.Case == Cases[0].Id)
+      Kept = R;
+  {
+    std::ofstream OS(F.Path, std::ios::trunc);
+    OS << Kept.toJsonLine() << "\n";
+    OS << "{\"case\":\"" << Cases[1].Id << "\",\"outc";
+  }
+
+  Opts.Resume = true;
+  BatchStats Stats;
+  std::vector<BatchResult> Resumed = runBatch(Cases, Opts, &Stats);
+  EXPECT_EQ(Stats.Resumed, 1u);
+  EXPECT_TRUE(Resumed[0].FromCheckpoint);
+  EXPECT_EQ(batchReportText(Resumed), FullReport);
+
+  // Second resume: everything satisfied from the file, zero search work.
+  BatchStats Stats2;
+  std::vector<BatchResult> Again = runBatch(Cases, Opts, &Stats2);
+  EXPECT_EQ(Stats2.Resumed, static_cast<unsigned>(Cases.size()));
+  EXPECT_EQ(Stats2.NodesExpanded, 0u);
+  EXPECT_EQ(batchReportText(Again), FullReport);
+}
+
+TEST(BatchRobustnessTest, EverySiteProducesACompleteBatch) {
+  // Arm every known site at once at modest rates: whatever fires, every
+  // case must land on exactly one typed outcome — a batch never loses a
+  // case to an injected fault.
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure(
+      "parser=0.05,validate=0.05,interp=0.0001,rule-apply=0.002,synth=0.05",
+      &Err))
+      << Err;
+
+  std::vector<BatchCase> Cases = quickCases();
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  Opts.Limits.TimeBudgetMs = 30000;
+  std::vector<BatchResult> Results = runBatch(Cases, Opts);
+  ASSERT_EQ(Results.size(), Cases.size());
+  for (const BatchResult &R : Results) {
+    int Rank = caseOutcomeRank(R.Record.Outcome);
+    EXPECT_GE(Rank, 0);
+    EXPECT_LE(Rank, 4);
+    EXPECT_EQ(R.Record.Case, R.Case.Id);
+  }
+}
+
+} // namespace

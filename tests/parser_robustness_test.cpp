@@ -118,6 +118,84 @@ TEST(ParserRobustnessTest, PathologicalInputs) {
   SUCCEED();
 }
 
+TEST(ParserRobustnessTest, MalformedInputCorpus) {
+  // A corpus of shapes a killed editor session or a truncated download
+  // leaves behind. Each must be rejected with a diagnostic (or parsed
+  // cleanly) — never a crash, a hang, or a silent nullptr.
+  const char *Corpus[] = {
+      // Empty and whitespace-only files.
+      "", " ", "\n\n\n", "\t \n \t",
+      // Truncated scripts: a valid description cut at every interesting
+      // boundary.
+      "x",
+      "x :=",
+      "x := begin",
+      "x := begin ** S",
+      "x := begin ** S **",
+      "x := begin ** S ** a: integer",
+      "x := begin ** S ** a: integer, x.execute",
+      "x := begin ** S ** a: integer, x.execute := begin",
+      "x := begin ** S ** a: integer, x.execute := begin input (a)",
+      "x := begin ** S ** a: integer, x.execute := begin input (a); "
+      "a <- a +",
+      "x := begin ** S ** a: integer, x.execute := begin input (a); "
+      "a <- a + 1; output (a); end",
+      // Unterminated character literals, including at end of input and
+      // with an embedded newline.
+      "x := begin ** S ** a: integer, x.execute := begin a <- 'q",
+      "x := begin ** S ** a: integer, x.execute := begin a <- '",
+      "x := begin ** S ** a: integer, x.execute := begin a <- '\n'; "
+      "end end",
+      // Stray bytes the lexer has no token for.
+      "x := begin ** S ** \x01\x02 end", "@#$%^&", "x := begin ** \\ ** end",
+  };
+  for (const char *Src : Corpus) {
+    DiagnosticEngine Diags;
+    auto D = isdl::parseDescription(Src, Diags);
+    if (!D)
+      EXPECT_TRUE(Diags.hasErrors()) << "silent failure on: " << Src;
+    // The checked wrapper is stricter: any diagnosed error is a typed
+    // Parse fault, even when recovery produced a tree.
+    auto E = isdl::parseDescriptionChecked(Src);
+    EXPECT_EQ(static_cast<bool>(E), D != nullptr && !Diags.hasErrors())
+        << Src;
+    if (!E) {
+      EXPECT_EQ(E.fault().Category, FaultCategory::Parse) << Src;
+      EXPECT_FALSE(E.fault().Message.empty()) << Src;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, ExcessiveNestingRejectedNotOverflowed) {
+  // 600 levels of parenthesized expression — past the parser's recursion
+  // guard (512) — must produce a nesting diagnostic, not a stack
+  // overflow.
+  std::string Expr(600, '(');
+  Expr += "1";
+  Expr += std::string(600, ')');
+  std::string Src = "x := begin ** S ** a: integer, x.execute := begin "
+                    "a <- " + Expr + "; output (a); end end";
+  DiagnosticEngine Diags;
+  auto D = isdl::parseDescription(Src, Diags);
+  EXPECT_EQ(D, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("nesting"), std::string::npos) << Diags.str();
+
+  // Statement nesting hits the same guard.
+  std::string Body;
+  for (int I = 0; I < 600; ++I)
+    Body += "if a > 0 then ";
+  Body += "a <- 1;";
+  for (int I = 0; I < 600; ++I)
+    Body += " end_if;";
+  std::string Src2 = "x := begin ** S ** a: integer, x.execute := begin "
+                     "input (a); " + Body + " output (a); end end";
+  DiagnosticEngine Diags2;
+  auto D2 = isdl::parseDescription(Src2, Diags2);
+  EXPECT_EQ(D2, nullptr);
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
 TEST(ParserRobustnessTest, DeepNestingDoesNotOverflowQuickly) {
   // 200 nested conditionals: parser, validator, printer, and interpreter
   // recursion depth stays manageable.

@@ -14,6 +14,8 @@
 #include "transform/Transform.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <gtest/gtest.h>
 
 using namespace extra;
@@ -234,6 +236,66 @@ TEST(SearcherTest, ReportsFailureWithinBudget) {
   EXPECT_FALSE(R.Outcome.Found);
   EXPECT_FALSE(R.Outcome.FailureReason.empty());
   EXPECT_LE(R.Outcome.Stats.NodesExpanded, 40u);
+}
+
+TEST(SearcherTest, TinyDeadlineReturnsPromptly) {
+  // Deadline-granularity regression: with a milliseconds-scale budget on
+  // a pairing whose expansions take seconds in aggregate, the search must
+  // stop *inside* expansion — between candidate attempts, within the
+  // pin-and-simplify macro moves, and per differential trial — not after
+  // finishing whatever multi-second work a coarse per-depth check would
+  // allow. The generous bound still fails the coarse behavior, which
+  // overshoots by tens of seconds.
+  SearchLimits Limits;
+  Limits.TimeBudgetMs = 5;
+  auto Start = std::chrono::steady_clock::now();
+  DiscoveryResult R = discoverAndVerify("clu.search", "i8086.scasb", Limits);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  EXPECT_FALSE(R.Outcome.Found);
+  EXPECT_TRUE(R.Outcome.Stats.TimedOut);
+  EXPECT_TRUE(R.Outcome.Stats.BudgetExhausted);
+  EXPECT_LT(Ms, 3000.0);
+}
+
+TEST(SearcherTest, CancelFlagStopsSearch) {
+  // A pre-raised cooperative cancel flag reads as an expired deadline.
+  std::atomic<bool> Cancel{true};
+  SearchLimits Limits;
+  Limits.Cancel = &Cancel;
+  DiscoveryResult R = discoverAndVerify("clu.search", "i8086.scasb", Limits);
+  EXPECT_FALSE(R.Outcome.Found);
+  EXPECT_TRUE(R.Outcome.Stats.TimedOut);
+}
+
+TEST(SearcherTest, FailedSearchCarriesPartialLine) {
+  // Anytime result: a budget-bound failure still reports the closest
+  // state the beam reached, with a consistent script prefix and a live
+  // divergence report.
+  SearchLimits Limits;
+  Limits.MaxNodes = 60;
+  Limits.Widenings = 0;
+  DiscoveryResult R =
+      discoverAndVerify("pascal.sequal", "i8086.cmpsb", Limits);
+  ASSERT_FALSE(R.Outcome.Found);
+  ASSERT_TRUE(R.Outcome.Partial.Valid);
+  const PartialLine &P = R.Outcome.Partial;
+  EXPECT_GT(P.Distance, 0u);
+  // One beam level can append several steps (pin-and-simplify macro
+  // moves), so the prefix is at least as long as the depth, never shorter.
+  EXPECT_GE(P.OperatorScript.size() + P.InstructionScript.size(), P.Depth);
+  EXPECT_NE(P.FpOp, P.FpInst); // Distance > 0 means unequal shapes.
+  EXPECT_TRUE(P.Divergence.Valid);
+}
+
+TEST(SearcherTest, UnknownDescriptionIdIsTypedFault) {
+  DiscoveryResult R = discoverAndVerify("no.such.operator", "i8086.movsb");
+  EXPECT_FALSE(R.Outcome.Found);
+  EXPECT_FALSE(R.Verified);
+  ASSERT_TRUE(R.Outcome.SearchFault.isFault());
+  EXPECT_EQ(R.Outcome.SearchFault.Category, FaultCategory::Internal);
+  EXPECT_FALSE(R.Outcome.FailureReason.empty());
 }
 
 //===----------------------------------------------------------------------===//

@@ -5,9 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtil.h"
 
 #include <gtest/gtest.h>
+#include <memory>
+#include <thread>
+#include <vector>
 
 using namespace extra;
 
@@ -66,6 +71,150 @@ TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(startsWith("abc", ""));
   EXPECT_FALSE(startsWith("abc", "abcd"));
   EXPECT_FALSE(startsWith("abc", "b"));
+}
+
+//===----------------------------------------------------------------------===//
+// Typed faults and Expected<T>
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, FaultCategoryNamesRoundTrip) {
+  for (FaultCategory C :
+       {FaultCategory::None, FaultCategory::Parse, FaultCategory::Validate,
+        FaultCategory::InterpBudget, FaultCategory::RuleApplication,
+        FaultCategory::Synth, FaultCategory::Internal})
+    EXPECT_EQ(faultCategoryFromName(faultCategoryName(C)), C);
+  // Unknown names degrade to Internal, never crash.
+  EXPECT_EQ(faultCategoryFromName("???"), FaultCategory::Internal);
+}
+
+TEST(ErrorTest, ExpectedCarriesValueOrFault) {
+  Expected<int> Ok(42);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(*Ok, 42);
+  EXPECT_FALSE(Ok.fault().isFault());
+
+  Expected<int> Bad(makeFault(FaultCategory::Parse, "boom"));
+  ASSERT_FALSE(Bad);
+  EXPECT_EQ(Bad.fault().Category, FaultCategory::Parse);
+  EXPECT_EQ(Bad.fault().str(), "parse: boom");
+}
+
+TEST(ErrorTest, ExpectedMoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> E(std::make_unique<int>(7));
+  ASSERT_TRUE(E);
+  std::unique_ptr<int> P = E.take();
+  ASSERT_TRUE(P);
+  EXPECT_EQ(*P, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic fault injection
+//===----------------------------------------------------------------------===//
+
+/// Disarms the injector on scope exit so tests cannot leak a spec.
+struct InjectorReset {
+  ~InjectorReset() { FaultInjector::instance().reset(); }
+};
+
+TEST(FaultInjectionTest, DisarmedIsSilent) {
+  InjectorReset Guard;
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(FaultInjector::instance().armed());
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_FALSE(FaultInjector::instance().shouldFail("parser"));
+  EXPECT_EQ(FaultInjector::instance().injectedTotal(), 0u);
+}
+
+TEST(FaultInjectionTest, SpecValidation) {
+  InjectorReset Guard;
+  std::string Err;
+  EXPECT_FALSE(FaultInjector::instance().configure("nosuchsite=0.5", &Err));
+  EXPECT_NE(Err.find("nosuchsite"), std::string::npos);
+  EXPECT_FALSE(FaultInjector::instance().configure("parser=1.5", &Err));
+  EXPECT_FALSE(FaultInjector::instance().configure("parser=", &Err));
+  EXPECT_FALSE(FaultInjector::instance().configure("parser", &Err));
+  EXPECT_TRUE(
+      FaultInjector::instance().configure("parser=0.5, synth=0.25", &Err))
+      << Err;
+  EXPECT_TRUE(FaultInjector::instance().armed());
+}
+
+TEST(FaultInjectionTest, DecisionsDeterministicWithinScope) {
+  // The Nth check of a site inside a named scope is a pure function of
+  // (seed, site, scope, N): replaying the same scope yields the same
+  // decision sequence.
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure("parser=0.3", &Err)) << Err;
+
+  auto Sequence = [] {
+    std::vector<bool> Out;
+    FaultScope Scope("case-a");
+    for (int I = 0; I < 64; ++I)
+      Out.push_back(FaultInjector::instance().shouldFail("parser"));
+    return Out;
+  };
+  std::vector<bool> First = Sequence();
+  std::vector<bool> Second = Sequence();
+  EXPECT_EQ(First, Second);
+
+  // A different scope label sees a different (but equally deterministic)
+  // stream.
+  std::vector<bool> Other;
+  {
+    FaultScope Scope("case-b");
+    for (int I = 0; I < 64; ++I)
+      Other.push_back(FaultInjector::instance().shouldFail("parser"));
+  }
+  EXPECT_NE(First, Other);
+}
+
+TEST(FaultInjectionTest, DecisionsIndependentOfThread) {
+  // Scoped decisions are thread-local state only: two threads replaying
+  // the same scope observe identical streams.
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure("interp=0.4", &Err)) << Err;
+
+  auto Run = [](std::vector<bool> &Out) {
+    FaultScope Scope("case-x");
+    for (int I = 0; I < 64; ++I)
+      Out.push_back(FaultInjector::instance().shouldFail("interp"));
+  };
+  std::vector<bool> A, B;
+  std::thread T1([&] { Run(A); });
+  std::thread T2([&] { Run(B); });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(A, B);
+}
+
+TEST(FaultInjectionTest, SuppressWins) {
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure("validate=1", &Err)) << Err;
+  EXPECT_TRUE(FaultInjector::instance().shouldFail("validate"));
+  {
+    FaultSuppress Quiet;
+    for (int I = 0; I < 100; ++I)
+      EXPECT_FALSE(FaultInjector::instance().shouldFail("validate"));
+  }
+  EXPECT_TRUE(FaultInjector::instance().shouldFail("validate"));
+}
+
+TEST(FaultInjectionTest, RateOneAlwaysFiresRateZeroNever) {
+  InjectorReset Guard;
+  std::string Err;
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("synth=1,rule-apply=0", &Err))
+      << Err;
+  FaultScope Scope("rates");
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(FaultInjector::instance().shouldFail("synth"));
+    EXPECT_FALSE(FaultInjector::instance().shouldFail("rule-apply"));
+  }
+  auto Fired = FaultInjector::instance().firedBySite();
+  ASSERT_EQ(Fired.size(), 2u);
 }
 
 } // namespace

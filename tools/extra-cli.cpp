@@ -33,6 +33,7 @@
 #include "transform/ScriptIO.h"
 #include "descriptions/Descriptions.h"
 #include "isdl/Printer.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
@@ -67,7 +68,13 @@ int usage() {
                "             --depth D, --nodes N, --time-ms T,\n"
                "             --trace FILE (JSONL span/event trace),\n"
                "             --metrics FILE (counter/histogram JSON),\n"
-               "             --min-verified N (fail below N verified)\n"
+               "             --min-verified N (fail below N verified),\n"
+               "             --checkpoint FILE (JSONL record per case),\n"
+               "             --resume (skip cases already checkpointed),\n"
+               "             --inject site=rate[,...] (seeded fault\n"
+               "             injection; also env EXTRA_INJECT),\n"
+               "             --inject-seed N, --no-retry (disable the\n"
+               "             degraded retry of timed-out/faulted cases)\n"
                "  trace <case-id> [--out trace.jsonl]\n"
                "                          run one traced discovery (search\n"
                "                          options above apply); succeeds\n"
@@ -77,7 +84,13 @@ int usage() {
                "                          replay the recorded derivation\n"
                "                          against a trace: first depth the\n"
                "                          line left the beam, the rule it\n"
-               "                          needed, that rule's priors rank\n");
+               "                          needed, that rule's priors rank\n"
+               "  postmortem <trace.jsonl> --partial\n"
+               "                          summarize the anytime results of\n"
+               "                          every failed search in the trace\n"
+               "                          (closest state, script prefix,\n"
+               "                          divergence) — no recorded script\n"
+               "                          needed\n");
   return 2;
 }
 
@@ -354,7 +367,21 @@ int cmdSearch(int argc, char **argv) {
     else if (Arg == "--min-verified" && IntOpt(V)) {
       MinVerified = V;
       HaveMinVerified = true;
-    } else if (Arg[0] != '-' && OperatorId.empty())
+    } else if (Arg == "--checkpoint" && I + 1 < argc)
+      Opts.CheckpointPath = argv[++I];
+    else if (Arg == "--resume")
+      Opts.Resume = true;
+    else if (Arg == "--no-retry")
+      Opts.DegradedRetry = false;
+    else if (Arg == "--inject" && I + 1 < argc) {
+      std::string Err;
+      if (!FaultInjector::instance().configure(argv[++I], &Err)) {
+        std::fprintf(stderr, "bad --inject spec: %s\n", Err.c_str());
+        return 2;
+      }
+    } else if (Arg == "--inject-seed" && IntOpt(V))
+      FaultInjector::instance().setSeed(V);
+    else if (Arg[0] != '-' && OperatorId.empty())
       OperatorId = Arg;
     else if (Arg[0] != '-' && InstructionId.empty())
       InstructionId = Arg;
@@ -412,19 +439,38 @@ int cmdSearch(int argc, char **argv) {
   for (const extra::search::BatchResult &R : Results) {
     if (Results.size() > 1)
       std::printf("----\n");
+    if (R.FromCheckpoint) {
+      std::printf("%s: resumed from checkpoint (%s)\n", R.Case.Id.c_str(),
+                  extra::search::caseOutcomeName(R.Record.Outcome));
+      Rc |= R.Record.Outcome == extra::search::CaseOutcome::Verified ? 0 : 1;
+      continue;
+    }
     Rc |= reportDiscovery(R.Case.Id, R.Discovery,
                           /*Verbose=*/Results.size() == 1, R.WallMs);
   }
-  if (Results.size() > 1)
-    std::printf("----\nbatch: %u/%u discovered, %u verified, %u thread(s), "
+  if (Results.size() > 1) {
+    std::printf("----\n%s",
+                extra::search::batchReportText(Results).c_str());
+    std::printf("batch: %u/%u discovered, %u verified, %u retried, "
+                "%u resumed, %u thread(s), "
                 "%llu nodes, %llu hash hits, %.1f ms wall "
                 "(%.1f ms summed over cases; slowest %s at %.1f ms)\n",
-                Stats.Discovered, Stats.Cases, Stats.Verified,
-                Stats.ThreadsUsed,
+                Stats.Discovered, Stats.Cases, Stats.Verified, Stats.Retried,
+                Stats.Resumed, Stats.ThreadsUsed,
                 static_cast<unsigned long long>(Stats.NodesExpanded),
                 static_cast<unsigned long long>(Stats.HashHits),
                 Stats.WallMs, Stats.CaseWallMs, Stats.SlowestCase.c_str(),
                 Stats.SlowestCaseMs);
+  }
+  if (FaultInjector::instance().armed()) {
+    std::string Fired;
+    for (const auto &[Site, Count] : FaultInjector::instance().firedBySite())
+      Fired += " " + Site + "=" + std::to_string(Count);
+    std::printf("injected faults: %llu total;%s\n",
+                static_cast<unsigned long long>(
+                    FaultInjector::instance().injectedTotal()),
+                Fired.c_str());
+  }
 
   if (Sink) {
     std::printf("trace: %llu record(s) -> %s\n",
@@ -514,14 +560,34 @@ int cmdPostmortem(int argc, char **argv) {
     return usage();
   std::string TracePath = argv[2];
   std::string Against;
+  bool Partial = false;
   for (int I = 3; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--against") && I + 1 < argc)
       Against = argv[++I];
+    else if (!std::strcmp(argv[I], "--partial"))
+      Partial = true;
     else
       return usage();
   }
-  if (Against.empty())
+  if (Against.empty() && !Partial)
     return usage();
+  if (Partial) {
+    std::ifstream In(TracePath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    std::string Err;
+    auto Trace = obs::readTrace(In, &Err);
+    if (!Trace) {
+      std::fprintf(stderr, "bad trace: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fputs(extra::search::summarizePartial(*Trace).str().c_str(),
+               stdout);
+    if (Against.empty())
+      return 0;
+  }
   const AnalysisCase *Case = findCase(Against);
   if (!Case) {
     std::fprintf(stderr, "unknown case '%s' (try `extra-cli cases`)\n",
@@ -558,6 +624,13 @@ int cmdPostmortem(int argc, char **argv) {
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
+  // Arm the fault injector from the environment before any command runs
+  // (the `search --inject` flag layers on top of this).
+  std::string InjectErr;
+  if (!FaultInjector::instance().configureFromEnv(&InjectErr)) {
+    std::fprintf(stderr, "bad EXTRA_INJECT: %s\n", InjectErr.c_str());
+    return 2;
+  }
   const char *Cmd = argv[1];
   if (!std::strcmp(Cmd, "rules"))
     return cmdRules(argc, argv);
