@@ -1,0 +1,178 @@
+//===- bench_server_cache.cpp - Discovery-service cache exhibit -*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's workflow is analyze-once, reuse-forever: an exotic
+// instruction's binding is discovered interactively one time, then
+// hard-wired into the code generator. The discovery service (src/server)
+// makes that literal with a cross-run memo store. This exhibit measures
+// the payoff: the full 14-pairing recorded suite submitted cold (every
+// pairing searched on the worker pool) versus warm (every verdict
+// answered from the store in O(lookup)), plus steady-state per-request
+// latencies for a warm cache hit and a cold self-pairing search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/BatchDriver.h"
+#include "server/Service.h"
+
+#include "obs/TraceFile.h"
+
+#include "BenchSupport.h"
+
+#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+using namespace extra;
+using namespace extra::server;
+
+namespace {
+
+std::string tempStorePath(const std::string &Tag) {
+  const char *Dir = ::getenv("TMPDIR");
+  std::string Base = Dir && *Dir ? Dir : "/tmp";
+  if (Base.back() != '/')
+    Base += '/';
+  std::string Path = Base + "extra_bench_" + Tag + "_" +
+                     std::to_string(static_cast<long>(::getpid())) +
+                     ".jsonl";
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+  return Path;
+}
+
+void removeStore(const std::string &Path) {
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+}
+
+/// Tight limits, as in bench_search_discovery: discoverable pairings
+/// finish well inside them and the out-of-reach ones fail fast.
+ServiceOptions benchOptions(const std::string &StorePath) {
+  ServiceOptions O;
+  O.StorePath = StorePath;
+  O.Workers = 4;
+  O.Limits.TimeBudgetMs = 15000;
+  O.Limits.MaxNodes = 20000;
+  return O;
+}
+
+std::string submitLine(const search::BatchCase &C, bool Wait) {
+  std::string Line = "{\"cmd\":\"submit\",\"operator\":\"" + C.OperatorId +
+                     "\",\"instruction\":\"" + C.InstructionId + "\"";
+  if (C.M == analysis::Mode::Extension)
+    Line += ",\"mode\":\"extension\"";
+  if (Wait)
+    Line += ",\"wait\":true";
+  Line += "}";
+  return Line;
+}
+
+/// Submits the whole suite without waiting (the worker pool runs the
+/// misses in parallel), then drains. Returns wall ms; counts the
+/// submits answered straight from the cache.
+double suiteMs(Service &S, unsigned *Hits) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  unsigned Cached = 0;
+  for (const search::BatchCase &C : search::libraryCases()) {
+    auto R = obs::parseJsonObjectLine(S.handle(submitLine(C, false)));
+    if (R && (*R)["cached"] == "true")
+      ++Cached;
+  }
+  S.handle("{\"cmd\":\"drain\"}");
+  double Ms = std::chrono::duration<double, std::milli>(Clock::now() - Start)
+                  .count();
+  if (Hits)
+    *Hits = Cached;
+  return Ms;
+}
+
+void printCacheReport() {
+  std::printf("==== Discovery service: cold suite vs warm cache "
+              "(src/server) ====\n\n");
+  std::string Store = tempStorePath("suite");
+  auto S = Service::create(benchOptions(Store));
+  if (!S) {
+    std::printf("  cannot start service: %s\n", S.fault().Message.c_str());
+    return;
+  }
+  size_t Pairings = search::libraryCases().size();
+  unsigned ColdHits = 0, WarmHits = 0;
+  double ColdMs = suiteMs(**S, &ColdHits);
+  double WarmMs = suiteMs(**S, &WarmHits);
+  std::printf("  %zu pairings cold:  %10.1f ms  (%u cache hits, "
+              "%zu searches)\n",
+              Pairings, ColdMs, ColdHits, Pairings - ColdHits);
+  std::printf("  %zu pairings warm:  %10.1f ms  (%u cache hits)\n",
+              Pairings, WarmMs, WarmHits);
+  if (WarmMs > 0)
+    std::printf("  warm speedup: %.0fx\n", ColdMs / WarmMs);
+  obs::Histogram::Snapshot Wall =
+      (*S)->metrics().histogram("server.job_wall_ms").snapshot();
+  std::printf("  worker jobs: %llu, per-job wall p50 ~%llu ms, "
+              "max %llu ms\n\n",
+              static_cast<unsigned long long>(Wall.Count),
+              static_cast<unsigned long long>(Wall.P50),
+              static_cast<unsigned long long>(Wall.Max));
+  (*S)->stop();
+  removeStore(Store);
+}
+
+/// Steady-state warm hit: one submit answered from the memo store.
+void BM_WarmCacheHit(benchmark::State &State) {
+  std::string Store = tempStorePath("warm");
+  auto S = Service::create(benchOptions(Store));
+  if (!S) {
+    State.SkipWithError("cannot start service");
+    return;
+  }
+  const std::string Line =
+      "{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+      "\"instruction\":\"pc2.copy\",\"wait\":true}";
+  (void)(*S)->handle(Line); // Warm the cache with the one real search.
+  for (auto _ : State) {
+    std::string R = (*S)->handle(Line);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["cache_hits"] = static_cast<double>(
+      (*S)->metrics().counter("server.cache.hit").value());
+  (*S)->stop();
+  removeStore(Store);
+}
+BENCHMARK(BM_WarmCacheHit)->Unit(benchmark::kMicrosecond);
+
+/// Cold path for a trivial self-pairing: queue, search, verify, store.
+void BM_ColdSelfPairing(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::string Store = tempStorePath("cold");
+    auto S = Service::create(benchOptions(Store));
+    if (!S) {
+      State.SkipWithError("cannot start service");
+      return;
+    }
+    State.ResumeTiming();
+    std::string R = (*S)->handle(
+        "{\"cmd\":\"submit\",\"operator\":\"pc2.clear\","
+        "\"instruction\":\"pc2.clear\",\"wait\":true}");
+    benchmark::DoNotOptimize(R);
+    State.PauseTiming();
+    (*S)->stop();
+    removeStore(Store);
+    State.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ColdSelfPairing)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printCacheReport();
+  return extra_bench::runBenchmarks(argc, argv);
+}

@@ -26,6 +26,11 @@
 ///   synth.proposal.<kind>        proposals generated per kind
 ///   synth.accept / synth.reject  proposals surviving atomic application
 ///   batch.case_wall_ms           per-pairing discovery wall time
+///   server.cache.hit / server.cache.miss
+///                                discovery-service submit consults of
+///                                the cross-run memo store
+///   server.job_wall_ms           per-job wall time on a service worker
+///   server.store.put_fault       memo appends lost to store faults
 ///
 /// Adding a counter is one line at the instrumentation site:
 /// `if (M) M->counter("my.metric").add();` — registration is implicit

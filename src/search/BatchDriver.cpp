@@ -19,122 +19,7 @@ using namespace extra;
 using namespace extra::search;
 
 namespace {
-
 using Clock = std::chrono::steady_clock;
-
-/// One contained attempt at one case: discoverAndVerify under a
-/// catch-all, with an optional watchdog thread that trips the search's
-/// cooperative cancel flag when the case overshoots its time budget by
-/// half (plus fixed slack for replay verification). The watchdog is a
-/// backstop: the searcher polls its own deadline, but a single very long
-/// expansion (or an injected hang) can starve those checks.
-struct Attempt {
-  DiscoveryResult Discovery;
-  CaseOutcome Outcome = CaseOutcome::Faulted;
-  FaultCategory Category = FaultCategory::None;
-  std::string FaultMessage;
-  double WallMs = 0;
-};
-
-Attempt runAttempt(const BatchCase &C, const SearchLimits &Limits,
-                   bool Watchdog) {
-  Attempt A;
-  SearchLimits L = Limits;
-
-  std::atomic<bool> Cancel{false};
-  std::atomic<bool> Done{false};
-  std::atomic<bool> WatchdogFired{false};
-  std::thread Monitor;
-  if (Watchdog) {
-    L.Cancel = &Cancel;
-    uint64_t DeadlineMs = L.TimeBudgetMs + L.TimeBudgetMs / 2 + 1000;
-    Monitor = std::thread([&Cancel, &Done, &WatchdogFired, DeadlineMs]() {
-      Clock::time_point Deadline =
-          Clock::now() + std::chrono::milliseconds(DeadlineMs);
-      while (!Done.load(std::memory_order_acquire)) {
-        if (Clock::now() >= Deadline) {
-          WatchdogFired.store(true, std::memory_order_release);
-          Cancel.store(true, std::memory_order_release);
-          break;
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      }
-    });
-  }
-
-  Clock::time_point Start = Clock::now();
-  bool Caught = false;
-  try {
-    A.Discovery = discoverAndVerify(C.OperatorId, C.InstructionId, L, C.M);
-  } catch (const FaultError &FE) {
-    Caught = true;
-    A.Category = FE.fault().Category;
-    A.FaultMessage = FE.fault().Message;
-  } catch (const std::exception &E) {
-    Caught = true;
-    A.Category = FaultCategory::Internal;
-    A.FaultMessage = E.what();
-  } catch (...) {
-    Caught = true;
-    A.Category = FaultCategory::Internal;
-    A.FaultMessage = "unknown exception";
-  }
-  A.WallMs =
-      std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
-
-  Done.store(true, std::memory_order_release);
-  if (Monitor.joinable())
-    Monitor.join();
-
-  // Classify. The lattice is ordered: a caught or recorded fault beats
-  // a timeout beats plain exhaustion, and success levels need no tie
-  // breaking (a found derivation cannot also have faulted).
-  const SearchOutcome &O = A.Discovery.Outcome;
-  if (A.Discovery.Verified) {
-    A.Outcome = CaseOutcome::Verified;
-  } else if (O.Found) {
-    A.Outcome = CaseOutcome::Discovered;
-  } else if (Caught || O.SearchFault.isFault()) {
-    A.Outcome = CaseOutcome::Faulted;
-    if (!Caught) {
-      A.Category = O.SearchFault.Category;
-      A.FaultMessage = O.SearchFault.Message;
-    }
-  } else if (O.Stats.TimedOut || WatchdogFired.load()) {
-    A.Outcome = CaseOutcome::TimedOut;
-  } else {
-    A.Outcome = CaseOutcome::Exhausted;
-  }
-  return A;
-}
-
-/// Reduces a kept attempt to its canonical checkpoint record.
-CheckpointRecord toRecord(const BatchCase &C, const Attempt &A,
-                          bool Retried) {
-  CheckpointRecord R;
-  R.Case = C.Id;
-  R.Outcome = A.Outcome;
-  R.Category = A.Category;
-  R.FaultMessage = A.FaultMessage;
-  const SearchOutcome &O = A.Discovery.Outcome;
-  R.Found = O.Found;
-  R.Verified = A.Discovery.Verified;
-  R.Retried = Retried;
-  if (O.Found) {
-    R.OpSteps = O.OperatorScript.size();
-    R.InstSteps = O.InstructionScript.size();
-  } else if (O.Partial.Valid) {
-    R.OpSteps = O.Partial.OperatorScript.size();
-    R.InstSteps = O.Partial.InstructionScript.size();
-  }
-  R.Nodes = O.Stats.NodesExpanded;
-  R.PartialDistance = (!O.Found && O.Partial.Valid)
-                          ? static_cast<int64_t>(O.Partial.Distance)
-                          : -1;
-  R.WallMs = A.WallMs;
-  return R;
-}
-
 } // namespace
 
 std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
@@ -179,50 +64,24 @@ std::vector<BatchResult> search::runBatch(const std::vector<BatchCase> &Cases,
       if (Skip[I])
         continue;
       const BatchCase &C = Cases[I];
-      // Per-case limits: the trace label is the case id, so all searches
-      // can share one sink and still be told apart in the postmortem.
-      SearchLimits L = Opts.Limits;
-      if (L.TraceLabel.empty())
-        L.TraceLabel = C.Id;
+      // Containment, injection scopes, and the degraded retry all live
+      // in the shared job-execution layer (JobRunner.cpp).
+      JobPolicy Policy;
+      Policy.Limits = Opts.Limits;
+      Policy.Watchdog = Opts.Watchdog;
+      Policy.DegradedRetry = Opts.DegradedRetry;
+      JobExecution E = executeJob(C, Policy);
 
-      // The injection scope is the case id, so whether a site fires in
-      // this case depends only on (seed, site, case, per-case counter) —
-      // never on which worker ran it or in what order.
-      Attempt Kept;
-      bool Retried = false;
-      {
-        FaultScope Scope(C.Id);
-        Kept = runAttempt(C, L, Opts.Watchdog);
-      }
-      if (Opts.DegradedRetry && (Kept.Outcome == CaseOutcome::TimedOut ||
-                                 Kept.Outcome == CaseOutcome::Faulted)) {
-        // One automatic retry at half beam and half nodes: a cheaper
-        // probe that often still lands the short derivations, under a
-        // distinct injection scope so a deterministically injected
-        // first-attempt fault does not deterministically recur.
-        SearchLimits Degraded = L;
-        Degraded.BeamWidth = std::max(1u, L.BeamWidth / 2);
-        Degraded.MaxNodes = std::max<uint64_t>(1000, L.MaxNodes / 2);
-        Retried = true;
-        FaultScope Scope(C.Id + "#retry1");
-        Attempt Again = runAttempt(C, Degraded, Opts.Watchdog);
-        Again.WallMs += Kept.WallMs;
-        if (caseOutcomeRank(Again.Outcome) > caseOutcomeRank(Kept.Outcome))
-          Kept = std::move(Again);
-        else
-          Kept.WallMs = Again.WallMs; // Total spent either way.
-      }
-
-      Results[I].Record = toRecord(C, Kept, Retried);
-      Results[I].WallMs = Kept.WallMs;
-      Results[I].Discovery = std::move(Kept.Discovery);
+      Results[I].Record = executionRecord(C, E);
+      Results[I].WallMs = E.WallMs;
+      Results[I].Discovery = std::move(E.Discovery);
 
       if (!Opts.CheckpointPath.empty()) {
         std::lock_guard<std::mutex> Lock(CheckpointMu);
         appendCheckpoint(Opts.CheckpointPath, Results[I].Record);
       }
-      if (L.Metrics)
-        L.Metrics->histogram("batch.case_wall_ms")
+      if (Opts.Limits.Metrics)
+        Opts.Limits.Metrics->histogram("batch.case_wall_ms")
             .record(static_cast<uint64_t>(Results[I].WallMs));
     }
   };

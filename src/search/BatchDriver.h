@@ -15,17 +15,11 @@
 ///
 /// Resilience (the robustness layer):
 ///
-///  * **Fault containment.** Each case runs inside a fault-injection
-///    scope named by its id, under a catch-all, with a watchdog thread
-///    that raises the search's cooperative cancel flag if the case
-///    overshoots 1.5x its time budget (plus slack) — a backstop for
-///    deadline checks starved by one long expansion. A crash or hang in
-///    one case becomes a typed `Faulted`/`TimedOut` outcome; the batch
-///    always completes and reports every case.
-///  * **Degraded retry.** A `TimedOut` or `Faulted` case is retried once
-///    at half beam width and half node budget (under a distinct
-///    injection scope); the retry result is kept only when it outranks
-///    the first attempt.
+///  * **Fault containment and degraded retry** live in the shared
+///    job-execution layer (JobRunner.h): each case runs under a
+///    catch-all with a watchdog thread and gets one degraded retry —
+///    see executeJob for the exact semantics. The batch always
+///    completes and reports every case.
 ///  * **Checkpoint/resume.** With a checkpoint path set, every finished
 ///    case appends one CheckpointRecord line; a resumed run skips the
 ///    recorded cases and reconstructs their report lines from the file,
@@ -37,6 +31,7 @@
 #define EXTRA_SEARCH_BATCHDRIVER_H
 
 #include "search/Checkpoint.h"
+#include "search/JobRunner.h"
 #include "search/Searcher.h"
 
 #include <string>
@@ -44,15 +39,6 @@
 
 namespace extra {
 namespace search {
-
-/// One pairing to discover, named by description-library ids (the
-/// recorded derivation scripts are never consulted).
-struct BatchCase {
-  std::string Id; ///< Report label, conventionally "<inst-id>/<op-id>".
-  std::string OperatorId;
-  std::string InstructionId;
-  analysis::Mode M = analysis::Mode::Base;
-};
 
 /// Worker-pool configuration.
 struct BatchOptions {

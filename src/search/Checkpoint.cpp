@@ -131,18 +131,41 @@ std::string CheckpointRecord::reportLine() const {
   return Out;
 }
 
+std::string search::versionHeaderLine(std::string_view Format,
+                                      uint32_t Version) {
+  return "{\"format\":\"" + obs::jsonEscape(Format) +
+         "\",\"version\":" + std::to_string(Version) + "}";
+}
+
+std::optional<std::pair<std::string, uint32_t>>
+search::parseVersionHeader(std::string_view Line) {
+  auto Fields = obs::parseJsonObjectLine(Line);
+  if (!Fields)
+    return std::nullopt;
+  auto FormatIt = Fields->find("format");
+  auto VersionIt = Fields->find("version");
+  if (FormatIt == Fields->end() || VersionIt == Fields->end())
+    return std::nullopt;
+  return std::make_pair(
+      FormatIt->second,
+      static_cast<uint32_t>(
+          std::strtoul(VersionIt->second.c_str(), nullptr, 10)));
+}
+
 bool search::appendCheckpoint(const std::string &Path,
                               const CheckpointRecord &R, std::string *Error) {
   // A run killed mid-append leaves an unterminated final line; appending
   // straight after it would weld two records into one garbage line. Start
   // on a fresh line whenever the existing tail lacks its newline.
   bool NeedLeadingNewline = false;
+  bool Empty = true;
   {
     std::ifstream In(Path, std::ios::binary);
     if (In) {
       In.seekg(0, std::ios::end);
       std::streamoff Size = In.tellg();
       if (Size > 0) {
+        Empty = false;
         In.seekg(Size - 1);
         NeedLeadingNewline = In.get() != '\n';
       }
@@ -156,6 +179,8 @@ bool search::appendCheckpoint(const std::string &Path,
   }
   if (NeedLeadingNewline)
     OS << "\n";
+  if (Empty)
+    OS << versionHeaderLine(kCheckpointFormat, kCheckpointVersion) << "\n";
   OS << R.toJsonLine() << "\n";
   OS.flush();
   if (!OS) {
@@ -166,7 +191,8 @@ bool search::appendCheckpoint(const std::string &Path,
   return true;
 }
 
-std::vector<CheckpointRecord> search::readCheckpoints(const std::string &Path) {
+std::vector<CheckpointRecord> search::readCheckpoints(const std::string &Path,
+                                                      Fault *F) {
   std::vector<CheckpointRecord> Out;
   std::ifstream In(Path);
   if (!In)
@@ -178,6 +204,27 @@ std::vector<CheckpointRecord> search::readCheckpoints(const std::string &Path) {
   while (std::getline(In, Line)) {
     if (Line.empty())
       continue;
+    if (auto Header = parseVersionHeader(Line)) {
+      // Absent headers are tolerated (PR 4 files have none), but a
+      // present header must name this format at a version we can read.
+      if (Header->first != kCheckpointFormat) {
+        if (F)
+          *F = makeFault(FaultCategory::Store,
+                         "'" + Path + "' is a '" + Header->first +
+                             "' file, not a checkpoint");
+        return {};
+      }
+      if (Header->second > kCheckpointVersion) {
+        if (F)
+          *F = makeFault(FaultCategory::Store,
+                         "checkpoint '" + Path + "' is version " +
+                             std::to_string(Header->second) +
+                             "; this build reads up to version " +
+                             std::to_string(kCheckpointVersion));
+        return {};
+      }
+      continue;
+    }
     auto R = CheckpointRecord::fromJsonLine(Line);
     if (!R)
       continue; // Torn trailing write from a killed run — skip.
@@ -189,5 +236,14 @@ std::vector<CheckpointRecord> search::readCheckpoints(const std::string &Path) {
       Out[It->second] = std::move(*R);
     }
   }
+  return Out;
+}
+
+Expected<std::vector<CheckpointRecord>>
+search::readCheckpointsChecked(const std::string &Path) {
+  Fault F;
+  std::vector<CheckpointRecord> Out = readCheckpoints(Path, &F);
+  if (F.isFault())
+    return F;
   return Out;
 }

@@ -22,6 +22,14 @@
 /// The reader is tolerant of torn writes: a run killed mid-append leaves
 /// at most one malformed trailing line, which is skipped, not fatal.
 ///
+/// Files carry a schema-version header record (`{"format":
+/// "extra-checkpoint","version":1}`) as their first line. The header is
+/// tolerated-if-absent — PR 4 files predate it and still load — but a
+/// file stamped with a *higher* version than this build knows is
+/// rejected with a typed Store fault instead of being silently
+/// misparsed. The same header mechanism is reused by the discovery
+/// service's MemoStore (src/server), which extends the record format.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTRA_SEARCH_CHECKPOINT_H
@@ -90,17 +98,44 @@ struct CheckpointRecord {
   std::string reportLine() const;
 };
 
+//===----------------------------------------------------------------------===//
+// Schema-version headers (shared with the server MemoStore format)
+//===----------------------------------------------------------------------===//
+
+/// Format tag and highest version this build reads and writes.
+inline constexpr const char *kCheckpointFormat = "extra-checkpoint";
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Renders a `{"format":"<fmt>","version":N}` header line (no trailing
+/// newline).
+std::string versionHeaderLine(std::string_view Format, uint32_t Version);
+
+/// Parses a header line; nullopt when \p Line is not a version header
+/// (records and torn lines are not headers).
+std::optional<std::pair<std::string, uint32_t>>
+parseVersionHeader(std::string_view Line);
+
 /// Appends \p R to the checkpoint file at \p Path (open-append-close per
 /// record, so a killed run loses at most the line in flight). Creates
-/// the file on first use. Returns false + \p Error when the file cannot
-/// be written.
+/// the file on first use, stamping the schema-version header as the
+/// first line. Returns false + \p Error when the file cannot be written.
 bool appendCheckpoint(const std::string &Path, const CheckpointRecord &R,
                       std::string *Error = nullptr);
 
 /// Reads every complete record from \p Path. A missing file reads as
-/// empty; malformed lines (torn trailing writes) are skipped. When two
-/// records name the same case, the later one wins.
-std::vector<CheckpointRecord> readCheckpoints(const std::string &Path);
+/// empty; malformed lines (torn trailing writes) are skipped; an absent
+/// version header is tolerated (PR 4 files). When two records name the
+/// same case, the later one wins. A header naming a foreign format or a
+/// version above kCheckpointVersion empties the result and fills \p F
+/// (when given) with a typed Store fault.
+std::vector<CheckpointRecord> readCheckpoints(const std::string &Path,
+                                              Fault *F = nullptr);
+
+/// Fault-typed variant of readCheckpoints for callers that must not
+/// silently treat a future-format file as empty (CLI --resume, the
+/// server MemoStore).
+Expected<std::vector<CheckpointRecord>>
+readCheckpointsChecked(const std::string &Path);
 
 } // namespace search
 } // namespace extra

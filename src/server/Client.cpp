@@ -1,0 +1,45 @@
+//===- Client.cpp - Thin discovery-service client ---------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include "obs/TraceFile.h"
+#include "server/Socket.h"
+
+#include <unistd.h>
+
+using namespace extra;
+using namespace extra::server;
+
+Expected<std::unique_ptr<Client>> Client::connect(const std::string &Path) {
+  auto Fd = connectUnix(Path);
+  if (!Fd)
+    return Fd.fault();
+  return std::unique_ptr<Client>(new Client(*Fd));
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Expected<Response> Client::request(const std::string &Line) {
+  if (!writeLine(Fd, Line))
+    return makeFault(FaultCategory::Protocol,
+                     "connection lost while sending request");
+  auto Raw = readLine(Fd, Buf);
+  if (!Raw)
+    return makeFault(FaultCategory::Protocol,
+                     "connection closed before a response arrived");
+  auto Fields = obs::parseJsonObjectLine(*Raw);
+  if (!Fields)
+    return makeFault(FaultCategory::Protocol,
+                     "malformed response line: " + *Raw);
+  Response R;
+  R.Raw = std::move(*Raw);
+  R.Fields = std::move(*Fields);
+  return R;
+}

@@ -1,0 +1,64 @@
+//===- Client.h - Thin discovery-service client -----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the wire protocol: connect to a service socket,
+/// send one request line, read one response line. Response parsing
+/// (flat JSON via obs::parseJsonObjectLine) is bundled so CLI commands
+/// and tests share one decoder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_CLIENT_H
+#define EXTRA_SERVER_CLIENT_H
+
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace extra {
+namespace server {
+
+/// A parsed response line: the raw text plus its flat fields.
+struct Response {
+  std::string Raw;
+  std::map<std::string, std::string> Fields;
+
+  bool ok() const {
+    auto It = Fields.find("ok");
+    return It != Fields.end() && It->second == "true";
+  }
+  std::string get(const std::string &Key) const {
+    auto It = Fields.find(Key);
+    return It == Fields.end() ? std::string() : It->second;
+  }
+};
+
+class Client {
+public:
+  /// Connects to the service socket at \p Path.
+  static Expected<std::unique_ptr<Client>> connect(const std::string &Path);
+
+  ~Client(); ///< Closes the connection.
+
+  /// Sends one request line and reads one response line. Protocol fault
+  /// when the connection drops or the response is not a flat JSON
+  /// object.
+  Expected<Response> request(const std::string &Line);
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+  std::string Buf;
+};
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_CLIENT_H

@@ -1,0 +1,317 @@
+//===- MemoStore.cpp - Persistent cross-run discovery cache -----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/MemoStore.h"
+
+#include "descriptions/Descriptions.h"
+#include "obs/Trace.h"
+#include "obs/TraceFile.h"
+#include "search/Canon.h"
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <fstream>
+#include <unistd.h>
+
+using namespace extra;
+using namespace extra::server;
+
+const char *server::modeName(analysis::Mode M) {
+  return M == analysis::Mode::Extension ? "extension" : "base";
+}
+
+std::optional<analysis::Mode> server::modeFromName(std::string_view Name) {
+  if (Name == "base")
+    return analysis::Mode::Base;
+  if (Name == "extension")
+    return analysis::Mode::Extension;
+  return std::nullopt;
+}
+
+Expected<std::string> server::pairingKey(const std::string &OperatorId,
+                                         const std::string &InstructionId,
+                                         analysis::Mode M) {
+  auto Op = descriptions::loadChecked(OperatorId);
+  if (!Op)
+    return Op.fault();
+  auto Inst = descriptions::loadChecked(InstructionId);
+  if (!Inst)
+    return Inst.fault();
+  uint64_t Key = search::pairKey(search::fingerprint(**Op),
+                                 search::fingerprint(**Inst));
+  // Extension mode changes what the analysis may conclude (relational
+  // constraints), so the two modes are distinct cache lines.
+  if (M == analysis::Mode::Extension)
+    Key ^= 0x9e3779b97f4a7c15ull;
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(Key));
+  return std::string(Buf);
+}
+
+MemoLimits MemoLimits::fromSearchLimits(const search::SearchLimits &L) {
+  MemoLimits M;
+  M.BeamWidth = L.BeamWidth;
+  M.MaxDepth = L.MaxDepth;
+  M.Widenings = L.Widenings;
+  M.MaxNodes = L.MaxNodes;
+  M.TimeBudgetMs = L.TimeBudgetMs;
+  return M;
+}
+
+bool MemoLimits::covers(const MemoLimits &Other) const {
+  return BeamWidth >= Other.BeamWidth && MaxDepth >= Other.MaxDepth &&
+         Widenings >= Other.Widenings && MaxNodes >= Other.MaxNodes &&
+         TimeBudgetMs >= Other.TimeBudgetMs;
+}
+
+std::string MemoEntry::toJsonLine() const {
+  // The checkpoint record renders first so a memo line is readable by
+  // the same eyes (and tools) as a checkpoint line; the memo fields are
+  // appended before the closing brace.
+  std::string Out = Record.toJsonLine();
+  Out.pop_back(); // Drop the closing '}'.
+  Out += ",\"key\":\"" + obs::jsonEscape(Key) + "\"";
+  Out += ",\"operator\":\"" + obs::jsonEscape(OperatorId) + "\"";
+  Out += ",\"instruction\":\"" + obs::jsonEscape(InstructionId) + "\"";
+  Out += ",\"mode\":\"" + std::string(modeName(M)) + "\"";
+  Out += ",\"beam\":" + std::to_string(Limits.BeamWidth);
+  Out += ",\"depth\":" + std::to_string(Limits.MaxDepth);
+  Out += ",\"widenings\":" + std::to_string(Limits.Widenings);
+  Out += ",\"max_nodes\":" + std::to_string(Limits.MaxNodes);
+  Out += ",\"time_budget_ms\":" + std::to_string(Limits.TimeBudgetMs);
+  Out += ",\"op_script\":\"" + obs::jsonEscape(OpScript) + "\"";
+  Out += ",\"inst_script\":\"" + obs::jsonEscape(InstScript) + "\"";
+  Out += ",\"binding\":\"" + obs::jsonEscape(Binding) + "\"";
+  Out += ",\"constraints\":\"" + obs::jsonEscape(Constraints) + "\"";
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(FpOp));
+  Out += ",\"fp_op\":\"" + std::string(Buf) + "\"";
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(FpInst));
+  Out += ",\"fp_inst\":\"" + std::string(Buf) + "\"";
+  Out += "}";
+  return Out;
+}
+
+std::optional<MemoEntry> MemoEntry::fromJsonLine(std::string_view Line) {
+  auto Record = search::CheckpointRecord::fromJsonLine(Line);
+  if (!Record)
+    return std::nullopt;
+  auto Fields = obs::parseJsonObjectLine(Line);
+  if (!Fields)
+    return std::nullopt;
+  auto Get = [&](const char *Key) -> std::string {
+    auto It = Fields->find(Key);
+    return It == Fields->end() ? std::string() : It->second;
+  };
+  MemoEntry E;
+  E.Record = std::move(*Record);
+  E.Key = Get("key");
+  if (E.Key.empty())
+    return std::nullopt; // A plain checkpoint line, not a memo entry.
+  E.OperatorId = Get("operator");
+  E.InstructionId = Get("instruction");
+  auto M = modeFromName(Get("mode"));
+  if (!M)
+    return std::nullopt;
+  E.M = *M;
+  E.Limits.BeamWidth =
+      static_cast<unsigned>(std::strtoul(Get("beam").c_str(), nullptr, 10));
+  E.Limits.MaxDepth =
+      static_cast<unsigned>(std::strtoul(Get("depth").c_str(), nullptr, 10));
+  E.Limits.Widenings = static_cast<unsigned>(
+      std::strtoul(Get("widenings").c_str(), nullptr, 10));
+  E.Limits.MaxNodes = std::strtoull(Get("max_nodes").c_str(), nullptr, 10);
+  E.Limits.TimeBudgetMs =
+      std::strtoull(Get("time_budget_ms").c_str(), nullptr, 10);
+  E.OpScript = Get("op_script");
+  E.InstScript = Get("inst_script");
+  E.Binding = Get("binding");
+  E.Constraints = Get("constraints");
+  E.FpOp = std::strtoull(Get("fp_op").c_str(), nullptr, 16);
+  E.FpInst = std::strtoull(Get("fp_inst").c_str(), nullptr, 16);
+  return E;
+}
+
+namespace {
+
+Fault storeFault(std::string Message) {
+  return makeFault(FaultCategory::Store, std::move(Message));
+}
+
+/// The injectable failure point of every store write path.
+bool injectedStoreFault(Fault *F, const char *What) {
+  if (!FaultInjector::instance().shouldFail("store"))
+    return false;
+  *F = storeFault(std::string("injected store fault in ") + What);
+  return true;
+}
+
+} // namespace
+
+Expected<std::unique_ptr<MemoStore>> MemoStore::open(const std::string &Path) {
+  std::unique_ptr<MemoStore> S(new MemoStore());
+  S->Path = Path;
+  S->LockPath = Path + ".lock";
+
+  {
+    Fault F;
+    if (injectedStoreFault(&F, "open"))
+      return F;
+  }
+
+  // O_EXCL lock: exactly one server may own a store. The file holds the
+  // pid for post-mortem forensics; liveness is not checked — a crashed
+  // server leaves a stale lock the operator removes deliberately.
+  int LockFd = ::open(S->LockPath.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (LockFd < 0)
+    return storeFault("store lock '" + S->LockPath +
+                      "' already held (remove it only if no server is "
+                      "running)");
+  std::string Pid = std::to_string(static_cast<long>(::getpid())) + "\n";
+  (void)!::write(LockFd, Pid.c_str(), Pid.size());
+  ::close(LockFd);
+  S->Locked = true;
+
+  std::ifstream In(Path);
+  if (In) {
+    std::string Line;
+    bool First = true;
+    while (std::getline(In, Line)) {
+      if (Line.empty())
+        continue;
+      if (auto Header = search::parseVersionHeader(Line)) {
+        if (Header->first != kMemoFormat) {
+          S->close();
+          return storeFault("'" + Path + "' is a '" + Header->first +
+                            "' file, not a memo store");
+        }
+        if (Header->second > kMemoVersion) {
+          S->close();
+          return storeFault("memo store '" + Path + "' is version " +
+                            std::to_string(Header->second) +
+                            "; this build reads up to version " +
+                            std::to_string(kMemoVersion));
+        }
+        First = false;
+        continue;
+      }
+      if (First) {
+        // Tolerated-if-absent, like the checkpoint header: a headerless
+        // file is read as the current version.
+        First = false;
+      }
+      auto E = MemoEntry::fromJsonLine(Line);
+      if (!E)
+        continue; // Torn trailing write from a killed server — skip.
+      S->ByKey[E->Key] = std::move(*E); // Later records win.
+    }
+  }
+  return S;
+}
+
+MemoStore::~MemoStore() { close(); }
+
+Expected<bool> MemoStore::put(const MemoEntry &E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Closed)
+    return storeFault("put on a closed store");
+  ByKey[E.Key] = E;
+
+  Fault F;
+  if (injectedStoreFault(&F, "append"))
+    return F;
+
+  bool NeedLeadingNewline = false;
+  bool Empty = true;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (In) {
+      In.seekg(0, std::ios::end);
+      std::streamoff Size = In.tellg();
+      if (Size > 0) {
+        Empty = false;
+        In.seekg(Size - 1);
+        NeedLeadingNewline = In.get() != '\n';
+      }
+    }
+  }
+  std::ofstream OS(Path, std::ios::app);
+  if (!OS)
+    return storeFault("cannot open memo store '" + Path + "' for append");
+  if (NeedLeadingNewline)
+    OS << "\n";
+  if (Empty)
+    OS << search::versionHeaderLine(kMemoFormat, kMemoVersion) << "\n";
+  OS << E.toJsonLine() << "\n";
+  OS.flush();
+  if (!OS)
+    return storeFault("write to memo store '" + Path + "' failed");
+  return true;
+}
+
+std::optional<MemoEntry> MemoStore::lookup(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ByKey.find(Key);
+  if (It == ByKey.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<MemoEntry> MemoStore::entries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<MemoEntry> Out;
+  Out.reserve(ByKey.size());
+  for (const auto &[Key, E] : ByKey)
+    Out.push_back(E);
+  return Out;
+}
+
+size_t MemoStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ByKey.size();
+}
+
+Expected<bool> MemoStore::compact() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Closed)
+    return storeFault("compact on a closed store");
+
+  Fault F;
+  if (injectedStoreFault(&F, "compact"))
+    return F;
+
+  std::string Tmp = Path + ".compact";
+  {
+    std::ofstream OS(Tmp, std::ios::trunc);
+    if (!OS)
+      return storeFault("cannot open '" + Tmp + "' for compaction");
+    OS << search::versionHeaderLine(kMemoFormat, kMemoVersion) << "\n";
+    for (const auto &[Key, E] : ByKey)
+      OS << E.toJsonLine() << "\n";
+    OS.flush();
+    if (!OS)
+      return storeFault("write to '" + Tmp + "' failed");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return storeFault("cannot rename '" + Tmp + "' over '" + Path + "'");
+  }
+  return true;
+}
+
+void MemoStore::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Closed = true;
+  if (Locked) {
+    std::remove(LockPath.c_str());
+    Locked = false;
+  }
+}

@@ -1,0 +1,183 @@
+//===- MemoStore.h - Persistent cross-run discovery cache -------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable memory of the discovery service: a versioned, append-only
+/// JSONL store of finished pairing verdicts keyed by *canonical pairing
+/// fingerprints* (search/Canon.h), so a result survives renames of the
+/// case label and — because the fingerprint hashes the description
+/// structure itself — follows the descriptions, not their ids. This is
+/// the paper's workflow made literal: analyze an exotic instruction
+/// once, then reuse the discovered binding forever ("once found,
+/// hard-wired").
+///
+/// One MemoEntry extends the PR 4 CheckpointRecord with:
+///
+///  * the pairing key and the description ids + mode it was computed
+///    from;
+///  * the search limits the verdict was obtained under, so a later
+///    query can distinguish "exhausted at beam 8" from "exhausted at
+///    beam 128" and re-search only when it brings a bigger budget;
+///  * the verified payload — both derivation scripts, the name binding,
+///    and the constraint set — so a warm query returns the full proven
+///    result in O(lookup) with zero search nodes;
+///  * the partial-frontier summary of a failed search (best-line
+///    fingerprints + script prefixes already carried by the record), so
+///    accumulated near-misses remain inspectable across runs.
+///
+/// Durability contract (inherited from Checkpoint and extended):
+///
+///  * One complete JSON object per line, appended open-append-close, so
+///    a killed server loses at most the line in flight; the reader
+///    skips torn trailing lines.
+///  * First line is a schema-version header (`{"format":"extra-memo",
+///    "version":1}`); files stamped with a higher version are rejected
+///    with a typed Store fault, never misparsed.
+///  * Later records win: re-searching a pairing (bigger budget, new
+///    build) appends a superseding line. compact() rewrites the file to
+///    one line per key — the in-memory view and the compacted file are
+///    byte-equivalent inputs.
+///  * A sidecar lock file (`<path>.lock`, O_EXCL) makes double-serving
+///    one store a typed Store fault instead of interleaved appends; the
+///    lock is removed on close, including destructor-driven shutdown.
+///
+/// Writes run under the "store" fault-injection site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_MEMOSTORE_H
+#define EXTRA_SERVER_MEMOSTORE_H
+
+#include "analysis/Analysis.h"
+#include "search/Checkpoint.h"
+#include "search/Searcher.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace server {
+
+/// Format tag and highest version this build reads and writes. The memo
+/// format is the checkpoint record format plus the fields below, under
+/// its own header tag so the two file kinds cannot be confused.
+inline constexpr const char *kMemoFormat = "extra-memo";
+inline constexpr uint32_t kMemoVersion = 1;
+
+/// Spelled mode name ("base"/"extension") — part of the wire format.
+const char *modeName(analysis::Mode M);
+/// Parses a spelled mode; nullopt for unknown text.
+std::optional<analysis::Mode> modeFromName(std::string_view Name);
+
+/// The canonical cache key of one pairing: pairKey over the two
+/// rename-invariant description fingerprints, mixed with the analysis
+/// mode, rendered as "0x..." hex (64-bit values do not survive JSON
+/// number parsers). Loading either description can fault (unknown id,
+/// injected parse fault) — that becomes the caller's typed fault.
+Expected<std::string> pairingKey(const std::string &OperatorId,
+                                 const std::string &InstructionId,
+                                 analysis::Mode M);
+
+/// The budgets a verdict was computed under — the reuse decision input.
+struct MemoLimits {
+  unsigned BeamWidth = 0;
+  unsigned MaxDepth = 0;
+  unsigned Widenings = 0;
+  uint64_t MaxNodes = 0;
+  uint64_t TimeBudgetMs = 0;
+
+  static MemoLimits fromSearchLimits(const search::SearchLimits &L);
+  /// True when these limits are at least as large as \p Other on every
+  /// axis — a verdict computed under them answers a query at \p Other.
+  bool covers(const MemoLimits &Other) const;
+};
+
+/// One cached pairing verdict: the checkpoint record plus identity,
+/// limits, and the verified/partial payloads.
+struct MemoEntry {
+  std::string Key; ///< pairingKey output ("0x...").
+  std::string OperatorId;
+  std::string InstructionId;
+  analysis::Mode M = analysis::Mode::Base;
+  /// The canonical per-case outcome data (case label, outcome, fault,
+  /// step counts, nodes, partial distance).
+  search::CheckpointRecord Record;
+  /// Budgets the verdict was computed under.
+  MemoLimits Limits;
+  /// Verified payload (scripts as printScript text, binding and
+  /// constraints in their report renderings); empty unless
+  /// Record.Found. For a failed search the script fields instead carry
+  /// the best partial line's prefixes — the reusable frontier summary.
+  std::string OpScript;
+  std::string InstScript;
+  std::string Binding;
+  std::string Constraints;
+  /// Partial-frontier fingerprints (0 unless a failed search preserved
+  /// a best line).
+  uint64_t FpOp = 0;
+  uint64_t FpInst = 0;
+
+  /// One complete JSON object line (no trailing newline). A superset of
+  /// CheckpointRecord::toJsonLine's fields.
+  std::string toJsonLine() const;
+  /// Parses a memo line; nullopt on malformed or foreign input.
+  static std::optional<MemoEntry> fromJsonLine(std::string_view Line);
+};
+
+/// The persistent store: an in-memory key -> entry map backed by an
+/// append-only JSONL file. All members are thread-safe.
+class MemoStore {
+public:
+  /// Opens (creating if absent) the store at \p Path and takes the
+  /// sidecar lock. Faults: unreadable/foreign/future-version file, lock
+  /// already held, injected "store" faults during load.
+  static Expected<std::unique_ptr<MemoStore>> open(const std::string &Path);
+
+  ~MemoStore(); ///< Releases the lock (close() if not already called).
+
+  /// Inserts or supersedes the entry for \p E.Key: updates the in-memory
+  /// map and appends one line. The in-memory view is updated even when
+  /// the append faults (the server keeps answering; durability of this
+  /// one entry is lost), and the fault is returned for accounting.
+  Expected<bool> put(const MemoEntry &E);
+
+  /// The current verdict for \p Key, if any. O(lookup), no I/O.
+  std::optional<MemoEntry> lookup(const std::string &Key) const;
+
+  /// Every live entry, sorted by key (compaction order).
+  std::vector<MemoEntry> entries() const;
+  size_t size() const;
+  const std::string &path() const { return Path; }
+
+  /// Rewrites the file as header + one line per key, dropping
+  /// superseded records. The rewrite goes through a temp file + rename,
+  /// so a crash mid-compaction leaves the old file intact.
+  Expected<bool> compact();
+
+  /// Flushes nothing (appends are already durable), releases the lock
+  /// and stops accepting writes. Idempotent.
+  void close();
+
+private:
+  MemoStore() = default;
+
+  std::string Path;
+  std::string LockPath;
+  bool Locked = false;
+  bool Closed = false;
+  mutable std::mutex Mu;
+  std::map<std::string, MemoEntry> ByKey;
+};
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_MEMOSTORE_H

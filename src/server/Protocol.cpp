@@ -1,0 +1,125 @@
+//===- Protocol.cpp - Line-delimited JSON service protocol ------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "obs/TraceFile.h"
+#include "search/Checkpoint.h"
+
+#include <cstdlib>
+
+using namespace extra;
+using namespace extra::server;
+
+const char *server::cmdName(Request::Cmd C) {
+  switch (C) {
+  case Request::Cmd::Submit:
+    return "submit";
+  case Request::Cmd::Query:
+    return "query";
+  case Request::Cmd::Status:
+    return "status";
+  case Request::Cmd::Drain:
+    return "drain";
+  case Request::Cmd::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+Expected<Request> server::parseRequest(const std::string &Line) {
+  auto Protocol = [](std::string Message) {
+    return makeFault(FaultCategory::Protocol, std::move(Message));
+  };
+  auto Fields = obs::parseJsonObjectLine(Line);
+  if (!Fields)
+    return Protocol("malformed request line (one flat JSON object "
+                    "expected)");
+  auto Get = [&](const char *Key) -> std::string {
+    auto It = Fields->find(Key);
+    return It == Fields->end() ? std::string() : It->second;
+  };
+
+  Request R;
+  std::string Cmd = Get("cmd");
+  if (Cmd == "submit")
+    R.C = Request::Cmd::Submit;
+  else if (Cmd == "query")
+    R.C = Request::Cmd::Query;
+  else if (Cmd == "status")
+    R.C = Request::Cmd::Status;
+  else if (Cmd == "drain")
+    R.C = Request::Cmd::Drain;
+  else if (Cmd == "shutdown")
+    R.C = Request::Cmd::Shutdown;
+  else if (Cmd.empty())
+    return Protocol("request carries no \"cmd\"");
+  else
+    return Protocol("unknown command '" + Cmd + "'");
+
+  R.CaseId = Get("case");
+  R.OperatorId = Get("operator");
+  R.InstructionId = Get("instruction");
+  std::string Mode = Get("mode");
+  if (!Mode.empty()) {
+    auto M = modeFromName(Mode);
+    if (!M)
+      return Protocol("unknown mode '" + Mode +
+                      "' (\"base\" or \"extension\")");
+    R.M = *M;
+  }
+  R.Wait = Get("wait") == "true";
+  std::string Priority = Get("priority");
+  if (!Priority.empty())
+    R.Priority = static_cast<int>(std::strtol(Priority.c_str(), nullptr, 10));
+
+  if (R.C == Request::Cmd::Submit || R.C == Request::Cmd::Query) {
+    bool HasPair = !R.OperatorId.empty() && !R.InstructionId.empty();
+    if (R.CaseId.empty() && !HasPair)
+      return Protocol(std::string(cmdName(R.C)) +
+                      " needs \"case\" or \"operator\"+\"instruction\"");
+  }
+  return R;
+}
+
+std::string server::okResponse(const obs::Payload &P) {
+  return "{\"ok\":true" + P.rendered() + "}";
+}
+
+std::string server::faultResponse(const Fault &F) {
+  obs::Payload P;
+  P.add("error", F.Message);
+  P.add("category", faultCategoryName(F.Category));
+  return "{\"ok\":false" + P.rendered() + "}";
+}
+
+void server::addEntryPayload(obs::Payload &P, const MemoEntry &E) {
+  const search::CheckpointRecord &R = E.Record;
+  P.add("key", E.Key);
+  P.add("case", R.Case);
+  P.add("operator", E.OperatorId);
+  P.add("instruction", E.InstructionId);
+  P.add("mode", modeName(E.M));
+  P.add("outcome", search::caseOutcomeName(R.Outcome));
+  P.add("found", R.Found);
+  P.add("verified", R.Verified);
+  P.add("op_steps", R.OpSteps);
+  P.add("inst_steps", R.InstSteps);
+  P.add("nodes", R.Nodes);
+  P.add("partial_distance", R.PartialDistance);
+  if (R.Category != FaultCategory::None) {
+    P.add("fault_category", faultCategoryName(R.Category));
+    P.add("fault_message", R.FaultMessage);
+  }
+  if (!E.OpScript.empty())
+    P.add("op_script", E.OpScript);
+  if (!E.InstScript.empty())
+    P.add("inst_script", E.InstScript);
+  if (!E.Binding.empty())
+    P.add("binding", E.Binding);
+  if (!E.Constraints.empty())
+    P.add("constraints", E.Constraints);
+}

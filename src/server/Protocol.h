@@ -1,0 +1,83 @@
+//===- Protocol.h - Line-delimited JSON service protocol --------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the discovery service: one flat JSON object per
+/// line in each direction, parsed with the same dependency-free reader
+/// as traces and checkpoints (obs::parseJsonObjectLine). Five requests:
+///
+///   {"cmd":"submit","operator":ID,"instruction":ID[,"mode":"base"|
+///    "extension"]["case":LABEL]["wait":true]["priority":N]}
+///   {"cmd":"submit","case":RECORDED-CASE-ID[,"wait":true]...}
+///   {"cmd":"query","operator":ID,"instruction":ID[,"mode":...]}
+///   {"cmd":"query","case":RECORDED-CASE-ID}
+///   {"cmd":"status"}   {"cmd":"drain"}   {"cmd":"shutdown"}
+///
+/// Responses always carry `"ok":true|false`; failures add `"error"` and
+/// `"category"` (the spelled FaultCategory — protocol violations are
+/// `"protocol"`, store failures `"store"`). A submit answered from the
+/// MemoStore carries `"cached":true` and the full cached verdict; a
+/// queued submit carries `"job":<id>` (and blocks for the result when
+/// `"wait":true`). `query` never searches: it answers `"hit":true` with
+/// the verdict or `"hit":false`.
+///
+/// The grammar is deliberately flat (string/number/bool values, no
+/// nesting): scripts and bindings travel as escaped text blocks, exactly
+/// like trace payloads, so every layer shares one JSON reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_PROTOCOL_H
+#define EXTRA_SERVER_PROTOCOL_H
+
+#include "analysis/Analysis.h"
+#include "obs/Trace.h"
+#include "server/MemoStore.h"
+#include "support/Error.h"
+
+#include <map>
+#include <string>
+
+namespace extra {
+namespace server {
+
+/// A parsed request line.
+struct Request {
+  enum class Cmd { Submit, Query, Status, Drain, Shutdown };
+  Cmd C = Cmd::Status;
+  /// Pairing addressing: either a recorded case id, or explicit
+  /// operator + instruction ids (mode defaults to base).
+  std::string CaseId;
+  std::string OperatorId;
+  std::string InstructionId;
+  analysis::Mode M = analysis::Mode::Base;
+  bool Wait = false;
+  int Priority = 0;
+};
+
+/// Spelled command name ("submit", ...), the wire format.
+const char *cmdName(Request::Cmd C);
+
+/// Parses one request line; Protocol faults for malformed JSON, unknown
+/// commands, bad modes, or a submit/query with neither a case id nor an
+/// operator/instruction pair.
+Expected<Request> parseRequest(const std::string &Line);
+
+/// `{"ok":true<payload>}` — payload rendered by obs::Payload (leading
+/// comma included by Payload::rendered()).
+std::string okResponse(const obs::Payload &P);
+
+/// `{"ok":false,"error":...,"category":...}`.
+std::string faultResponse(const Fault &F);
+
+/// Renders a cached verdict into a response payload: outcome and record
+/// counters plus the verified scripts/binding/constraints.
+void addEntryPayload(obs::Payload &P, const MemoEntry &E);
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_PROTOCOL_H

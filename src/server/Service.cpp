@@ -1,0 +1,265 @@
+//===- Service.cpp - The discovery service loop -----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Service.h"
+
+#include "search/BatchDriver.h"
+#include "support/FaultInjection.h"
+#include "transform/ScriptIO.h"
+
+using namespace extra;
+using namespace extra::server;
+
+Expected<std::unique_ptr<Service>> Service::create(ServiceOptions Opts) {
+  if (Opts.StorePath.empty())
+    return makeFault(FaultCategory::Store, "service needs a store path");
+  std::unique_ptr<Service> S(new Service());
+  S->Opts = std::move(Opts);
+  auto Store = MemoStore::open(S->Opts.StorePath);
+  if (!Store)
+    return Store.fault();
+  S->Store = std::move(*Store);
+  if (S->Opts.Limits.Metrics) {
+    S->EffectiveMetrics = S->Opts.Limits.Metrics;
+  } else {
+    S->OwnMetrics = std::make_unique<obs::Metrics>();
+    S->EffectiveMetrics = S->OwnMetrics.get();
+    S->Opts.Limits.Metrics = S->EffectiveMetrics;
+  }
+  unsigned Workers = S->Opts.Workers ? S->Opts.Workers : 2;
+  S->Queue = std::make_unique<WorkQueue>(Workers);
+  S->Workers.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    S->Workers.emplace_back([Raw = S.get()] { Raw->workerLoop(); });
+  return S;
+}
+
+Service::~Service() { stop(); }
+
+void Service::stop() {
+  if (Stopped.exchange(true))
+    return;
+  Queue->cancelAll();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  if (Opts.CompactOnShutdown)
+    (void)Store->compact(); // Best effort; the append log is already durable.
+  Store->close();
+}
+
+namespace {
+
+/// Reduces a finished execution to its memo entry: the checkpoint record
+/// plus the verified payload (or the partial-frontier summary).
+MemoEntry makeEntry(const search::BatchCase &C, const std::string &Key,
+                    const search::JobExecution &E,
+                    const search::SearchLimits &L) {
+  MemoEntry M;
+  M.Key = Key;
+  M.OperatorId = C.OperatorId;
+  M.InstructionId = C.InstructionId;
+  M.M = C.M;
+  M.Record = search::executionRecord(C, E);
+  M.Limits = MemoLimits::fromSearchLimits(L);
+  const search::SearchOutcome &O = E.Discovery.Outcome;
+  if (O.Found) {
+    M.OpScript = transform::printScript(O.OperatorScript);
+    M.InstScript = transform::printScript(O.InstructionScript);
+    M.Binding = O.Binding.str();
+    M.Constraints = O.Constraints.str();
+  } else if (O.Partial.Valid) {
+    M.OpScript = transform::printScript(O.Partial.OperatorScript);
+    M.InstScript = transform::printScript(O.Partial.InstructionScript);
+    M.FpOp = O.Partial.FpOp;
+    M.FpInst = O.Partial.FpInst;
+  }
+  return M;
+}
+
+} // namespace
+
+void Service::workerLoop() {
+  for (;;) {
+    std::optional<ClaimedJob> Job = Queue->pop();
+    if (!Job)
+      return;
+    search::JobPolicy Policy;
+    Policy.Limits = Opts.Limits;
+    Policy.Watchdog = Opts.Watchdog;
+    Policy.DegradedRetry = Opts.DegradedRetry;
+    Policy.ExternalCancel = Job->Cancel.get();
+    search::JobExecution E = search::executeJob(Job->Case, Policy);
+    EffectiveMetrics->histogram("server.job_wall_ms")
+        .record(static_cast<uint64_t>(E.WallMs));
+    MemoEntry Entry = makeEntry(Job->Case, Job->Key, E, Opts.Limits);
+    {
+      // Scope the injectable append by case id so whether this put
+      // faults depends only on (seed, case), never on which worker ran
+      // it or how many workers there are.
+      FaultScope Scope(Job->Case.Id + "#store");
+      if (!Store->put(Entry))
+        EffectiveMetrics->counter("server.store.put_fault").add();
+    }
+    Queue->complete(Job->Id, Entry.Record);
+  }
+}
+
+Expected<std::pair<search::BatchCase, std::string>>
+Service::resolvePairing(const Request &R) {
+  search::BatchCase C;
+  if (!R.CaseId.empty()) {
+    bool Known = false;
+    for (const search::BatchCase &L : search::libraryCases())
+      if (L.Id == R.CaseId) {
+        C = L;
+        Known = true;
+        break;
+      }
+    if (!Known)
+      return makeFault(FaultCategory::Protocol,
+                       "unknown recorded case '" + R.CaseId + "'");
+  } else {
+    C.OperatorId = R.OperatorId;
+    C.InstructionId = R.InstructionId;
+    C.M = R.M;
+    C.Id = R.InstructionId + "/" + R.OperatorId;
+    if (C.M == analysis::Mode::Extension)
+      C.Id += "+ext";
+  }
+  auto Key = pairingKey(C.OperatorId, C.InstructionId, C.M);
+  if (!Key)
+    return Key.fault();
+  return std::make_pair(std::move(C), std::move(*Key));
+}
+
+bool Service::entryAnswers(const MemoEntry &E) const {
+  // A verified binding is proven forever ("once found, hard-wired").
+  if (E.Record.Outcome == search::CaseOutcome::Verified)
+    return true;
+  // Any other terminal verdict holds only for the budgets it was
+  // computed under: a bigger current budget deserves a fresh search.
+  return E.Limits.covers(MemoLimits::fromSearchLimits(Opts.Limits));
+}
+
+std::string Service::handle(const std::string &Line) {
+  auto R = parseRequest(Line);
+  if (!R)
+    return faultResponse(R.fault());
+  try {
+    switch (R->C) {
+    case Request::Cmd::Submit:
+      return handleSubmit(*R);
+    case Request::Cmd::Query:
+      return handleQuery(*R);
+    case Request::Cmd::Status:
+      return handleStatus();
+    case Request::Cmd::Drain:
+      return handleDrain();
+    case Request::Cmd::Shutdown:
+      return handleShutdown();
+    }
+    return faultResponse(
+        makeFault(FaultCategory::Protocol, "unhandled command"));
+  } catch (const FaultError &FE) {
+    return faultResponse(FE.fault());
+  } catch (const std::exception &E) {
+    return faultResponse(makeFault(FaultCategory::Internal, E.what()));
+  }
+}
+
+std::string Service::handleSubmit(const Request &R) {
+  auto Resolved = resolvePairing(R);
+  if (!Resolved)
+    return faultResponse(Resolved.fault());
+  auto &[C, Key] = *Resolved;
+
+  if (auto Hit = Store->lookup(Key); Hit && entryAnswers(*Hit)) {
+    EffectiveMetrics->counter("server.cache.hit").add();
+    obs::Payload P;
+    P.add("cached", true);
+    addEntryPayload(P, *Hit);
+    return okResponse(P);
+  }
+  EffectiveMetrics->counter("server.cache.miss").add();
+
+  if (Shutdown.load(std::memory_order_acquire))
+    return faultResponse(
+        makeFault(FaultCategory::Protocol, "service is shutting down"));
+
+  JobTicket T = Queue->submit(C, Key, R.Priority);
+  if (!R.Wait) {
+    obs::Payload P;
+    P.add("cached", false);
+    P.add("job", T.Id);
+    P.add("deduped", T.Deduped);
+    P.add("key", Key);
+    return okResponse(P);
+  }
+
+  std::optional<search::CheckpointRecord> Record = Queue->wait(T.Id);
+  if (!Record)
+    return faultResponse(makeFault(
+        FaultCategory::Protocol, "job cancelled before completion"));
+  obs::Payload P;
+  P.add("cached", false);
+  P.add("job", T.Id);
+  if (auto Entry = Store->lookup(Key)) {
+    addEntryPayload(P, *Entry);
+  } else {
+    // Store append faulted; answer from the in-queue record.
+    P.add("case", Record->Case);
+    P.add("outcome", search::caseOutcomeName(Record->Outcome));
+    P.add("verified", Record->Verified);
+  }
+  return okResponse(P);
+}
+
+std::string Service::handleQuery(const Request &R) {
+  auto Resolved = resolvePairing(R);
+  if (!Resolved)
+    return faultResponse(Resolved.fault());
+  auto Hit = Store->lookup(Resolved->second);
+  obs::Payload P;
+  if (!Hit) {
+    P.add("hit", false);
+    P.add("key", Resolved->second);
+    return okResponse(P);
+  }
+  P.add("hit", true);
+  addEntryPayload(P, *Hit);
+  return okResponse(P);
+}
+
+std::string Service::handleStatus() {
+  obs::Payload P;
+  P.add("store", Store->path());
+  P.add("entries", static_cast<uint64_t>(Store->size()));
+  P.add("queued", static_cast<uint64_t>(Queue->queuedCount()));
+  P.add("running", static_cast<uint64_t>(Queue->runningCount()));
+  P.add("completed", Queue->completedCount());
+  P.add("workers", static_cast<uint64_t>(Workers.size()));
+  P.add("cache_hits", EffectiveMetrics->counter("server.cache.hit").value());
+  P.add("cache_misses",
+        EffectiveMetrics->counter("server.cache.miss").value());
+  return okResponse(P);
+}
+
+std::string Service::handleDrain() {
+  Queue->waitIdle();
+  obs::Payload P;
+  P.add("drained", true);
+  P.add("completed", Queue->completedCount());
+  P.add("entries", static_cast<uint64_t>(Store->size()));
+  return okResponse(P);
+}
+
+std::string Service::handleShutdown() {
+  Shutdown.store(true, std::memory_order_release);
+  obs::Payload P;
+  P.add("stopping", true);
+  return okResponse(P);
+}

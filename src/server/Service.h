@@ -1,0 +1,134 @@
+//===- Service.h - The discovery service loop -------------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discovery service: a MemoStore, a WorkQueue, and a worker pool,
+/// glued by `handle()` — one request line in, one response line out.
+/// The transport (Socket.h) is deliberately a separate layer: `handle`
+/// is a pure in-process API, so every protocol and caching behavior is
+/// testable without a socket, and the socket server is a thin loop.
+///
+/// The request flow:
+///
+///  * `submit` first consults the MemoStore. A Verified entry always
+///    answers (`"cached":true`); a non-verified terminal verdict
+///    (exhausted/timed-out/faulted/discovered-unverified) answers only
+///    when it was computed under limits that cover the service's current
+///    limits — otherwise the pairing deserves the bigger budget and is
+///    queued. Misses enqueue a job (deduplicated by canonical pairing
+///    key) and either return the ticket or, with `"wait":true`, block
+///    until the verdict lands in the store.
+///  * `query` is read-only: cache hit or `"hit":false`, never a search.
+///  * `drain` blocks until the queue is idle; `status` reports counters;
+///    `shutdown` asks the owner loop to stop (running jobs get their
+///    cooperative cancel raised, queued jobs complete as cancelled).
+///
+/// Workers execute jobs through search::executeJob — the same contained
+/// path as the batch driver (watchdog, degraded retry, deterministic
+/// fault scopes) — then write the verdict to the store and complete the
+/// queue entry.
+///
+/// Metrics (obs naming taxonomy):
+///
+///   server.cache.hit / server.cache.miss   submit cache consults
+///   server.job_wall_ms                     per-job discovery wall time
+///   server.store.put_fault                 appends lost to store faults
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_SERVICE_H
+#define EXTRA_SERVER_SERVICE_H
+
+#include "obs/Metrics.h"
+#include "search/JobRunner.h"
+#include "server/MemoStore.h"
+#include "server/Protocol.h"
+#include "server/WorkQueue.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace extra {
+namespace server {
+
+struct ServiceOptions {
+  /// Memo store path (required).
+  std::string StorePath;
+  /// Search budgets jobs run under (Metrics/Trace ride along as in the
+  /// batch driver; Metrics defaults to the service's own registry).
+  search::SearchLimits Limits;
+  /// Worker threads; 0 selects 2.
+  unsigned Workers = 2;
+  bool Watchdog = true;
+  bool DegradedRetry = true;
+  /// Compact the store on stop() (one line per key, superseded records
+  /// dropped).
+  bool CompactOnShutdown = true;
+};
+
+class Service {
+public:
+  /// Opens the store (taking its lock) and starts the worker pool.
+  static Expected<std::unique_ptr<Service>> create(ServiceOptions Opts);
+
+  ~Service(); ///< stop() if not already stopped.
+
+  /// Handles one request line, returning one response line (no trailing
+  /// newline). Never throws: every failure is an `"ok":false` response.
+  /// Safe to call from many transport threads concurrently.
+  std::string handle(const std::string &Line);
+
+  /// True once a shutdown request was handled; the owning loop should
+  /// then call stop() and exit.
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  /// Cancels running jobs, joins the workers, optionally compacts, and
+  /// closes the store (releasing its lock). Idempotent.
+  void stop();
+
+  MemoStore &store() { return *Store; }
+  obs::Metrics &metrics() { return *EffectiveMetrics; }
+
+private:
+  Service() = default;
+
+  void workerLoop();
+
+  /// Resolves the pairing a request addresses (recorded case id or
+  /// explicit operator/instruction) and its canonical store key.
+  Expected<std::pair<search::BatchCase, std::string>>
+  resolvePairing(const Request &R);
+
+  /// The cache-reuse decision (see file comment).
+  bool entryAnswers(const MemoEntry &E) const;
+
+  std::string handleSubmit(const Request &R);
+  std::string handleQuery(const Request &R);
+  std::string handleStatus();
+  std::string handleDrain();
+  std::string handleShutdown();
+
+  ServiceOptions Opts;
+  std::unique_ptr<MemoStore> Store;
+  std::unique_ptr<WorkQueue> Queue;
+  std::vector<std::thread> Workers;
+  /// Owned registry used when Opts.Limits.Metrics is null.
+  std::unique_ptr<obs::Metrics> OwnMetrics;
+  obs::Metrics *EffectiveMetrics = nullptr;
+  std::atomic<bool> Shutdown{false};
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_SERVICE_H

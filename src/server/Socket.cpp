@@ -1,0 +1,181 @@
+//===- Socket.cpp - Unix-domain socket transport ----------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Socket.h"
+
+#include "server/Service.h"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <poll.h>
+#include <set>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace extra;
+using namespace extra::server;
+
+namespace {
+
+Fault protocolFault(std::string Message) {
+  return makeFault(FaultCategory::Protocol, std::move(Message));
+}
+
+bool fillAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+Expected<int> server::connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr))
+    return protocolFault("socket path '" + Path + "' is too long");
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return protocolFault("cannot create socket: " +
+                         std::string(std::strerror(errno)));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return protocolFault("cannot connect to '" + Path +
+                         "': " + std::strerror(E));
+  }
+  return Fd;
+}
+
+Expected<int> server::listenUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr))
+    return protocolFault("socket path '" + Path + "' is too long");
+
+  // A socket file already on disk is either a live server or a crash
+  // leftover; a probe connect tells them apart.
+  if (::access(Path.c_str(), F_OK) == 0) {
+    auto Probe = connectUnix(Path);
+    if (Probe) {
+      ::close(*Probe);
+      return protocolFault("a server is already listening on '" + Path +
+                           "'");
+    }
+    ::unlink(Path.c_str());
+  }
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return protocolFault("cannot create socket: " +
+                         std::string(std::strerror(errno)));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return protocolFault("cannot bind '" + Path +
+                         "': " + std::strerror(E));
+  }
+  if (::listen(Fd, 16) != 0) {
+    int E = errno;
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return protocolFault("cannot listen on '" + Path +
+                         "': " + std::strerror(E));
+  }
+  return Fd;
+}
+
+bool server::writeLine(int Fd, const std::string &Line) {
+  std::string Out = Line + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::optional<std::string> server::readLine(int Fd, std::string &Buf) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return Line;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return std::nullopt;
+    }
+    if (N == 0) {
+      if (Buf.empty())
+        return std::nullopt;
+      std::string Line = std::move(Buf); // Unterminated final line.
+      Buf.clear();
+      return Line;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+void server::serveLoop(int ListenFd, const std::string &Path, Service &S) {
+  std::mutex ClientsMu;
+  std::set<int> ClientFds;
+  std::vector<std::thread> Handlers;
+
+  while (!S.shutdownRequested()) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int Ready = ::poll(&P, 1, /*TimeoutMs=*/100);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    {
+      std::lock_guard<std::mutex> Lock(ClientsMu);
+      ClientFds.insert(Client);
+    }
+    Handlers.emplace_back([Client, &S, &ClientsMu, &ClientFds] {
+      std::string Buf;
+      while (auto Line = readLine(Client, Buf)) {
+        if (Line->empty())
+          continue;
+        if (!writeLine(Client, S.handle(*Line)))
+          break;
+      }
+      std::lock_guard<std::mutex> Lock(ClientsMu);
+      ClientFds.erase(Client);
+      ::close(Client);
+    });
+  }
+
+  // Stop accepting, then unblock any connection thread sitting in read.
+  ::close(ListenFd);
+  {
+    std::lock_guard<std::mutex> Lock(ClientsMu);
+    for (int Fd : ClientFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (std::thread &T : Handlers)
+    if (T.joinable())
+      T.join();
+  ::unlink(Path.c_str());
+}

@@ -1,0 +1,59 @@
+//===- Socket.h - Unix-domain socket transport ------------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport of the discovery service: line-delimited JSON over a
+/// Unix-domain stream socket. Deliberately thin — all request semantics
+/// live in Service::handle — so this layer is only listen/accept/read a
+/// line/write a line, plus the serve loop that gives each connection its
+/// own thread and stops when the service has handled a shutdown request.
+///
+/// A stale socket file (left by a crashed server) is detected by a probe
+/// connect: refused means no server is behind it and the file is
+/// replaced; accepted means another server is live and listening faults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_SOCKET_H
+#define EXTRA_SERVER_SOCKET_H
+
+#include "support/Error.h"
+
+#include <optional>
+#include <string>
+
+namespace extra {
+namespace server {
+
+class Service;
+
+/// Binds and listens on \p Path (replacing a stale socket file; faults
+/// with Protocol when a live server already listens there). Returns the
+/// listening fd.
+Expected<int> listenUnix(const std::string &Path);
+
+/// Connects to the server at \p Path. Returns the connected fd.
+Expected<int> connectUnix(const std::string &Path);
+
+/// Writes \p Line plus a newline, handling short writes. False on error.
+bool writeLine(int Fd, const std::string &Line);
+
+/// Reads one newline-terminated line (the newline is stripped), using
+/// \p Buf as the connection's carry-over buffer. nullopt on EOF with an
+/// empty buffer.
+std::optional<std::string> readLine(int Fd, std::string &Buf);
+
+/// Accepts connections on \p ListenFd, a thread per connection, each
+/// running read-line / Service::handle / write-line until client EOF.
+/// Returns once the service has handled a shutdown request (polling
+/// between accepts): live connections are shut down and joined, the
+/// listen fd closed, and the socket file at \p Path unlinked.
+void serveLoop(int ListenFd, const std::string &Path, Service &S);
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_SOCKET_H

@@ -1,0 +1,232 @@
+//===- WorkQueue.cpp - Sharded, deduplicated discovery job queue -*- C++ -===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lock discipline: a thread never holds a shard mutex and SignalMu at
+// the same time *except* inside a Signal.wait predicate, which may take
+// a shard mutex because no other thread ever sleeps on a shard mutex
+// while holding SignalMu. All notifications are issued after shard
+// locks are released (taking SignalMu briefly first, so a waiter
+// between its predicate check and its sleep cannot miss the wakeup).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/WorkQueue.h"
+
+#include <functional>
+
+using namespace extra;
+using namespace extra::server;
+
+namespace {
+
+unsigned roundDownPow2(unsigned N) {
+  unsigned P = 1;
+  while (P * 2 <= N && P * 2 <= 16)
+    P *= 2;
+  return P;
+}
+
+} // namespace
+
+WorkQueue::WorkQueue(unsigned ShardCount)
+    : Shards(roundDownPow2(ShardCount ? ShardCount : 1)) {}
+
+WorkQueue::Shard &WorkQueue::shardFor(const std::string &Key) {
+  return Shards[std::hash<std::string>{}(Key) & (Shards.size() - 1)];
+}
+
+JobTicket WorkQueue::submit(search::BatchCase C, std::string Key,
+                            int Priority) {
+  JobTicket T;
+  {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto Live = S.LiveByKey.find(Key);
+    if (Live != S.LiveByKey.end()) {
+      T.Id = Live->second;
+      T.Deduped = true;
+      return T;
+    }
+    uint64_t Seq = NextSeq.fetch_add(1);
+    uint64_t ShardIdx = std::hash<std::string>{}(Key) & (Shards.size() - 1);
+    Job J;
+    J.Id = (Seq << 4) | ShardIdx;
+    J.Key = Key;
+    J.Case = std::move(C);
+    J.Priority = Priority;
+    J.Seq = Seq;
+    J.Cancel = std::make_shared<std::atomic<bool>>(false);
+    T.Id = J.Id;
+    S.LiveByKey[Key] = J.Id;
+    S.Backlog.push_back(J.Id);
+    S.Jobs[J.Id] = std::move(J);
+    Queued.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SignalMu);
+  }
+  Signal.notify_all();
+  return T;
+}
+
+std::optional<ClaimedJob> WorkQueue::pop() {
+  for (;;) {
+    // Phase 1: find the best queued job across shards (priority desc,
+    // then submission order).
+    uint64_t BestId = 0;
+    int BestPriority = 0;
+    uint64_t BestSeq = 0;
+    bool Found = false;
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (uint64_t Id : S.Backlog) {
+        const Job &J = S.Jobs.at(Id);
+        if (!Found || J.Priority > BestPriority ||
+            (J.Priority == BestPriority && J.Seq < BestSeq)) {
+          Found = true;
+          BestId = Id;
+          BestPriority = J.Priority;
+          BestSeq = J.Seq;
+        }
+      }
+    }
+
+    // Phase 2: claim it (another worker may have won the race — rescan).
+    if (Found) {
+      Shard &S = shardOf(BestId);
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      auto It = S.Jobs.find(BestId);
+      if (It == S.Jobs.end() || It->second.St != State::Queued)
+        continue;
+      It->second.St = State::Running;
+      for (size_t I = 0; I < S.Backlog.size(); ++I)
+        if (S.Backlog[I] == BestId) {
+          S.Backlog.erase(S.Backlog.begin() + I);
+          break;
+        }
+      Queued.fetch_sub(1);
+      Running.fetch_add(1);
+      ClaimedJob Out;
+      Out.Id = BestId;
+      Out.Key = It->second.Key;
+      Out.Case = It->second.Case;
+      Out.Cancel = It->second.Cancel;
+      return Out;
+    }
+
+    if (Closed.load())
+      return std::nullopt;
+    std::unique_lock<std::mutex> Lock(SignalMu);
+    Signal.wait(Lock,
+                [this] { return Queued.load() > 0 || Closed.load(); });
+  }
+}
+
+void WorkQueue::complete(uint64_t Id, search::CheckpointRecord R) {
+  {
+    Shard &S = shardOf(Id);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Jobs.find(Id);
+    if (It == S.Jobs.end() || It->second.St != State::Running)
+      return;
+    It->second.St = State::Done;
+    It->second.Record = std::move(R);
+    auto Live = S.LiveByKey.find(It->second.Key);
+    if (Live != S.LiveByKey.end() && Live->second == Id)
+      S.LiveByKey.erase(Live);
+    Running.fetch_sub(1);
+    Completed.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SignalMu);
+  }
+  Signal.notify_all();
+}
+
+std::optional<search::CheckpointRecord> WorkQueue::wait(uint64_t Id) {
+  Shard &S = shardOf(Id);
+  auto Done = [&]() -> std::optional<search::CheckpointRecord> {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Jobs.find(Id);
+    if (It == S.Jobs.end())
+      return std::nullopt;
+    if (It->second.St == State::Done)
+      return It->second.Record;
+    return std::nullopt;
+  };
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (S.Jobs.find(Id) == S.Jobs.end())
+      return std::nullopt;
+  }
+  for (;;) {
+    if (auto R = Done())
+      return R;
+    if (Closed.load()) {
+      // Closed queues complete their backlog as cancelled (cancelAll) —
+      // one more check, then give up on jobs that will never finish.
+      return Done();
+    }
+    std::unique_lock<std::mutex> Lock(SignalMu);
+    Signal.wait(Lock, [&] {
+      if (Closed.load())
+        return true;
+      std::lock_guard<std::mutex> SL(S.Mu);
+      auto It = S.Jobs.find(Id);
+      return It == S.Jobs.end() || It->second.St == State::Done;
+    });
+  }
+}
+
+void WorkQueue::waitIdle() {
+  std::unique_lock<std::mutex> Lock(SignalMu);
+  Signal.wait(Lock, [this] {
+    return (Queued.load() == 0 && Running.load() == 0) || Closed.load();
+  });
+}
+
+void WorkQueue::cancelAll() {
+  Closed.store(true);
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    // Queued jobs will never run: complete them as cancelled so waiters
+    // get a typed record instead of blocking forever.
+    for (uint64_t Id : S.Backlog) {
+      Job &J = S.Jobs[Id];
+      J.St = State::Done;
+      J.Record.Case = J.Case.Id;
+      J.Record.Outcome = search::CaseOutcome::TimedOut;
+      J.Record.FaultMessage = "cancelled at shutdown";
+      auto Live = S.LiveByKey.find(J.Key);
+      if (Live != S.LiveByKey.end() && Live->second == Id)
+        S.LiveByKey.erase(Live);
+      Queued.fetch_sub(1);
+      Completed.fetch_add(1);
+    }
+    S.Backlog.clear();
+    // Running jobs get their cooperative flag raised; their workers
+    // complete() them with real (cancelled-search) records.
+    for (auto &[Id, J] : S.Jobs)
+      if (J.St == State::Running)
+        J.Cancel->store(true, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SignalMu);
+  }
+  Signal.notify_all();
+}
+
+void WorkQueue::close() {
+  Closed.store(true);
+  {
+    std::lock_guard<std::mutex> Lock(SignalMu);
+  }
+  Signal.notify_all();
+}
+
+size_t WorkQueue::queuedCount() const { return Queued.load(); }
+size_t WorkQueue::runningCount() const { return Running.load(); }
+uint64_t WorkQueue::completedCount() const { return Completed.load(); }

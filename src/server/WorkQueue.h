@@ -1,0 +1,146 @@
+//===- WorkQueue.h - Sharded, deduplicated discovery job queue --*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling half of the discovery service: a sharded,
+/// priority-ordered queue of pairing jobs with dedup-by-fingerprint.
+/// Submitting a pairing whose canonical key is already queued or running
+/// returns the existing job's ticket instead of enqueueing a duplicate —
+/// two clients asking for the same discovery share one search.
+///
+/// Jobs live in shards selected by key hash; each shard holds its own
+/// mutex, priority heap (higher priority first, submission order within
+/// a priority), and dedup index, so submit contention distributes.
+/// Workers pop the best-priority head across shards; completion signals
+/// a process-wide condition variable on which `wait` (a client blocked
+/// on a submitted job) and `waitIdle` (the drain request) sleep.
+///
+/// Cancellation is cooperative: every claimed job carries a shared
+/// cancel flag that the job runner wires into the searcher (and its
+/// watchdog); `cancelAll` raises the flag of every running job and
+/// closes the queue, which is how service shutdown bounds in-flight
+/// searches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_WORKQUEUE_H
+#define EXTRA_SERVER_WORKQUEUE_H
+
+#include "search/JobRunner.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace extra {
+namespace server {
+
+/// The receipt a submit returns.
+struct JobTicket {
+  uint64_t Id = 0;
+  /// True when an existing queued/running job for the same key was
+  /// returned instead of a new one.
+  bool Deduped = false;
+};
+
+/// A job claimed by a worker.
+struct ClaimedJob {
+  uint64_t Id = 0;
+  std::string Key;
+  search::BatchCase Case;
+  /// Cooperative cancel shared with cancelAll(); wire into JobPolicy.
+  std::shared_ptr<std::atomic<bool>> Cancel;
+};
+
+class WorkQueue {
+public:
+  explicit WorkQueue(unsigned ShardCount = 4);
+
+  /// Enqueues \p C under the canonical \p Key, or returns the live
+  /// job already covering that key (dedup). Higher \p Priority pops
+  /// first; ties pop in submission order.
+  JobTicket submit(search::BatchCase C, std::string Key, int Priority = 0);
+
+  /// Blocks until a job is available and claims the best one; nullopt
+  /// once the queue is closed and empty.
+  std::optional<ClaimedJob> pop();
+
+  /// Marks \p Id done with its canonical record and wakes waiters. The
+  /// key becomes submittable again (the memo store, not the queue,
+  /// answers repeats).
+  void complete(uint64_t Id, search::CheckpointRecord R);
+
+  /// Blocks until \p Id completes; nullopt for an unknown id or when
+  /// the queue closes before completion.
+  std::optional<search::CheckpointRecord> wait(uint64_t Id);
+
+  /// Blocks until nothing is queued or running (the drain request).
+  void waitIdle();
+
+  /// Raises every running job's cancel flag and closes the queue: pop()
+  /// returns nullopt once the backlog is empty (immediately — closing
+  /// discards queued jobs, completing them as cancelled).
+  void cancelAll();
+
+  /// Closes the queue without cancelling running jobs: workers drain
+  /// the backlog first (graceful shutdown path is cancelAll).
+  void close();
+
+  size_t queuedCount() const;
+  size_t runningCount() const;
+  uint64_t completedCount() const;
+
+private:
+  enum class State { Queued, Running, Done };
+
+  struct Job {
+    uint64_t Id = 0;
+    std::string Key;
+    search::BatchCase Case;
+    int Priority = 0;
+    uint64_t Seq = 0;
+    State St = State::Queued;
+    std::shared_ptr<std::atomic<bool>> Cancel;
+    search::CheckpointRecord Record;
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    /// Job storage (id -> job) and the dedup index (key -> live job id).
+    std::map<uint64_t, Job> Jobs;
+    std::map<std::string, uint64_t> LiveByKey;
+    /// Queued job ids (heap order recomputed on pop; shard backlogs are
+    /// small — the scan is the simple, obviously-correct choice).
+    std::vector<uint64_t> Backlog;
+  };
+
+  Shard &shardFor(const std::string &Key);
+  Shard &shardOf(uint64_t Id) { return Shards[Id & (Shards.size() - 1)]; }
+  const Shard &shardOf(uint64_t Id) const {
+    return Shards[Id & (Shards.size() - 1)];
+  }
+
+  std::vector<Shard> Shards;
+  std::atomic<uint64_t> NextSeq{1};
+  std::atomic<size_t> Queued{0};
+  std::atomic<size_t> Running{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<bool> Closed{false};
+
+  /// Process-wide wakeup for pop/wait/waitIdle.
+  mutable std::mutex SignalMu;
+  std::condition_variable Signal;
+};
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_WORKQUEUE_H

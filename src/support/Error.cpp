@@ -22,6 +22,10 @@ const char *extra::faultCategoryName(FaultCategory C) {
     return "rule-application";
   case FaultCategory::Synth:
     return "synth";
+  case FaultCategory::Protocol:
+    return "protocol";
+  case FaultCategory::Store:
+    return "store";
   case FaultCategory::Internal:
     return "internal";
   }
@@ -32,7 +36,8 @@ FaultCategory extra::faultCategoryFromName(const std::string &Name) {
   for (FaultCategory C :
        {FaultCategory::None, FaultCategory::Parse, FaultCategory::Validate,
         FaultCategory::InterpBudget, FaultCategory::RuleApplication,
-        FaultCategory::Synth, FaultCategory::Internal})
+        FaultCategory::Synth, FaultCategory::Protocol, FaultCategory::Store,
+        FaultCategory::Internal})
     if (Name == faultCategoryName(C))
       return C;
   return FaultCategory::Internal;

@@ -49,6 +49,10 @@ enum class FaultCategory {
   RuleApplication, ///< A transformation rule failed abnormally (not a
                    ///< polite refusal — those carry reasons, not faults).
   Synth,           ///< Argument synthesis failed abnormally.
+  Protocol,        ///< A discovery-service request was malformed or
+                   ///< violated the line-delimited JSON protocol.
+  Store,           ///< The persistent memo/checkpoint store failed
+                   ///< (unwritable file, version mismatch, lock conflict).
   Internal,        ///< Anything else: logic errors, injected chaos,
                    ///< foreign exceptions caught by a containment layer.
 };

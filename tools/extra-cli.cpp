@@ -20,6 +20,10 @@
 //                                      traced single-case discovery
 //   extra-cli postmortem <trace.jsonl> --against <case-id>
 //                                      why the beam lost the recorded line
+//   extra-cli serve --socket S --store F
+//                                      run the persistent discovery service
+//   extra-cli client --socket S <submit|query|suite|status|drain|shutdown>
+//                                      talk to a running service
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +33,12 @@
 #include "obs/Trace.h"
 #include "obs/TraceFile.h"
 #include "search/BatchDriver.h"
+#include "search/Checkpoint.h"
 #include "search/Postmortem.h"
+#include "server/Client.h"
+#include "server/MemoStore.h"
+#include "server/Service.h"
+#include "server/Socket.h"
 #include "transform/ScriptIO.h"
 #include "descriptions/Descriptions.h"
 #include "isdl/Printer.h"
@@ -41,6 +50,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 
 using namespace extra;
 using namespace extra::analysis;
@@ -90,7 +100,26 @@ int usage() {
                "                          every failed search in the trace\n"
                "                          (closest state, script prefix,\n"
                "                          divergence) — no recorded script\n"
-               "                          needed\n");
+               "                          needed\n"
+               "  serve --socket S --store F\n"
+               "                          run the persistent discovery\n"
+               "                          service: answers repeat queries\n"
+               "                          from the cross-run memo store in\n"
+               "                          O(lookup), searches misses on a\n"
+               "                          worker pool\n"
+               "    options: --workers N, --beam/--depth/--nodes/--time-ms,\n"
+               "             --no-retry, --no-watchdog, --no-compact,\n"
+               "             --inject/--inject-seed, --metrics FILE\n"
+               "  client --socket S submit <op-id> <inst-id> [-x] [--wait]\n"
+               "                          [--priority N]\n"
+               "  client --socket S submit --case <case-id> [--wait]\n"
+               "  client --socket S query (<op-id> <inst-id> [-x] |\n"
+               "                          --case <case-id>)\n"
+               "  client --socket S suite [--min-verified N]\n"
+               "                          [--expect-hits N]\n"
+               "                          submit all recorded pairings and\n"
+               "                          wait for verdicts\n"
+               "  client --socket S status|drain|shutdown\n");
   return 2;
 }
 
@@ -431,6 +460,19 @@ int cmdSearch(int argc, char **argv) {
   if (!MetricsPath.empty())
     Opts.Limits.Metrics = &Met;
 
+  if (Opts.Resume && !Opts.CheckpointPath.empty()) {
+    // Surface a future-version or foreign checkpoint file as an error
+    // here; the tolerant reader inside runBatch would resume from
+    // nothing and silently redo the whole batch.
+    auto Prior = extra::search::readCheckpointsChecked(Opts.CheckpointPath);
+    if (!Prior) {
+      std::fprintf(stderr, "cannot resume from '%s': %s\n",
+                   Opts.CheckpointPath.c_str(),
+                   Prior.fault().Message.c_str());
+      return 1;
+    }
+  }
+
   extra::search::BatchStats Stats;
   std::vector<extra::search::BatchResult> Results =
       extra::search::runBatch(Cases, Opts, &Stats);
@@ -619,6 +661,227 @@ int cmdPostmortem(int argc, char **argv) {
   return Rep.Ok ? 0 : 1;
 }
 
+int cmdServe(int argc, char **argv) {
+  std::string SocketPath, StorePath, MetricsPath;
+  extra::server::ServiceOptions Opts;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto IntOpt = [&](uint64_t &Slot) {
+      if (I + 1 >= argc)
+        return false;
+      Slot = std::strtoull(argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t V = 0;
+    if (Arg == "--socket" && I + 1 < argc)
+      SocketPath = argv[++I];
+    else if (Arg == "--store" && I + 1 < argc)
+      StorePath = argv[++I];
+    else if (Arg == "--workers" && IntOpt(V))
+      Opts.Workers = static_cast<unsigned>(V);
+    else if (Arg == "--beam" && IntOpt(V))
+      Opts.Limits.BeamWidth = static_cast<unsigned>(V);
+    else if (Arg == "--depth" && IntOpt(V))
+      Opts.Limits.MaxDepth = static_cast<unsigned>(V);
+    else if (Arg == "--nodes" && IntOpt(V))
+      Opts.Limits.MaxNodes = V;
+    else if (Arg == "--time-ms" && IntOpt(V))
+      Opts.Limits.TimeBudgetMs = V;
+    else if (Arg == "--no-retry")
+      Opts.DegradedRetry = false;
+    else if (Arg == "--no-watchdog")
+      Opts.Watchdog = false;
+    else if (Arg == "--no-compact")
+      Opts.CompactOnShutdown = false;
+    else if (Arg == "--metrics" && I + 1 < argc)
+      MetricsPath = argv[++I];
+    else if (Arg == "--inject" && I + 1 < argc) {
+      std::string Err;
+      if (!FaultInjector::instance().configure(argv[++I], &Err)) {
+        std::fprintf(stderr, "bad --inject spec: %s\n", Err.c_str());
+        return 2;
+      }
+    } else if (Arg == "--inject-seed" && IntOpt(V))
+      FaultInjector::instance().setSeed(V);
+    else
+      return usage();
+  }
+  if (SocketPath.empty() || StorePath.empty())
+    return usage();
+
+  Opts.StorePath = StorePath;
+  auto Service = extra::server::Service::create(std::move(Opts));
+  if (!Service) {
+    std::fprintf(stderr, "cannot start service: %s\n",
+                 Service.fault().Message.c_str());
+    return 1;
+  }
+  auto ListenFd = extra::server::listenUnix(SocketPath);
+  if (!ListenFd) {
+    std::fprintf(stderr, "%s\n", ListenFd.fault().Message.c_str());
+    (*Service)->stop();
+    return 1;
+  }
+  std::printf("serving on %s (store %s, %zu cached entr%s)\n",
+              SocketPath.c_str(), StorePath.c_str(),
+              (*Service)->store().size(),
+              (*Service)->store().size() == 1 ? "y" : "ies");
+  std::fflush(stdout);
+  extra::server::serveLoop(*ListenFd, SocketPath, **Service);
+  (*Service)->stop();
+  if (!MetricsPath.empty()) {
+    std::ofstream MO(MetricsPath);
+    if (MO)
+      MO << (*Service)->metrics().json() << "\n";
+  }
+  std::printf("service stopped (%zu cached entries)\n",
+              (*Service)->store().size());
+  return 0;
+}
+
+void printResponse(const extra::server::Response &R) {
+  std::printf("%s\n", R.Raw.c_str());
+}
+
+int cmdClient(int argc, char **argv) {
+  std::string SocketPath, Sub;
+  std::vector<std::string> Rest;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--socket" && I + 1 < argc)
+      SocketPath = argv[++I];
+    else if (Sub.empty() && Arg[0] != '-')
+      Sub = Arg;
+    else
+      Rest.push_back(Arg);
+  }
+  if (SocketPath.empty() || Sub.empty())
+    return usage();
+
+  auto Client = extra::server::Client::connect(SocketPath);
+  if (!Client) {
+    std::fprintf(stderr, "%s\n", Client.fault().Message.c_str());
+    return 1;
+  }
+  auto Ask = [&](const std::string &Line)
+      -> std::optional<extra::server::Response> {
+    auto R = (*Client)->request(Line);
+    if (!R) {
+      std::fprintf(stderr, "%s\n", R.fault().Message.c_str());
+      return std::nullopt;
+    }
+    return *R;
+  };
+
+  if (Sub == "status" || Sub == "drain" || Sub == "shutdown") {
+    auto R = Ask("{\"cmd\":\"" + Sub + "\"}");
+    if (!R)
+      return 1;
+    printResponse(*R);
+    return R->ok() ? 0 : 1;
+  }
+
+  if (Sub == "submit" || Sub == "query") {
+    obs::Payload P;
+    P.add("cmd", Sub);
+    std::string CaseId, OperatorId, InstructionId;
+    bool Wait = false;
+    int Priority = 0;
+    bool Extension = false;
+    for (size_t I = 0; I < Rest.size(); ++I) {
+      const std::string &Arg = Rest[I];
+      if (Arg == "--case" && I + 1 < Rest.size())
+        CaseId = Rest[++I];
+      else if (Arg == "--wait")
+        Wait = true;
+      else if (Arg == "--priority" && I + 1 < Rest.size())
+        Priority = std::atoi(Rest[++I].c_str());
+      else if (Arg == "-x")
+        Extension = true;
+      else if (Arg[0] != '-' && OperatorId.empty())
+        OperatorId = Arg;
+      else if (Arg[0] != '-' && InstructionId.empty())
+        InstructionId = Arg;
+      else
+        return usage();
+    }
+    if (!CaseId.empty()) {
+      P.add("case", CaseId);
+    } else if (!OperatorId.empty() && !InstructionId.empty()) {
+      P.add("operator", OperatorId);
+      P.add("instruction", InstructionId);
+      if (Extension)
+        P.add("mode", "extension");
+    } else {
+      return usage();
+    }
+    if (Wait)
+      P.add("wait", true);
+    if (Priority)
+      P.add("priority", Priority);
+    auto R = Ask("{" + P.rendered().substr(1) + "}");
+    if (!R)
+      return 1;
+    printResponse(*R);
+    return R->ok() ? 0 : 1;
+  }
+
+  if (Sub == "suite") {
+    uint64_t MinVerified = 0;
+    bool HaveMinVerified = false;
+    int64_t ExpectHits = -1;
+    for (size_t I = 0; I < Rest.size(); ++I) {
+      if (Rest[I] == "--min-verified" && I + 1 < Rest.size()) {
+        MinVerified = std::strtoull(Rest[++I].c_str(), nullptr, 10);
+        HaveMinVerified = true;
+      } else if (Rest[I] == "--expect-hits" && I + 1 < Rest.size()) {
+        ExpectHits = std::strtoll(Rest[++I].c_str(), nullptr, 10);
+      } else {
+        return usage();
+      }
+    }
+    unsigned Verified = 0, Cached = 0, Total = 0;
+    for (const extra::search::BatchCase &C : extra::search::libraryCases()) {
+      obs::Payload P;
+      P.add("cmd", "submit");
+      P.add("case", C.Id);
+      P.add("wait", true);
+      auto R = Ask("{" + P.rendered().substr(1) + "}");
+      if (!R)
+        return 1;
+      ++Total;
+      if (!R->ok()) {
+        std::printf("%-28s ERROR %s\n", C.Id.c_str(),
+                    R->get("error").c_str());
+        continue;
+      }
+      bool Hit = R->get("cached") == "true";
+      Cached += Hit;
+      Verified += R->get("verified") == "true";
+      std::printf("%-28s %-12s%s\n", C.Id.c_str(),
+                  R->get("outcome").c_str(), Hit ? " (cached)" : "");
+    }
+    std::printf("suite: %u/%u verified, %u answered from cache\n", Verified,
+                Total, Cached);
+    if (HaveMinVerified && Verified < MinVerified) {
+      std::fprintf(stderr,
+                   "FAIL: %u verified, below the --min-verified floor of "
+                   "%llu\n",
+                   Verified, static_cast<unsigned long long>(MinVerified));
+      return 1;
+    }
+    if (ExpectHits >= 0 && Cached != static_cast<uint64_t>(ExpectHits)) {
+      std::fprintf(stderr,
+                   "FAIL: %u cache hits, expected exactly %lld\n", Cached,
+                   static_cast<long long>(ExpectHits));
+      return 1;
+    }
+    return 0;
+  }
+
+  return usage();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -656,5 +919,9 @@ int main(int argc, char **argv) {
     return cmdTrace(argc, argv);
   if (!std::strcmp(Cmd, "postmortem"))
     return cmdPostmortem(argc, argv);
+  if (!std::strcmp(Cmd, "serve"))
+    return cmdServe(argc, argv);
+  if (!std::strcmp(Cmd, "client"))
+    return cmdClient(argc, argv);
   return usage();
 }
