@@ -5,17 +5,27 @@
 //===----------------------------------------------------------------------===//
 //
 // The §6 story: a compiler front end hands the same high-level internal
-// form to three different back ends. Each target consults its
-// analysis-produced binding table, satisfies (or fails) the constraints,
-// and emits exotic instructions or primitive loops. The generated code is
-// then executed on the matching simulator and checked for identical
-// observable results.
+// form to three different back ends. Each target consults its binding
+// table, satisfies (or fails) the constraints, and emits exotic
+// instructions or primitive loops. The generated code is then executed
+// on the matching simulator and checked for identical observable
+// results.
 //
-// Build and run:   ./build/examples/retarget_compiler
+// Unlike the hand-built bootstrap tables, the bindings here come from a
+// *registry*: the deployable artifact the discovery pipeline exports.
+// Pass a registry file to compile with discovered bindings, or run with
+// no arguments to build one in-process from the recorded corpus:
+//
+//   ./build/examples/retarget_compiler [registry.jsonl]
+//
+// Either way the hand tables are cleared first — every exotic emission
+// below was compiled from a registry entry, not wired in by hand.
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Target.h"
+#include "registry/BindingCompiler.h"
+#include "registry/RegistryBuilder.h"
 #include "sim/Sim370.h"
 #include "sim/Sim8086.h"
 #include "sim/SimVax.h"
@@ -25,7 +35,31 @@
 using namespace extra;
 using namespace extra::codegen;
 
-int main() {
+int main(int argc, char **argv) {
+  // Load the binding registry: from the file on the command line, or by
+  // replaying the built-in recorded derivations when none is given.
+  registry::Registry Reg;
+  if (argc > 1) {
+    auto Loaded = registry::Registry::load(argv[1]);
+    if (!Loaded) {
+      std::printf("cannot load registry %s: %s\n", argv[1],
+                  Loaded.fault().Message.c_str());
+      return 1;
+    }
+    Reg = std::move(*Loaded);
+    std::printf("registry: %zu entries from %s\n\n", Reg.size(), argv[1]);
+  } else {
+    registry::RegistryBuilder Builder;
+    if (auto Added = Builder.addRecordedCases()) {
+      Reg = Builder.registry();
+      std::printf("registry: %u entries from the recorded corpus\n\n", *Added);
+    } else {
+      std::printf("cannot build registry: %s\n",
+                  Added.fault().Message.c_str());
+      return 1;
+    }
+  }
+
   // The front end compiled something like:
   //   var buf: array of char;  s: string[16];
   //   buf := s;  i := index(buf, 'r');  eq := (buf = s);  clear(scratch);
@@ -47,21 +81,29 @@ int main() {
     M[400 + I] = 0xEE;
 
   struct TargetRun {
+    const char *Machine; ///< Registry machine id (RegistryEntry::Machine).
     std::unique_ptr<Target> T;
     sim::SimResult (*Run)(const std::vector<std::string> &,
                           const interp::Memory &,
                           const std::map<std::string, int64_t> &, uint64_t);
   };
   TargetRun Runs[] = {
-      {makeI8086Target(), sim::run8086},
-      {makeVaxTarget(), sim::runVax},
-      {makeIbm370Target(), sim::run370},
+      {"i8086", makeI8086Target(), sim::run8086},
+      {"vax", makeVaxTarget(), sim::runVax},
+      {"ibm370", makeIbm370Target(), sim::run370},
   };
 
   bool AllOk = true;
   for (TargetRun &TR : Runs) {
+    // Drop the hand-built bootstrap table and compile the registry's
+    // bindings onto the bare target.
+    TR.T->clearBindings();
+    std::vector<registry::CompileNote> Notes;
+    unsigned Loaded =
+        registry::loadRegistryBindings(Reg, TR.Machine, *TR.T, &Notes);
     CodeGenResult Code = TR.T->generate(P);
     std::printf("======== %s ========\n", TR.T->name().c_str());
+    std::printf("%u bindings compiled from the registry\n", Loaded);
     std::printf("instruction selection:\n");
     for (const SelectionNote &N : Code.Notes)
       std::printf("  op %zu %-10s -> %-18s %s\n", N.OpIndex,

@@ -18,6 +18,18 @@ using transform::Engine;
 using transform::Script;
 using transform::Step;
 
+const char *analysis::modeName(Mode M) {
+  return M == Mode::Extension ? "extension" : "base";
+}
+
+std::optional<analysis::Mode> analysis::modeFromName(std::string_view Name) {
+  if (Name == "base")
+    return Mode::Base;
+  if (Name == "extension")
+    return Mode::Extension;
+  return std::nullopt;
+}
+
 bool analysis::isExtensionStep(const Step &S) {
   return S.Rule == "note-relational-constraint" ||
          S.Rule == "resolve-if-by-constraint";

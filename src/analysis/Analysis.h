@@ -25,7 +25,9 @@
 #include "isdl/Equiv.h"
 #include "transform/Transform.h"
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace extra {
@@ -37,6 +39,13 @@ namespace analysis {
 /// future-work support for source-language axioms like Pascal's
 /// no-overlap rule.
 enum class Mode { Base, Extension };
+
+/// Stable spelled name of a mode ("base" / "extension") — the wire and
+/// registry serialization of Mode.
+const char *modeName(Mode M);
+
+/// Parses a spelled mode name back; nullopt for unknown text.
+std::optional<Mode> modeFromName(std::string_view Name);
 
 /// One analysis to perform: the pairing of an operator and an
 /// instruction, with the derivation scripts for both sides.

@@ -120,6 +120,11 @@ public:
   int64_t wordMax() const { return WordMax; }
   void addBinding(InstructionBinding B) { Bindings.push_back(std::move(B)); }
   const std::vector<InstructionBinding> &bindings() const { return Bindings; }
+  /// Drops every binding, leaving a decomposition-only target. Used by
+  /// the registry loader (bindings come from a registry file instead of
+  /// the hand-built bootstrap table) and by the differential execution
+  /// harness's decomposition-only baseline.
+  void clearBindings() { Bindings.clear(); }
 
   /// Emits the primitive-operation fallback for \p O ("the compiler must
   /// include decomposition rules to transform the high-level operator

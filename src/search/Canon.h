@@ -31,9 +31,12 @@
 #ifndef EXTRA_SEARCH_CANON_H
 #define EXTRA_SEARCH_CANON_H
 
+#include "analysis/Analysis.h"
 #include "isdl/AST.h"
+#include "support/Error.h"
 
 #include <cstdint>
+#include <string>
 
 namespace extra {
 namespace search {
@@ -51,6 +54,17 @@ uint64_t fingerprint(const isdl::Description &D);
 /// transposition-table key. Not commutative: the operator and the
 /// instruction side play different roles.
 uint64_t pairKey(uint64_t OperatorFp, uint64_t InstructionFp);
+
+/// The canonical identity of one (operator, instruction, mode) pairing,
+/// rendered as a stable hex string — the cache key of the server's
+/// MemoStore and the dedup key of the binding registry. Loads both
+/// descriptions from the library (Store fault on unknown ids),
+/// fingerprints them, combines with pairKey, and perturbs the key in
+/// Extension mode (the two modes are distinct cache lines: Extension
+/// changes what the analysis may conclude).
+Expected<std::string> pairingKeyHex(const std::string &OperatorId,
+                                    const std::string &InstructionId,
+                                    analysis::Mode M);
 
 } // namespace search
 } // namespace extra

@@ -8,6 +8,7 @@
 
 #include "obs/Trace.h"
 #include "obs/TraceFile.h"
+#include "support/VersionedFile.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -133,59 +134,26 @@ std::string CheckpointRecord::reportLine() const {
 
 std::string search::versionHeaderLine(std::string_view Format,
                                       uint32_t Version) {
-  return "{\"format\":\"" + obs::jsonEscape(Format) +
-         "\",\"version\":" + std::to_string(Version) + "}";
+  return support::versionHeaderLine(Format, Version);
 }
 
 std::optional<std::pair<std::string, uint32_t>>
 search::parseVersionHeader(std::string_view Line) {
-  auto Fields = obs::parseJsonObjectLine(Line);
-  if (!Fields)
-    return std::nullopt;
-  auto FormatIt = Fields->find("format");
-  auto VersionIt = Fields->find("version");
-  if (FormatIt == Fields->end() || VersionIt == Fields->end())
-    return std::nullopt;
-  return std::make_pair(
-      FormatIt->second,
-      static_cast<uint32_t>(
-          std::strtoul(VersionIt->second.c_str(), nullptr, 10)));
+  return support::parseVersionHeader(Line);
+}
+
+/// The checkpoint file format, as the shared versioned-file layer sees it.
+static support::FileFormat checkpointFormat() {
+  return {kCheckpointFormat, kCheckpointVersion, "checkpoint"};
 }
 
 bool search::appendCheckpoint(const std::string &Path,
                               const CheckpointRecord &R, std::string *Error) {
-  // A run killed mid-append leaves an unterminated final line; appending
-  // straight after it would weld two records into one garbage line. Start
-  // on a fresh line whenever the existing tail lacks its newline.
-  bool NeedLeadingNewline = false;
-  bool Empty = true;
-  {
-    std::ifstream In(Path, std::ios::binary);
-    if (In) {
-      In.seekg(0, std::ios::end);
-      std::streamoff Size = In.tellg();
-      if (Size > 0) {
-        Empty = false;
-        In.seekg(Size - 1);
-        NeedLeadingNewline = In.get() != '\n';
-      }
-    }
-  }
-  std::ofstream OS(Path, std::ios::app);
-  if (!OS) {
+  auto Ok = support::appendVersionedLine(Path, checkpointFormat(),
+                                         R.toJsonLine());
+  if (!Ok) {
     if (Error)
-      *Error = "cannot open checkpoint file '" + Path + "' for append";
-    return false;
-  }
-  if (NeedLeadingNewline)
-    OS << "\n";
-  if (Empty)
-    OS << versionHeaderLine(kCheckpointFormat, kCheckpointVersion) << "\n";
-  OS << R.toJsonLine() << "\n";
-  OS.flush();
-  if (!OS) {
-    if (Error)
-      *Error = "write to checkpoint file '" + Path + "' failed";
+      *Error = Ok.fault().Message;
     return false;
   }
   return true;
@@ -193,38 +161,17 @@ bool search::appendCheckpoint(const std::string &Path,
 
 std::vector<CheckpointRecord> search::readCheckpoints(const std::string &Path,
                                                       Fault *F) {
-  std::vector<CheckpointRecord> Out;
-  std::ifstream In(Path);
-  if (!In)
-    return Out;
+  auto Lines = support::readVersionedLines(Path, checkpointFormat());
+  if (!Lines) {
+    if (F)
+      *F = Lines.fault();
+    return {};
+  }
   // Later records win: a resumed run that re-ran a case (e.g. under a
   // different policy) supersedes the earlier line.
+  std::vector<CheckpointRecord> Out;
   std::map<std::string, size_t> ByCase;
-  std::string Line;
-  while (std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    if (auto Header = parseVersionHeader(Line)) {
-      // Absent headers are tolerated (PR 4 files have none), but a
-      // present header must name this format at a version we can read.
-      if (Header->first != kCheckpointFormat) {
-        if (F)
-          *F = makeFault(FaultCategory::Store,
-                         "'" + Path + "' is a '" + Header->first +
-                             "' file, not a checkpoint");
-        return {};
-      }
-      if (Header->second > kCheckpointVersion) {
-        if (F)
-          *F = makeFault(FaultCategory::Store,
-                         "checkpoint '" + Path + "' is version " +
-                             std::to_string(Header->second) +
-                             "; this build reads up to version " +
-                             std::to_string(kCheckpointVersion));
-        return {};
-      }
-      continue;
-    }
+  for (const std::string &Line : *Lines) {
     auto R = CheckpointRecord::fromJsonLine(Line);
     if (!R)
       continue; // Torn trailing write from a killed run — skip.

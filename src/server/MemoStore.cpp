@@ -11,6 +11,7 @@
 #include "obs/TraceFile.h"
 #include "search/Canon.h"
 #include "support/FaultInjection.h"
+#include "support/VersionedFile.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,37 +22,10 @@
 using namespace extra;
 using namespace extra::server;
 
-const char *server::modeName(analysis::Mode M) {
-  return M == analysis::Mode::Extension ? "extension" : "base";
-}
-
-std::optional<analysis::Mode> server::modeFromName(std::string_view Name) {
-  if (Name == "base")
-    return analysis::Mode::Base;
-  if (Name == "extension")
-    return analysis::Mode::Extension;
-  return std::nullopt;
-}
-
 Expected<std::string> server::pairingKey(const std::string &OperatorId,
                                          const std::string &InstructionId,
                                          analysis::Mode M) {
-  auto Op = descriptions::loadChecked(OperatorId);
-  if (!Op)
-    return Op.fault();
-  auto Inst = descriptions::loadChecked(InstructionId);
-  if (!Inst)
-    return Inst.fault();
-  uint64_t Key = search::pairKey(search::fingerprint(**Op),
-                                 search::fingerprint(**Inst));
-  // Extension mode changes what the analysis may conclude (relational
-  // constraints), so the two modes are distinct cache lines.
-  if (M == analysis::Mode::Extension)
-    Key ^= 0x9e3779b97f4a7c15ull;
-  char Buf[24];
-  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
-                static_cast<unsigned long long>(Key));
-  return std::string(Buf);
+  return search::pairingKeyHex(OperatorId, InstructionId, M);
 }
 
 MemoLimits MemoLimits::fromSearchLimits(const search::SearchLimits &L) {
@@ -154,6 +128,11 @@ bool injectedStoreFault(Fault *F, const char *What) {
   return true;
 }
 
+/// The memo file format, as the shared versioned-file layer sees it.
+support::FileFormat memoFormat() {
+  return {kMemoFormat, kMemoVersion, "memo store"};
+}
+
 } // namespace
 
 Expected<std::unique_ptr<MemoStore>> MemoStore::open(const std::string &Path) {
@@ -180,39 +159,18 @@ Expected<std::unique_ptr<MemoStore>> MemoStore::open(const std::string &Path) {
   ::close(LockFd);
   S->Locked = true;
 
-  std::ifstream In(Path);
-  if (In) {
-    std::string Line;
-    bool First = true;
-    while (std::getline(In, Line)) {
-      if (Line.empty())
-        continue;
-      if (auto Header = search::parseVersionHeader(Line)) {
-        if (Header->first != kMemoFormat) {
-          S->close();
-          return storeFault("'" + Path + "' is a '" + Header->first +
-                            "' file, not a memo store");
-        }
-        if (Header->second > kMemoVersion) {
-          S->close();
-          return storeFault("memo store '" + Path + "' is version " +
-                            std::to_string(Header->second) +
-                            "; this build reads up to version " +
-                            std::to_string(kMemoVersion));
-        }
-        First = false;
-        continue;
-      }
-      if (First) {
-        // Tolerated-if-absent, like the checkpoint header: a headerless
-        // file is read as the current version.
-        First = false;
-      }
-      auto E = MemoEntry::fromJsonLine(Line);
-      if (!E)
-        continue; // Torn trailing write from a killed server — skip.
-      S->ByKey[E->Key] = std::move(*E); // Later records win.
-    }
+  // Tolerated-if-absent header, like the checkpoint header: a headerless
+  // file is read as the current version.
+  auto Lines = support::readVersionedLines(Path, memoFormat());
+  if (!Lines) {
+    S->close();
+    return Lines.fault();
+  }
+  for (const std::string &Line : *Lines) {
+    auto E = MemoEntry::fromJsonLine(Line);
+    if (!E)
+      continue; // Torn trailing write from a killed server — skip.
+    S->ByKey[E->Key] = std::move(*E); // Later records win.
   }
   return S;
 }
@@ -229,32 +187,7 @@ Expected<bool> MemoStore::put(const MemoEntry &E) {
   if (injectedStoreFault(&F, "append"))
     return F;
 
-  bool NeedLeadingNewline = false;
-  bool Empty = true;
-  {
-    std::ifstream In(Path, std::ios::binary);
-    if (In) {
-      In.seekg(0, std::ios::end);
-      std::streamoff Size = In.tellg();
-      if (Size > 0) {
-        Empty = false;
-        In.seekg(Size - 1);
-        NeedLeadingNewline = In.get() != '\n';
-      }
-    }
-  }
-  std::ofstream OS(Path, std::ios::app);
-  if (!OS)
-    return storeFault("cannot open memo store '" + Path + "' for append");
-  if (NeedLeadingNewline)
-    OS << "\n";
-  if (Empty)
-    OS << search::versionHeaderLine(kMemoFormat, kMemoVersion) << "\n";
-  OS << E.toJsonLine() << "\n";
-  OS.flush();
-  if (!OS)
-    return storeFault("write to memo store '" + Path + "' failed");
-  return true;
+  return support::appendVersionedLine(Path, memoFormat(), E.toJsonLine());
 }
 
 std::optional<MemoEntry> MemoStore::lookup(const std::string &Key) const {
@@ -288,23 +221,11 @@ Expected<bool> MemoStore::compact() {
   if (injectedStoreFault(&F, "compact"))
     return F;
 
-  std::string Tmp = Path + ".compact";
-  {
-    std::ofstream OS(Tmp, std::ios::trunc);
-    if (!OS)
-      return storeFault("cannot open '" + Tmp + "' for compaction");
-    OS << search::versionHeaderLine(kMemoFormat, kMemoVersion) << "\n";
-    for (const auto &[Key, E] : ByKey)
-      OS << E.toJsonLine() << "\n";
-    OS.flush();
-    if (!OS)
-      return storeFault("write to '" + Tmp + "' failed");
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return storeFault("cannot rename '" + Tmp + "' over '" + Path + "'");
-  }
-  return true;
+  std::vector<std::string> Lines;
+  Lines.reserve(ByKey.size());
+  for (const auto &[Key, E] : ByKey)
+    Lines.push_back(E.toJsonLine());
+  return support::writeVersionedFile(Path, memoFormat(), Lines);
 }
 
 void MemoStore::close() {

@@ -73,9 +73,10 @@ inline constexpr const char *kMemoFormat = "extra-memo";
 inline constexpr uint32_t kMemoVersion = 1;
 
 /// Spelled mode name ("base"/"extension") — part of the wire format.
-const char *modeName(analysis::Mode M);
-/// Parses a spelled mode; nullopt for unknown text.
-std::optional<analysis::Mode> modeFromName(std::string_view Name);
+/// (The canonical definitions live with Mode itself in analysis; these
+/// aliases keep the wire-format vocabulary visible here.)
+using analysis::modeFromName;
+using analysis::modeName;
 
 /// The canonical cache key of one pairing: pairKey over the two
 /// rename-invariant description fingerprints, mixed with the analysis

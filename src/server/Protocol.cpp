@@ -26,6 +26,8 @@ const char *server::cmdName(Request::Cmd C) {
     return "drain";
   case Request::Cmd::Shutdown:
     return "shutdown";
+  case Request::Cmd::Export:
+    return "export";
   }
   return "?";
 }
@@ -55,6 +57,8 @@ Expected<Request> server::parseRequest(const std::string &Line) {
     R.C = Request::Cmd::Drain;
   else if (Cmd == "shutdown")
     R.C = Request::Cmd::Shutdown;
+  else if (Cmd == "export")
+    R.C = Request::Cmd::Export;
   else if (Cmd.empty())
     return Protocol("request carries no \"cmd\"");
   else
@@ -75,6 +79,10 @@ Expected<Request> server::parseRequest(const std::string &Line) {
   std::string Priority = Get("priority");
   if (!Priority.empty())
     R.Priority = static_cast<int>(std::strtol(Priority.c_str(), nullptr, 10));
+
+  R.Path = Get("path");
+  if (R.C == Request::Cmd::Export && R.Path.empty())
+    return Protocol("export needs a \"path\"");
 
   if (R.C == Request::Cmd::Submit || R.C == Request::Cmd::Query) {
     bool HasPair = !R.OperatorId.empty() && !R.InstructionId.empty();

@@ -15,6 +15,12 @@
 ///   {"cmd":"query","operator":ID,"instruction":ID[,"mode":...]}
 ///   {"cmd":"query","case":RECORDED-CASE-ID}
 ///   {"cmd":"status"}   {"cmd":"drain"}   {"cmd":"shutdown"}
+///   {"cmd":"export","path":FILE}
+///
+/// `export` dumps the store's verified pairings as a binding-registry
+/// file (src/registry format) at a server-side path, answering
+/// `{"ok":true,"path":...,"exported":N,"skipped":M}` — the bridge from
+/// the discovery service to a deployable code-generator registry.
 ///
 /// Responses always carry `"ok":true|false`; failures add `"error"` and
 /// `"category"` (the spelled FaultCategory — protocol violations are
@@ -46,8 +52,10 @@ namespace server {
 
 /// A parsed request line.
 struct Request {
-  enum class Cmd { Submit, Query, Status, Drain, Shutdown };
+  enum class Cmd { Submit, Query, Status, Drain, Shutdown, Export };
   Cmd C = Cmd::Status;
+  /// Export: server-side destination file for the registry dump.
+  std::string Path;
   /// Pairing addressing: either a recorded case id, or explicit
   /// operator + instruction ids (mode defaults to base).
   std::string CaseId;

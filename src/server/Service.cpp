@@ -6,7 +6,10 @@
 
 #include "server/Service.h"
 
+#include "descriptions/Descriptions.h"
+#include "registry/Registry.h"
 #include "search/BatchDriver.h"
+#include "search/Canon.h"
 #include "support/FaultInjection.h"
 #include "transform/ScriptIO.h"
 
@@ -161,6 +164,8 @@ std::string Service::handle(const std::string &Line) {
       return handleDrain();
     case Request::Cmd::Shutdown:
       return handleShutdown();
+    case Request::Cmd::Export:
+      return handleExport(*R);
     }
     return faultResponse(
         makeFault(FaultCategory::Protocol, "unhandled command"));
@@ -261,5 +266,57 @@ std::string Service::handleShutdown() {
   Shutdown.store(true, std::memory_order_release);
   obs::Payload P;
   P.add("stopping", true);
+  return okResponse(P);
+}
+
+std::string Service::handleExport(const Request &R) {
+  // Dump the store's proven pairings as a deployable binding registry.
+  // Only verified entries carry a replayable derivation; everything else
+  // (exhausted/timed-out verdicts, partial frontiers) is cache state,
+  // not a binding, and is counted as skipped.
+  registry::Registry Reg;
+  uint64_t Skipped = 0;
+  for (const MemoEntry &E : Store->entries()) {
+    if (E.Record.Outcome != search::CaseOutcome::Verified ||
+        E.Binding.empty()) {
+      ++Skipped;
+      continue;
+    }
+    registry::RegistryEntry RE;
+    RE.Key = E.Key;
+    RE.AnalysisId = E.Record.Case;
+    RE.OperatorId = E.OperatorId;
+    RE.InstructionId = E.InstructionId;
+    RE.M = E.M;
+    // A verified memo entry's fp fields are 0 (they carry the partial
+    // frontier of *failed* searches); recompute the canonical
+    // fingerprints from the descriptions.
+    if (auto Op = descriptions::loadChecked(E.OperatorId))
+      RE.FpOp = search::fingerprint(**Op);
+    if (auto Inst = descriptions::loadChecked(E.InstructionId))
+      RE.FpInst = search::fingerprint(**Inst);
+    RE.Machine = registry::machineOfInstruction(E.InstructionId);
+    RE.Mnemonic = registry::mnemonicOfInstruction(E.InstructionId);
+    RE.Op = registry::opKindOfOperator(E.OperatorId);
+    RE.Constraints = E.Constraints;
+    RE.OpScript = E.OpScript;
+    RE.InstScript = E.InstScript;
+    RE.Binding = E.Binding;
+    RE.Source = "memo";
+    RE.BeamWidth = E.Limits.BeamWidth;
+    RE.MaxDepth = E.Limits.MaxDepth;
+    RE.Widenings = E.Limits.Widenings;
+    RE.MaxNodes = E.Limits.MaxNodes;
+    RE.TimeBudgetMs = E.Limits.TimeBudgetMs;
+    RE.WallMs = E.Record.WallMs;
+    Reg.upsert(std::move(RE));
+  }
+  auto Saved = Reg.save(R.Path);
+  if (!Saved)
+    return faultResponse(Saved.fault());
+  obs::Payload P;
+  P.add("path", R.Path);
+  P.add("exported", static_cast<uint64_t>(Reg.size()));
+  P.add("skipped", Skipped);
   return okResponse(P);
 }

@@ -116,6 +116,7 @@ private:
   std::string handleStatus();
   std::string handleDrain();
   std::string handleShutdown();
+  std::string handleExport(const Request &R);
 
   ServiceOptions Opts;
   std::unique_ptr<MemoStore> Store;

@@ -1,0 +1,271 @@
+//===- VersionedFile.cpp - Versioned JSONL file helpers ---------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VersionedFile.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace extra;
+using namespace extra::support;
+
+namespace {
+
+Fault storeFault(std::string Message) {
+  return makeFault(FaultCategory::Store, std::move(Message));
+}
+
+void appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// A header line is a flat object whose only members are the "format"
+/// string and the "version" number. This scanner recognizes exactly
+/// that shape; anything else — record lines, torn tails, prose — is
+/// "not a header", which is the tolerance the readers rely on. (The
+/// general JSON line reader lives in obs, which links *against* this
+/// library, so the header parser must be self-contained.)
+struct HeaderScanner {
+  std::string_view S;
+  size_t I = 0;
+
+  bool eat(char C) {
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t'))
+      ++I;
+  }
+
+  std::optional<std::string> string() {
+    skipWs();
+    if (!eat('"'))
+      return std::nullopt;
+    std::string Out;
+    while (I < S.size() && S[I] != '"') {
+      char C = S[I++];
+      if (C == '\\') {
+        if (I >= S.size())
+          return std::nullopt;
+        char E = S[I++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        default:
+          return std::nullopt;
+        }
+      } else {
+        Out += C;
+      }
+    }
+    if (!eat('"'))
+      return std::nullopt;
+    return Out;
+  }
+
+  std::optional<uint32_t> number() {
+    skipWs();
+    size_t Start = I;
+    while (I < S.size() && S[I] >= '0' && S[I] <= '9')
+      ++I;
+    if (I == Start)
+      return std::nullopt;
+    return static_cast<uint32_t>(
+        std::strtoul(std::string(S.substr(Start, I - Start)).c_str(),
+                     nullptr, 10));
+  }
+};
+
+} // namespace
+
+std::string support::versionHeaderLine(std::string_view Format,
+                                       uint32_t Version) {
+  std::string Out = "{\"format\":\"";
+  appendJsonEscaped(Out, Format);
+  Out += "\",\"version\":" + std::to_string(Version) + "}";
+  return Out;
+}
+
+std::optional<std::pair<std::string, uint32_t>>
+support::parseVersionHeader(std::string_view Line) {
+  HeaderScanner P{Line};
+  P.skipWs();
+  if (!P.eat('{'))
+    return std::nullopt;
+  std::optional<std::string> Format;
+  std::optional<uint32_t> Version;
+  for (;;) {
+    auto Key = P.string();
+    if (!Key)
+      return std::nullopt;
+    P.skipWs();
+    if (!P.eat(':'))
+      return std::nullopt;
+    if (*Key == "format") {
+      Format = P.string();
+      if (!Format)
+        return std::nullopt;
+    } else if (*Key == "version") {
+      Version = P.number();
+      if (!Version)
+        return std::nullopt;
+    } else {
+      // An object carrying any other member is a record, not a header.
+      return std::nullopt;
+    }
+    P.skipWs();
+    if (P.eat(','))
+      continue;
+    break;
+  }
+  if (!P.eat('}'))
+    return std::nullopt;
+  P.skipWs();
+  if (P.I != P.S.size())
+    return std::nullopt;
+  if (!Format || !Version)
+    return std::nullopt;
+  return std::make_pair(std::move(*Format), *Version);
+}
+
+std::optional<Fault>
+support::checkHeader(const std::pair<std::string, uint32_t> &H,
+                     const FileFormat &F, const std::string &Path) {
+  if (H.first != F.Tag)
+    return storeFault("'" + Path + "' is a '" + H.first + "' file, not a " +
+                      F.Noun);
+  if (H.second > F.Version)
+    return storeFault(std::string(F.Noun) + " '" + Path + "' is version " +
+                      std::to_string(H.second) +
+                      "; this build reads up to version " +
+                      std::to_string(F.Version));
+  return std::nullopt;
+}
+
+Expected<std::vector<std::string>>
+support::readVersionedLines(const std::string &Path, const FileFormat &F) {
+  std::vector<std::string> Out;
+  std::ifstream In(Path);
+  if (!In)
+    return Out; // A missing file reads as empty.
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (auto Header = parseVersionHeader(Line)) {
+      // Absent headers are tolerated, but a present header must name
+      // this format at a version we can read.
+      if (auto Bad = checkHeader(*Header, F, Path))
+        return *Bad;
+      continue;
+    }
+    Out.push_back(Line);
+  }
+  return Out;
+}
+
+Expected<bool> support::appendVersionedLine(const std::string &Path,
+                                            const FileFormat &F,
+                                            const std::string &Line) {
+  // A run killed mid-append leaves an unterminated final line; appending
+  // straight after it would weld two records into one garbage line. Start
+  // on a fresh line whenever the existing tail lacks its newline.
+  bool NeedLeadingNewline = false;
+  bool Empty = true;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (In) {
+      In.seekg(0, std::ios::end);
+      std::streamoff Size = In.tellg();
+      if (Size > 0) {
+        Empty = false;
+        In.seekg(Size - 1);
+        NeedLeadingNewline = In.get() != '\n';
+      }
+    }
+  }
+  std::ofstream OS(Path, std::ios::app);
+  if (!OS)
+    return storeFault("cannot open " + std::string(F.Noun) + " '" + Path +
+                      "' for append");
+  if (NeedLeadingNewline)
+    OS << "\n";
+  if (Empty)
+    OS << versionHeaderLine(F.Tag, F.Version) << "\n";
+  OS << Line << "\n";
+  OS.flush();
+  if (!OS)
+    return storeFault("write to " + std::string(F.Noun) + " '" + Path +
+                      "' failed");
+  return true;
+}
+
+Expected<bool> support::writeVersionedFile(const std::string &Path,
+                                           const FileFormat &F,
+                                           const std::vector<std::string> &Lines) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::trunc);
+    if (!OS)
+      return storeFault("cannot open '" + Tmp + "' for writing");
+    OS << versionHeaderLine(F.Tag, F.Version) << "\n";
+    for (const std::string &L : Lines)
+      OS << L << "\n";
+    OS.flush();
+    if (!OS)
+      return storeFault("write to '" + Tmp + "' failed");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return storeFault("cannot rename '" + Tmp + "' over '" + Path + "'");
+  }
+  return true;
+}

@@ -23,6 +23,7 @@
 #include "server/WorkQueue.h"
 
 #include "obs/TraceFile.h"
+#include "registry/Registry.h"
 #include "search/Checkpoint.h"
 #include "support/FaultInjection.h"
 
@@ -639,6 +640,63 @@ TEST(ServiceTest, NonVerifiedVerdictRespectsLimitsCoverage) {
   EXPECT_EQ((*R)["cached"], "false");
   EXPECT_EQ((*R)["outcome"], "verified"); // The real search succeeds.
   (*S)->stop();
+}
+
+TEST(ServiceTest, ExportWritesVerifiedEntriesAsARegistry) {
+  TempFile F("svc_export.jsonl");
+  TempFile Out("svc_export_registry.jsonl");
+  // Seed one exhausted verdict: cache state, not a binding — export must
+  // count it as skipped.
+  {
+    auto Key = pairingKey("rigel.index", "vax.locc", analysis::Mode::Base);
+    ASSERT_TRUE(bool(Key));
+    auto St = MemoStore::open(F.Path);
+    ASSERT_TRUE(bool(St));
+    MemoEntry E = sampleEntry(*Key, "vax.locc/rigel.index");
+    E.OperatorId = "rigel.index";
+    E.InstructionId = "vax.locc";
+    E.Record.Outcome = search::CaseOutcome::Exhausted;
+    E.Record.Found = E.Record.Verified = false;
+    E.Binding.clear();
+    ASSERT_TRUE(bool((*St)->put(E)));
+  }
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+
+  auto NoPath =
+      obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"export\"}"));
+  ASSERT_TRUE(NoPath);
+  EXPECT_EQ((*NoPath)["ok"], "false");
+
+  // Discover a real pairing, then export the store.
+  auto Found = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"submit\",\"case\":\"vax.movc3/pc2.copy\","
+                   "\"wait\":true}"));
+  ASSERT_TRUE(Found);
+  ASSERT_EQ((*Found)["verified"], "true");
+  auto Exported = obs::parseJsonObjectLine((*S)->handle(
+      "{\"cmd\":\"export\",\"path\":\"" + Out.Path + "\"}"));
+  ASSERT_TRUE(Exported);
+  EXPECT_EQ((*Exported)["ok"], "true");
+  EXPECT_EQ((*Exported)["exported"], "1");
+  EXPECT_EQ((*Exported)["skipped"], "1");
+  (*S)->stop();
+
+  // The exported file is a loadable binding registry whose entry carries
+  // the machine/mnemonic/op-kind triple the binding compiler needs.
+  auto Reg = registry::Registry::load(Out.Path);
+  ASSERT_TRUE(bool(Reg)) << Reg.fault().Message;
+  ASSERT_EQ(Reg->size(), 1u);
+  const registry::RegistryEntry &E = *Reg->entries().front();
+  EXPECT_EQ(E.AnalysisId, "vax.movc3/pc2.copy");
+  EXPECT_EQ(E.Machine, "vax");
+  EXPECT_EQ(E.Mnemonic, "movc3");
+  EXPECT_EQ(E.Op, "BlockCopy");
+  EXPECT_EQ(E.Source, "memo");
+  EXPECT_FALSE(E.Constraints.empty());
+  EXPECT_FALSE(E.Binding.empty());
+  EXPECT_NE(E.FpOp, 0u);
+  EXPECT_NE(E.FpInst, 0u);
 }
 
 TEST(ServiceTest, StatusDrainShutdownAndUnknownCase) {

@@ -8,7 +8,10 @@
 #include "support/Error.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtil.h"
+#include "support/VersionedFile.h"
 
+#include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <memory>
 #include <thread>
@@ -215,6 +218,102 @@ TEST(FaultInjectionTest, RateOneAlwaysFiresRateZeroNever) {
   }
   auto Fired = FaultInjector::instance().firedBySite();
   ASSERT_EQ(Fired.size(), 2u);
+}
+
+// --- VersionedFile: the shared JSONL durability contract ---
+
+class VersionedFileTest : public ::testing::Test {
+protected:
+  std::string Path;
+  support::FileFormat Fmt{"extra-widget", 3, "widget file"};
+
+  void SetUp() override {
+    Path = testing::TempDir() + "/versioned_file_test.jsonl";
+    std::remove(Path.c_str());
+  }
+  void TearDown() override { std::remove(Path.c_str()); }
+
+  void writeRaw(const std::string &Text) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Text;
+  }
+};
+
+TEST_F(VersionedFileTest, HeaderLineRoundTrips) {
+  std::string Line = support::versionHeaderLine("extra-widget", 3);
+  auto H = support::parseVersionHeader(Line);
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->first, "extra-widget");
+  EXPECT_EQ(H->second, 3u);
+}
+
+TEST_F(VersionedFileTest, RecordLinesAreNotHeaders) {
+  EXPECT_FALSE(support::parseVersionHeader("{\"key\":\"a/b\"}").has_value());
+  EXPECT_FALSE(support::parseVersionHeader("{\"format\":\"x\"").has_value());
+  EXPECT_FALSE(support::parseVersionHeader("not json at all").has_value());
+  EXPECT_FALSE(support::parseVersionHeader("").has_value());
+}
+
+TEST_F(VersionedFileTest, MissingFileReadsEmpty) {
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_TRUE(Lines);
+  EXPECT_TRUE(Lines->empty());
+}
+
+TEST_F(VersionedFileTest, AppendStampsHeaderOnceAndReaderStripsIt) {
+  ASSERT_TRUE(support::appendVersionedLine(Path, Fmt, "{\"n\":1}"));
+  ASSERT_TRUE(support::appendVersionedLine(Path, Fmt, "{\"n\":2}"));
+  std::ifstream In(Path);
+  std::string First;
+  std::getline(In, First);
+  EXPECT_TRUE(support::parseVersionHeader(First).has_value());
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_TRUE(Lines);
+  EXPECT_EQ(*Lines, (std::vector<std::string>{"{\"n\":1}", "{\"n\":2}"}));
+}
+
+TEST_F(VersionedFileTest, AppendAfterTornTailStartsAFreshLine) {
+  // A run killed mid-append leaves an unterminated tail; the next append
+  // must not weld two records onto one line.
+  writeRaw(support::versionHeaderLine("extra-widget", 3) + "\n{\"n\":1}");
+  ASSERT_TRUE(support::appendVersionedLine(Path, Fmt, "{\"n\":2}"));
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_TRUE(Lines);
+  EXPECT_EQ(*Lines, (std::vector<std::string>{"{\"n\":1}", "{\"n\":2}"}));
+}
+
+TEST_F(VersionedFileTest, HeaderlessFileIsToleratedAsCurrentVersion) {
+  writeRaw("{\"n\":1}\n\n{\"n\":2}\n");
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_TRUE(Lines);
+  EXPECT_EQ(*Lines, (std::vector<std::string>{"{\"n\":1}", "{\"n\":2}"}));
+}
+
+TEST_F(VersionedFileTest, ForeignFormatIsATypedStoreFault) {
+  writeRaw(support::versionHeaderLine("extra-other", 1) + "\n{\"n\":1}\n");
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_FALSE(Lines);
+  EXPECT_EQ(Lines.fault().Category, FaultCategory::Store);
+  EXPECT_NE(Lines.fault().Message.find("not a widget file"),
+            std::string::npos);
+}
+
+TEST_F(VersionedFileTest, FutureVersionIsATypedStoreFault) {
+  writeRaw(support::versionHeaderLine("extra-widget", 4) + "\n{\"n\":1}\n");
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_FALSE(Lines);
+  EXPECT_EQ(Lines.fault().Category, FaultCategory::Store);
+  EXPECT_NE(Lines.fault().Message.find("reads up to version"),
+            std::string::npos);
+}
+
+TEST_F(VersionedFileTest, WholeFileWriteRoundTrips) {
+  ASSERT_TRUE(support::appendVersionedLine(Path, Fmt, "{\"stale\":true}"));
+  ASSERT_TRUE(
+      support::writeVersionedFile(Path, Fmt, {"{\"n\":1}", "{\"n\":2}"}));
+  auto Lines = support::readVersionedLines(Path, Fmt);
+  ASSERT_TRUE(Lines);
+  EXPECT_EQ(*Lines, (std::vector<std::string>{"{\"n\":1}", "{\"n\":2}"}));
 }
 
 } // namespace

@@ -24,6 +24,12 @@
 //                                      run the persistent discovery service
 //   extra-cli client --socket S <submit|query|suite|status|drain|shutdown>
 //                                      talk to a running service
+//   extra-cli client --socket S export <path>
+//                                      dump the live store as a registry
+//   extra-cli registry build --out F   build a binding registry
+//   extra-cli registry inspect <file>  list a registry's entries
+//   extra-cli compile --registry <file>
+//                                      differential compile-and-execute
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +38,8 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "obs/TraceFile.h"
+#include "registry/Harness.h"
+#include "registry/RegistryBuilder.h"
 #include "search/BatchDriver.h"
 #include "search/Checkpoint.h"
 #include "search/Postmortem.h"
@@ -119,7 +127,27 @@ int usage() {
                "                          [--expect-hits N]\n"
                "                          submit all recorded pairings and\n"
                "                          wait for verdicts\n"
-               "  client --socket S status|drain|shutdown\n");
+               "  client --socket S status|drain|shutdown\n"
+               "  client --socket S export <path>\n"
+               "                          dump the live store's verified\n"
+               "                          pairings as a binding-registry\n"
+               "                          file at a server-side path\n"
+               "  registry build --out FILE [--recorded]\n"
+               "                 [--from-scripts DIR] [--from-memo FILE]\n"
+               "                 [--from-checkpoint FILE]\n"
+               "                          build a binding registry from\n"
+               "                          discovery artifacts (default: the\n"
+               "                          recorded corpus); later sources\n"
+               "                          supersede earlier by pairing key\n"
+               "  registry inspect <file> list a registry file's entries\n"
+               "  compile --registry <file> [--machine i8086|vax|ibm370]\n"
+               "                          compile the demo program twice\n"
+               "                          (registry bindings on vs\n"
+               "                          decomposition-only), execute both\n"
+               "                          on the simulator, require\n"
+               "                          identical final state and report\n"
+               "                          the cost deltas; exit 1 on any\n"
+               "                          divergence\n");
   return 2;
 }
 
@@ -781,6 +809,19 @@ int cmdClient(int argc, char **argv) {
     return R->ok() ? 0 : 1;
   }
 
+  if (Sub == "export") {
+    if (Rest.size() != 1)
+      return usage();
+    obs::Payload P;
+    P.add("cmd", "export");
+    P.add("path", Rest[0]);
+    auto R = Ask("{" + P.rendered().substr(1) + "}");
+    if (!R)
+      return 1;
+    printResponse(*R);
+    return R->ok() ? 0 : 1;
+  }
+
   if (Sub == "submit" || Sub == "query") {
     obs::Payload P;
     P.add("cmd", Sub);
@@ -882,6 +923,152 @@ int cmdClient(int argc, char **argv) {
   return usage();
 }
 
+//===----------------------------------------------------------------------===//
+// registry build | inspect, compile --registry
+//===----------------------------------------------------------------------===//
+
+void printBuildNotes(const std::vector<extra::registry::BuildNote> &Notes) {
+  for (const auto &N : Notes)
+    std::fprintf(stderr, "note: %s: %s\n", N.CaseId.c_str(),
+                 N.Detail.c_str());
+}
+
+int cmdRegistry(int argc, char **argv) {
+  using namespace extra::registry;
+  if (argc < 3)
+    return usage();
+  std::string Sub = argv[2];
+
+  if (Sub == "build") {
+    std::string Out;
+    bool Recorded = false;
+    // (kind, path) in command-line order: later imports supersede
+    // earlier ones per pairing key.
+    std::vector<std::pair<std::string, std::string>> Sources;
+    for (int I = 3; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--out" && I + 1 < argc)
+        Out = argv[++I];
+      else if (Arg == "--recorded")
+        Recorded = true;
+      else if (Arg == "--from-scripts" && I + 1 < argc)
+        Sources.push_back({"scripts", argv[++I]});
+      else if (Arg == "--from-memo" && I + 1 < argc)
+        Sources.push_back({"memo", argv[++I]});
+      else if (Arg == "--from-checkpoint" && I + 1 < argc)
+        Sources.push_back({"checkpoint", argv[++I]});
+      else
+        return usage();
+    }
+    if (Out.empty())
+      return usage();
+    if (Sources.empty())
+      Recorded = true; // No artifact named: the built-in corpus.
+
+    RegistryBuilder B;
+    auto Report = [&](const char *Kind, const Expected<unsigned> &N) {
+      if (!N) {
+        std::fprintf(stderr, "%s import failed: %s\n", Kind,
+                     N.fault().Message.c_str());
+        return false;
+      }
+      std::printf("%-12s %u pairings admitted\n", Kind, *N);
+      return true;
+    };
+    if (Recorded && !Report("recorded", B.addRecordedCases()))
+      return 1;
+    for (const auto &[Kind, Path] : Sources) {
+      Expected<unsigned> N =
+          Kind == "scripts"
+              ? B.importScriptsDir(Path)
+              : Kind == "memo" ? B.importMemoFile(Path)
+                               : B.importCheckpoint(Path);
+      if (!Report(Kind.c_str(), N))
+        return 1;
+    }
+    printBuildNotes(B.notes());
+    auto Saved = B.registry().save(Out);
+    if (!Saved) {
+      std::fprintf(stderr, "%s\n", Saved.fault().Message.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu entries to %s\n", B.registry().size(),
+                Out.c_str());
+    return 0;
+  }
+
+  if (Sub == "inspect") {
+    if (argc < 4)
+      return usage();
+    auto R = Registry::load(argv[3]);
+    if (!R) {
+      std::fprintf(stderr, "%s\n", R.fault().Message.c_str());
+      return 1;
+    }
+    std::printf("%zu entries in %s\n", R->size(), argv[3]);
+    for (const RegistryEntry *E : R->entries()) {
+      std::printf("%s  %-30s %-7s %-10s %-10s %s\n", E->Key.c_str(),
+                  E->AnalysisId.c_str(), E->Machine.c_str(),
+                  E->Op.empty() ? "(no-op)" : E->Op.c_str(),
+                  E->Source.c_str(), analysis::modeName(E->M));
+      for (const std::string &Line : extra::split(E->Constraints, '\n'))
+        if (!Line.empty())
+          std::printf("    %s\n", Line.c_str());
+    }
+    return 0;
+  }
+
+  return usage();
+}
+
+int cmdCompile(int argc, char **argv) {
+  using namespace extra::registry;
+  std::string RegPath, MachineFilter;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--registry" && I + 1 < argc)
+      RegPath = argv[++I];
+    else if (Arg == "--machine" && I + 1 < argc)
+      MachineFilter = argv[++I];
+    else
+      return usage();
+  }
+  if (RegPath.empty())
+    return usage();
+  if (!MachineFilter.empty() && !machineFromName(MachineFilter)) {
+    std::fprintf(stderr, "unknown machine '%s'\n", MachineFilter.c_str());
+    return usage();
+  }
+  auto R = Registry::load(RegPath);
+  if (!R) {
+    std::fprintf(stderr, "%s\n", R.fault().Message.c_str());
+    return 1;
+  }
+
+  bool AllPass = true;
+  for (MachineKind MK : allMachines()) {
+    if (!MachineFilter.empty() && MachineFilter != machineName(MK))
+      continue;
+    std::vector<CompileNote> Notes;
+    DifferentialReport Rep =
+        runDifferential(MK, *R, demoProgram(), demoMemory(), &Notes);
+    std::printf("%s", formatReport(Rep).c_str());
+    for (const CompileNote &N : Notes)
+      std::printf("  note: %s: %s\n", N.CaseId.c_str(), N.Detail.c_str());
+    if (!Rep.passes()) {
+      AllPass = false;
+      std::printf("  FAIL: %s\n",
+                  !Rep.StatesMatch
+                      ? "states diverged"
+                      : (Rep.WithRegistry.Exotic == 0
+                             ? "no exotic emission from the registry"
+                             : "not strictly fewer instruction "
+                               "dispatches"));
+    }
+  }
+  return AllPass ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -923,5 +1110,9 @@ int main(int argc, char **argv) {
     return cmdServe(argc, argv);
   if (!std::strcmp(Cmd, "client"))
     return cmdClient(argc, argv);
+  if (!std::strcmp(Cmd, "registry"))
+    return cmdRegistry(argc, argv);
+  if (!std::strcmp(Cmd, "compile"))
+    return cmdCompile(argc, argv);
   return usage();
 }
