@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# CI perf-smoke gate for the searcher hot path.
+#
+# Runs the 14-pairing discovery report (bench_search_discovery) and
+# compares its suite-level `search.expansions_per_sec` against the
+# committed pre-COW baseline (bench/baselines/search-suite-pre-cow.json,
+# measured before the hash-consed copy-on-write AST layer landed). The
+# gate fails below MIN_RATIO x the stored baseline — default 3, while
+# the PR landed at ~8x, so a CI runner more than twice as slow as the
+# baseline machine still passes and a real regression still fails.
+#
+# The same run also prints the benchExpansionThroughput/{cow,legacy}
+# in-binary A/B (reported informationally): LegacyHotPath reproduces the
+# pre-COW *decision-path* costs — per-attempt and per-child clones,
+# re-walked fingerprints, map-based distances, no caches, inline
+# pre-table verification — but cannot opt out of the arena-allocated
+# node representation itself, so its ratio understates the end-to-end
+# speedup and is not gated.
+#
+# usage: scripts/perf_smoke.sh [build-dir] [min-ratio]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MIN_RATIO="${2:-3}"
+BIN="${BUILD_DIR}/bench/bench_search_discovery"
+BASELINE="$(dirname "$0")/../bench/baselines/search-suite-pre-cow.json"
+
+if [ ! -x "${BIN}" ]; then
+  echo "error: ${BIN} not found (build first)" >&2
+  exit 2
+fi
+if [ ! -f "${BASELINE}" ]; then
+  echo "error: baseline ${BASELINE} not found" >&2
+  exit 2
+fi
+
+TMP=$(mktemp)
+trap 'rm -f "${TMP}"' EXIT
+
+"${BIN}" --benchmark_filter='benchExpansionThroughput' > "${TMP}" 2>&1 ||
+  { cat "${TMP}"; echo "error: bench binary failed" >&2; exit 2; }
+
+counter() { # counter <file-or-grep-source> <name-filter> <counter-key>
+  grep "^BENCH_JSON " "$1" | grep "\"$2\"" |
+    sed "s/.*\"$3\":\([0-9.eE+-]*\).*/\1/" | head -1
+}
+
+FRESH=$(counter "${TMP}" "discoveryReport/suite" "search.expansions_per_sec")
+BASE=$(sed -n 's/.*"search.expansions_per_sec": *\([0-9.]*\).*/\1/p' \
+  "${BASELINE}" | head -1)
+COW=$(counter "${TMP}" "benchExpansionThroughput/cow" \
+  "search.expansions_per_sec")
+LEGACY=$(counter "${TMP}" "benchExpansionThroughput/legacy" \
+  "search.expansions_per_sec")
+
+if [ -z "${FRESH}" ] || [ -z "${BASE}" ]; then
+  cat "${TMP}"
+  echo "error: missing search.expansions_per_sec (suite or baseline)" >&2
+  exit 2
+fi
+
+if [ -n "${COW}" ] && [ -n "${LEGACY}" ]; then
+  awk -v c="${COW}" -v l="${LEGACY}" 'BEGIN {
+    printf "perf-smoke: in-binary A/B cow=%.1f legacy=%.1f exp/s (%.2fx, informational)\n",
+           c, l, (l > 0) ? c / l : 0; }'
+fi
+
+echo "perf-smoke: suite=${FRESH} exp/s, pre-COW baseline=${BASE} exp/s"
+awk -v f="${FRESH}" -v b="${BASE}" -v m="${MIN_RATIO}" 'BEGIN {
+  r = (b > 0) ? f / b : 0;
+  printf "perf-smoke: ratio %.2fx (gate: >= %sx)\n", r, m;
+  exit (r >= m) ? 0 : 1;
+}' || {
+  echo "error: searcher hot path regressed below ${MIN_RATIO}x baseline" >&2
+  exit 1
+}

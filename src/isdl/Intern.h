@@ -1,0 +1,282 @@
+//===- Intern.h - Hash-consed AST arena and COW description handles -*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The searcher's hot path pays `clone + apply + fingerprint` per candidate
+/// (ROADMAP, "hot-path raw speed"). This module is the raw-speed layer under
+/// it:
+///
+///  * `Interner` — a thread-local arena that hash-conses expression and
+///    statement subtrees: structurally equal subtrees are interned to one
+///    shared node, each node's structural hash is memoized at construction,
+///    and a whole-description canonical fingerprint memo answers repeat
+///    fingerprints of structurally identical descriptions without
+///    re-walking them (widening rounds and transposition re-reaches hit
+///    this constantly).
+///
+///  * `FeatureVec` — the structural-distance feature vector as a fixed
+///    array instead of a `std::map<std::string,int>`: building one is a
+///    single allocation-free walk, and the L1 distance is a flat loop.
+///    Slot counts are defined to agree exactly with the legacy map keys
+///    (binary `-` and unary negation share one slot, as the legacy
+///    spelling-keyed map merged them).
+///
+///  * `DescHandle` — a refcounted copy-on-write handle to an immutable
+///    `Description` version. Search nodes hold handles, so a child shares
+///    its untouched side with its parent as a pointer copy; the canonical
+///    fingerprint and the feature vector are computed once per version and
+///    cached on the payload. Mutation goes through `clone()` (materialize
+///    a private deep copy), never through the shared payload.
+///
+/// Thread model: the interner is `thread_local` (each batch worker owns an
+/// arena; no locks on the hot path). `DescHandle` caches use atomics with
+/// idempotent-recompute races, so handles may be read from several threads,
+/// but the payload description itself is immutable once wrapped.
+///
+/// Interner NodeRefs are transient: nothing outside a call chain stores
+/// them, so the arena can be reset when it grows past its soft cap without
+/// invalidating any cached fingerprint *values*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_ISDL_INTERN_H
+#define EXTRA_ISDL_INTERN_H
+
+#include "isdl/AST.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace extra {
+namespace isdl {
+
+//===----------------------------------------------------------------------===//
+// FeatureVec
+//===----------------------------------------------------------------------===//
+
+/// Fixed-slot feature vector of a description's syntactic categories.
+/// `distance` over two of these equals the legacy map-based structural
+/// distance exactly (same categories, same merges).
+struct FeatureVec {
+  enum Slot : unsigned {
+    Routines,
+    Decls,
+    Assign,
+    If,
+    Repeat,
+    Exit,
+    InputArity,
+    OutputArity,
+    Constrain,
+    Assert,
+    Mem,
+    Call,
+    Lit,
+    // Operators, one slot per legacy "op:<spelling>" key. Binary minus
+    // and unary negation share a spelling and therefore a slot.
+    OpAdd,
+    OpSubOrNeg,
+    OpMul,
+    OpDiv,
+    OpAnd,
+    OpOr,
+    OpEq,
+    OpNe,
+    OpLt,
+    OpLe,
+    OpGt,
+    OpGe,
+    OpNot,
+    NumSlots
+  };
+
+  int32_t C[NumSlots] = {0};
+
+  /// One full walk of \p D, no allocations.
+  static FeatureVec of(const Description &D);
+
+  /// L1 distance, the beam's structural-distance signal.
+  unsigned distance(const FeatureVec &O) const {
+    unsigned D = 0;
+    for (unsigned I = 0; I < NumSlots; ++I) {
+      int32_t Diff = C[I] - O.C[I];
+      D += static_cast<unsigned>(Diff < 0 ? -Diff : Diff);
+    }
+    return D;
+  }
+
+  bool operator==(const FeatureVec &O) const {
+    for (unsigned I = 0; I < NumSlots; ++I)
+      if (C[I] != O.C[I])
+        return false;
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Interner
+//===----------------------------------------------------------------------===//
+
+/// Thread-local hash-consing arena over ISDL subtrees, plus the canonical
+/// fingerprint memo keyed by whole-description structural identity.
+class Interner {
+public:
+  using NodeRef = uint32_t;
+  using SymId = uint32_t;
+  static constexpr NodeRef NoNode = ~NodeRef(0);
+
+  /// This thread's arena.
+  static Interner &local();
+
+  /// Interned symbol id of \p S (stable for the arena's lifetime).
+  SymId symbol(const std::string &S);
+  const std::string &symbolName(SymId Id) const { return SymNames[Id]; }
+
+  /// Arena node. `Kids` holds child NodeRefs, except for Input nodes
+  /// where the entries are SymIds of the target names.
+  struct Node {
+    enum class K : uint8_t {
+      IntLit,
+      CharLit,
+      VarRef,
+      MemRef,
+      CallE,
+      Unary,
+      Binary,
+      AssignS,
+      IfS,
+      RepeatS,
+      ExitWhenS,
+      InputS,
+      OutputS,
+      ConstrainS,
+      AssertS,
+      List,
+    };
+    K Kind;
+    uint8_t Op = 0;        ///< Unary/binary operator, when applicable.
+    int64_t Value = 0;     ///< Literal value or SymId payload.
+    uint64_t Hash = 0;     ///< Structural hash, memoized at construction.
+    NodeRef Next = NoNode; ///< Hash-bucket chain.
+    std::vector<NodeRef> Kids;
+  };
+
+  /// Interns a subtree; structurally equal subtrees return the same ref.
+  NodeRef intern(const Expr &E);
+  NodeRef intern(const Stmt &S);
+  NodeRef intern(const StmtList &L);
+
+  const Node &node(NodeRef R) const { return Nodes[R]; }
+
+  /// Structural identity of the whole description (names included): equal
+  /// identities imply equal canonical fingerprints. 64-bit, same collision
+  /// tolerance as the transposition table.
+  uint64_t identity(const Description &D);
+
+  /// Rename-invariant canonical fingerprint, memoized by `identity`. The
+  /// token stream reproduces search::fingerprint's legacy Canonicalizer
+  /// byte for byte, so values are unchanged (MemoStore keys, registry
+  /// dedup keys and recorded traces stay valid).
+  uint64_t canonicalFingerprint(const Description &D);
+
+  /// Nodes currently interned (tests and the soft-cap policy).
+  size_t nodeCount() const { return Nodes.size(); }
+  /// Canonical-fingerprint memo entries answered without a re-walk.
+  uint64_t memoHits() const { return MemoHits; }
+
+  /// Drops the arena, symbol table and memos. Cached fingerprint *values*
+  /// held elsewhere stay valid; only transient NodeRefs die. Called
+  /// automatically past the soft cap.
+  void reset();
+
+private:
+  Interner() = default;
+
+  NodeRef internNode(Node::K Kind, uint8_t Op, int64_t Value,
+                     std::vector<NodeRef> Kids);
+  uint64_t canonicalWalk(const Description &D);
+
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, NodeRef> Buckets;
+  std::unordered_map<std::string, SymId> Syms;
+  std::vector<std::string> SymNames;
+  /// identity -> canonical fingerprint.
+  std::unordered_map<uint64_t, uint64_t> FpMemo;
+  uint64_t MemoHits = 0;
+
+  /// Soft cap on arena size; `intern` resets everything past it. Sized so
+  /// a full 14-pairing batch never trips it in practice.
+  static constexpr size_t SoftNodeCap = 1u << 22;
+};
+
+//===----------------------------------------------------------------------===//
+// DescHandle
+//===----------------------------------------------------------------------===//
+
+/// Refcounted copy-on-write handle to one immutable description version.
+/// Copying a handle is the "refcounted handle copy" the searcher uses to
+/// share a child's untouched side with its parent; `clone()` materializes
+/// a private mutable deep copy for the transform engine.
+class DescHandle {
+public:
+  DescHandle() = default;
+  explicit DescHandle(Description D)
+      : P(std::make_shared<Payload>(std::move(D))) {}
+
+  bool valid() const { return P != nullptr; }
+  const Description &get() const { return P->D; }
+  const Description &operator*() const { return P->D; }
+  const Description *operator->() const { return &P->D; }
+
+  /// Same underlying version (pointer equality) — the short-circuit for
+  /// shared untouched sides.
+  bool same(const DescHandle &O) const { return P == O.P; }
+
+  /// Deep copy for mutation.
+  Description clone() const { return P->D.clone(); }
+
+  /// Moves the description out when this handle is the sole owner, else
+  /// deep-copies. Invalidates this handle.
+  Description take() &&;
+
+  /// Canonical fingerprint, computed once per version (then a load).
+  uint64_t fingerprint() const;
+
+  /// Feature vector, computed once per version (then a load).
+  const FeatureVec &features() const;
+
+  /// Cached-distance entry point: 0 on pointer-equal handles, otherwise
+  /// L1 over the cached feature vectors.
+  static unsigned distance(const DescHandle &A, const DescHandle &B) {
+    if (A.same(B))
+      return 0;
+    return A.features().distance(B.features());
+  }
+
+private:
+  struct Payload {
+    explicit Payload(Description D) : D(std::move(D)) {}
+    Description D;
+    std::atomic<uint64_t> Fp{0};
+    std::atomic<bool> FpReady{false};
+    FeatureVec FV;
+    std::atomic<bool> FVReady{false};
+  };
+  std::shared_ptr<Payload> P;
+};
+
+/// Rename-invariant canonical fingerprint of \p D through the thread-local
+/// interner (memoized). search::fingerprint delegates here.
+uint64_t canonicalFingerprint(const Description &D);
+
+} // namespace isdl
+} // namespace extra
+
+#endif // EXTRA_ISDL_INTERN_H

@@ -7,6 +7,7 @@
 #include "search/Canon.h"
 
 #include "descriptions/Descriptions.h"
+#include "isdl/Intern.h"
 
 #include <cstdio>
 #include <map>
@@ -214,6 +215,10 @@ private:
 } // namespace
 
 uint64_t search::fingerprint(const Description &D) {
+  return isdl::canonicalFingerprint(D);
+}
+
+uint64_t search::fingerprintLegacy(const Description &D) {
   return Canonicalizer(D).run();
 }
 

@@ -48,7 +48,18 @@ namespace search {
 /// `fingerprint(A) == fingerprint(B)`. The converse holds modulo 64-bit
 /// collisions, which the searcher tolerates (a collision can at worst
 /// prune one reachable state).
+///
+/// Computed through the thread-local isdl::Interner: the description is
+/// hash-consed into the arena and repeat fingerprints of structurally
+/// identical descriptions are answered from a memo without re-walking.
+/// Values are identical to fingerprintLegacy — MemoStore keys, registry
+/// dedup keys and recorded traces stay valid.
 uint64_t fingerprint(const isdl::Description &D);
+
+/// The original map-based single-walk fingerprint, kept as the
+/// differential oracle: `fingerprint(D) == fingerprintLegacy(D)` for every
+/// description (tests/intern_test.cpp enforces this over the corpus).
+uint64_t fingerprintLegacy(const isdl::Description &D);
 
 /// Combines the two side fingerprints of a search state into one
 /// transposition-table key. Not commutative: the operator and the

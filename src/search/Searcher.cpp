@@ -11,6 +11,7 @@
 #include "analysis/Priors.h"
 #include "descriptions/Descriptions.h"
 #include "isdl/Equiv.h"
+#include "isdl/Intern.h"
 #include "isdl/Traverse.h"
 #include "search/Canon.h"
 #include "support/StringUtil.h"
@@ -18,7 +19,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_set>
+#include <memory>
+#include <unordered_map>
 
 using namespace extra;
 using namespace extra::search;
@@ -191,7 +193,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct Node {
-  Description Op, Inst;
+  /// Copy-on-write handles to the two sides: a child shares its untouched
+  /// side with its parent (a refcount bump, not a clone), and the handle
+  /// payload caches the side's canonical fingerprint and feature vector.
+  DescHandle Op, Inst;
   uint64_t FpOp = 0, FpInst = 0;
   Script OpScript, InstScript;
   constraint::ConstraintSet Constraints;
@@ -215,17 +220,53 @@ struct SearchContext {
   Clock::time_point Deadline;
   analysis::DiffOptions VerifyOpts;
 
-  /// The closest-to-common-form state seen so far (anytime result). The
-  /// descriptions are cloned only on a strict distance improvement, so
-  /// the cost is a handful of clones per search, not one per node.
+  /// The closest-to-common-form state seen so far (anytime result).
+  /// Handles share the node's versions, so recording an improvement is a
+  /// refcount bump, never a clone.
   struct BestLine {
     bool Valid = false;
-    Description Op, Inst;
+    DescHandle Op, Inst;
     uint64_t FpOp = 0, FpInst = 0;
     unsigned Distance = 0;
     unsigned Depth = 0, Round = 0;
     Script OpScript, InstScript;
+    std::string ViaRule;
+    int ViaSide = 0;
   } Best;
+
+  /// Candidate/proposal enumeration caches. Keyed by the *name-sensitive*
+  /// structural identity from the interner (isdl::Interner::identity), not
+  /// the rename-invariant fingerprint: enumerated steps carry concrete
+  /// routine and operand names, and with score-aware re-opening two
+  /// fingerprint-equal states can differ in fresh-name choices. Widening
+  /// rounds re-expand the same early states, so these hit constantly.
+  /// Bypassed in LegacyHotPath mode.
+  std::unordered_map<uint64_t, std::shared_ptr<const std::vector<Step>>>
+      CandCache;
+  std::unordered_map<uint64_t,
+                     std::shared_ptr<const std::vector<synth::Proposal>>>
+      SynthCache;
+
+  /// Differential-verification memo for deferred single-step checks,
+  /// keyed by (before identity, after identity, step text). Sound because
+  /// the verifier is deterministic — fixed seed, and the constraint set a
+  /// single-step scratch engine hands the verifier is a pure function of
+  /// (before, step). Widening rounds re-reach and re-verify the same
+  /// rewrites; this answers them without re-running the trials. Bypassed
+  /// in LegacyHotPath mode.
+  std::unordered_map<uint64_t, bool> VerifyMemo;
+
+  /// Representation-path helpers honoring the LegacyHotPath A/B flag:
+  /// legacy re-walks the description per call, the COW path answers from
+  /// the handle's per-version caches and the interner's memo.
+  uint64_t fpOf(const DescHandle &H) const {
+    return Limits.LegacyHotPath ? fingerprintLegacy(H.get()) : H.fingerprint();
+  }
+  unsigned distanceOf(const DescHandle &A, const DescHandle &B) const {
+    return Limits.LegacyHotPath
+               ? analysis::structuralDistance(A.get(), B.get())
+               : DescHandle::distance(A, B);
+  }
 
   /// The trace sink (the shared no-op sink when tracing is off, so call
   /// sites guard on enabled() only).
@@ -263,8 +304,8 @@ struct SearchContext {
     if (Best.Valid && N.Distance >= Best.Distance)
       return;
     Best.Valid = true;
-    Best.Op = N.Op.clone();
-    Best.Inst = N.Inst.clone();
+    Best.Op = N.Op;
+    Best.Inst = N.Inst;
     Best.FpOp = N.FpOp;
     Best.FpInst = N.FpInst;
     Best.Distance = N.Distance;
@@ -272,6 +313,8 @@ struct SearchContext {
     Best.Round = Round;
     Best.OpScript = N.OpScript;
     Best.InstScript = N.InstScript;
+    Best.ViaRule = N.ViaRule;
+    Best.ViaSide = N.ViaSide;
   }
 };
 
@@ -397,7 +440,7 @@ bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out,
                  unsigned Depth, unsigned Round, uint64_t Span) {
   ++Ctx.Stats.GoalChecks;
   obs::TraceSink &T = Ctx.trace();
-  MatchResult Match = matchDescriptions(N.Op, N.Inst, Ctx.met(), &T, Span);
+  MatchResult Match = matchDescriptions(*N.Op, *N.Inst, Ctx.met(), &T, Span);
   if (!Match.Matched) {
     if (Ctx.met())
       Ctx.met()->counter("search.goal.fingerprint-collision").add();
@@ -410,7 +453,7 @@ bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out,
   Out.InstructionScript = N.InstScript;
   Out.Binding = Match.Binding;
   Out.Constraints = N.Constraints;
-  analysis::deriveBindingConstraints(N.Op, N.Inst, Match.Binding,
+  analysis::deriveBindingConstraints(*N.Op, *N.Inst, Match.Binding,
                                      Out.Constraints);
   return true;
 }
@@ -418,7 +461,7 @@ bool confirmGoal(const Node &N, SearchContext &Ctx, SearchOutcome &Out,
 /// One beam round at a fixed width. Returns true when a derivation was
 /// found (Out filled in); false on exhaustion of the beam or budgets.
 /// \p RoundIdx and \p SearchSpan place the round in the trace.
-bool beamRound(const Description &Operator, const Description &Instruction,
+bool beamRound(const DescHandle &Operator, const DescHandle &Instruction,
                unsigned Width, SearchContext &Ctx, SearchOutcome &Out,
                unsigned RoundIdx, uint64_t SearchSpan) {
   obs::TraceSink &T = Ctx.trace();
@@ -428,11 +471,11 @@ bool beamRound(const Description &Operator, const Description &Instruction,
   obs::ScopedSpan RoundSpan(T, "round", SearchSpan, std::move(RoundP));
 
   Node Root;
-  Root.Op = Operator.clone();
-  Root.Inst = Instruction.clone();
-  Root.FpOp = fingerprint(Root.Op);
-  Root.FpInst = fingerprint(Root.Inst);
-  Root.Distance = analysis::structuralDistance(Root.Op, Root.Inst);
+  Root.Op = Operator;
+  Root.Inst = Instruction;
+  Root.FpOp = Ctx.fpOf(Root.Op);
+  Root.FpInst = Ctx.fpOf(Root.Inst);
+  Root.Distance = Ctx.distanceOf(Root.Op, Root.Inst);
   Root.Score = Root.Distance;
   Ctx.noteBest(Root, 0, RoundIdx);
   if (T.enabled())
@@ -441,8 +484,16 @@ bool beamRound(const Description &Operator, const Description &Instruction,
       confirmGoal(Root, Ctx, Out, 0, RoundIdx, RoundSpan.id()))
     return true;
 
-  std::unordered_set<uint64_t> Seen;
-  Seen.insert(pairKey(Root.FpOp, Root.FpInst));
+  // Score-aware transposition table: the best (shortest) total script
+  // length that has reached each canonical pair state. Fingerprint-equal
+  // states have equal structural distance, so comparing total script
+  // length is exactly comparing beam score — a state re-reached strictly
+  // cheaper re-opens instead of being pruned as a duplicate, keeping the
+  // cheapest line to every canonical state (the scasb postmortem showed
+  // the first-reached representative's continuation being score-cut while
+  // the cheaper line was discarded as a duplicate).
+  std::unordered_map<uint64_t, unsigned> Seen;
+  Seen.emplace(pairKey(Root.FpOp, Root.FpInst), 0u);
 
   std::vector<Node> Frontier;
   Frontier.push_back(std::move(Root));
@@ -473,18 +524,41 @@ bool beamRound(const Description &Operator, const Description &Instruction,
                                  std::move(ExpandP));
 
       for (int Side = 0; Side < 2 && !Goal; ++Side) {
-        const Description &Cur = Side == 0 ? N.Op : N.Inst;
-        const Description &Oth = Side == 0 ? N.Inst : N.Op;
+        const DescHandle &Cur = Side == 0 ? N.Op : N.Inst;
+        const DescHandle &Oth = Side == 0 ? N.Inst : N.Op;
+
+        // Verification deferred out of the engine for single-step
+        // candidates: the step and its apply result, checked in MakeChild
+        // only after the transposition lookup keeps the child.
+        struct DeferredVerify {
+          const Step &S;
+          const transform::ApplyResult &R;
+        };
+        // Set by MakeChild when the deferred verifier rejected the child;
+        // the caller must not retry the macro variant (it would fail the
+        // same differential check).
+        bool ChildVerifyRejected = false;
 
         // Turns a successfully applied candidate sequence into a beam
         // child; returns true when the child is the goal (Out filled).
-        auto MakeChild = [&](transform::Engine &Scratch,
-                             Script AppliedSteps) -> bool {
-          Description NewDesc = Scratch.takeDescription();
-          uint64_t NewFp = fingerprint(NewDesc);
+        auto MakeChild = [&](transform::Engine &Scratch, Script AppliedSteps,
+                             const DeferredVerify *DV) -> bool {
+          // The engine's current version as a shared handle: no deep copy
+          // leaves the engine, and the fingerprint computed here is cached
+          // on the version for every later re-reach.
+          DescHandle NewH = Scratch.currentHandle();
+          uint64_t NewFp = Ctx.fpOf(NewH);
           uint64_t Key = Side == 0 ? pairKey(NewFp, N.FpInst)
                                    : pairKey(N.FpOp, NewFp);
-          if (!Seen.insert(Key).second) {
+          unsigned NewLen = static_cast<unsigned>(
+              N.OpScript.size() + N.InstScript.size() + AppliedSteps.size());
+          // Score-aware transposition check: fingerprint-equal states have
+          // equal structural distance, so "strictly cheaper" reduces to a
+          // strictly shorter total script. Equal-or-longer re-reaches are
+          // pruned as before; strictly shorter ones re-open the state.
+          auto SeenIt = Seen.find(Key);
+          bool Known = SeenIt != Seen.end();
+          if (Known && NewLen >= SeenIt->second) {
             ++Ctx.Stats.HashHits;
             if (Ctx.met())
               Ctx.met()->counter("search.prune.duplicate-fingerprint").add();
@@ -503,17 +577,102 @@ bool beamRound(const Description &Operator, const Description &Instruction,
                                Side == 0 ? "operator" : "instruction"));
             return false;
           }
+          // Differential verification, deferred to after the transposition
+          // lookup: a duplicate child never pays the trials (they decide
+          // nothing — the child is discarded either way), and a rejected
+          // child never touches the table, exactly as when the verifier
+          // ran inside the engine. Only single-step candidates defer (DV
+          // set); synthesized proposals verified inline, step by step.
+          if (DV && Ctx.Limits.VerifyTrials > 0) {
+            // The verifier is deterministic (fixed trial seed) and the
+            // scratch engine's constraint set is a pure function of
+            // (before, step), so the verdict for a (before, after, step)
+            // triple never changes — memo it. Widening rounds re-derive
+            // the same rewrites from re-expanded parents; the memo answers
+            // those without re-running the trials. Keyed by interned
+            // identities (name-sensitive, unlike the rename-invariant
+            // fingerprints). Legacy A/B mode re-runs every check.
+            bool Verdict;
+            uint64_t VKey = 0;
+            bool UseMemo = !Ctx.Limits.LegacyHotPath;
+            auto MemoIt = Ctx.VerifyMemo.end();
+            if (UseMemo) {
+              Interner &I = Interner::local();
+              VKey = pairKey(pairKey(I.identity(*Cur), I.identity(*NewH)),
+                             std::hash<std::string>{}(DV->S.str()));
+              MemoIt = Ctx.VerifyMemo.find(VKey);
+            }
+            if (UseMemo && MemoIt != Ctx.VerifyMemo.end()) {
+              Verdict = MemoIt->second;
+              if (Ctx.met())
+                Ctx.met()->counter("search.verify.memo_hit").add();
+            } else {
+              transform::StepVerifier Verify = analysis::makeStepVerifier(
+                  Scratch.constraints(), Ctx.VerifyOpts);
+              transform::StepObservation Obs{DV->S, *Cur, *NewH, DV->R.Effect,
+                                             DV->R.Adapter};
+              std::string Error;
+              Verdict = Verify(Obs, Error);
+              if (UseMemo)
+                Ctx.VerifyMemo.emplace(VKey, Verdict);
+            }
+            if (!Verdict) {
+              ChildVerifyRejected = true;
+              ++Ctx.Stats.DeadEnds;
+              if (Ctx.met())
+                Ctx.met()->counter("search.prune.verify-reject").add();
+              if (T.enabled())
+                T.event("prune", ExpandSpan.id(),
+                        obs::Payload()
+                            .add("reason", "verify-reject")
+                            .add("depth", Depth)
+                            .add("round", RoundIdx)
+                            .addHex("fp_op", N.FpOp)
+                            .addHex("fp_inst", N.FpInst)
+                            .add("rule", DV->S.Rule)
+                            .add("side",
+                                 Side == 0 ? "operator" : "instruction"));
+              return false;
+            }
+          }
+          if (!Known) {
+            Seen.emplace(Key, NewLen);
+          } else {
+            SeenIt->second = NewLen;
+            ++Ctx.Stats.Reopened;
+            if (Ctx.met())
+              Ctx.met()->counter("search.reopen.cheaper-line").add();
+            if (T.enabled())
+              T.event("reopen", ExpandSpan.id(),
+                      obs::Payload()
+                          .add("depth", Depth)
+                          .add("round", RoundIdx)
+                          .addHex("fp_op", Side == 0 ? NewFp : N.FpOp)
+                          .addHex("fp_inst", Side == 0 ? N.FpInst : NewFp)
+                          .add("steps", NewLen)
+                          .add("rule", AppliedSteps.empty()
+                                           ? std::string("?")
+                                           : AppliedSteps.front().Rule)
+                          .add("side",
+                               Side == 0 ? "operator" : "instruction"));
+          }
           ++Ctx.Stats.NodesGenerated;
 
           Node Child;
+          // The untouched side is shared with the parent: a handle copy
+          // in COW mode (its cached fingerprint and features ride along),
+          // a deep copy in the legacy A/B mode.
           if (Side == 0) {
-            Child.Op = std::move(NewDesc);
-            Child.Inst = N.Inst.clone();
+            Child.Op = std::move(NewH);
+            Child.Inst = Ctx.Limits.LegacyHotPath
+                             ? DescHandle(N.Inst.clone())
+                             : N.Inst;
             Child.FpOp = NewFp;
             Child.FpInst = N.FpInst;
           } else {
-            Child.Op = N.Op.clone();
-            Child.Inst = std::move(NewDesc);
+            Child.Op = Ctx.Limits.LegacyHotPath ? DescHandle(N.Op.clone())
+                                                : N.Op;
+            Child.Inst = std::move(NewH);
             Child.FpOp = N.FpOp;
             Child.FpInst = NewFp;
           }
@@ -527,16 +686,17 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           for (const constraint::Constraint &C :
                Scratch.constraints().items())
             Child.Constraints.add(C);
-          Child.Distance =
-              analysis::structuralDistance(Child.Op, Child.Inst);
+          Child.Distance = Ctx.distanceOf(Child.Op, Child.Inst);
           Child.Score = Child.Distance +
                         Ctx.Limits.LengthLambda *
                             (Child.OpScript.size() + Child.InstScript.size());
-          Ctx.noteBest(Child, Depth, RoundIdx);
-          if (T.enabled() && !AppliedSteps.empty()) {
+          // Rule attribution before noteBest and unconditionally: the
+          // best-line report carries it even with tracing off.
+          if (!AppliedSteps.empty()) {
             Child.ViaRule = AppliedSteps.front().Rule;
             Child.ViaSide = Side;
           }
+          Ctx.noteBest(Child, Depth, RoundIdx);
 
           if (Child.FpOp == Child.FpInst &&
               confirmGoal(Child, Ctx, Out, Depth, RoundIdx, ExpandSpan.id()))
@@ -555,26 +715,61 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           // candidate would swamp the trace with refusals; the searcher's
           // own prune/frontier events carry the interesting outcomes.
           Scratch.setMetrics(Ctx.met());
+          // The legacy A/B mode reproduces the pre-COW cost model: every
+          // attempt pays its own clone, no thread-local scratch reuse.
+          if (Ctx.Limits.LegacyHotPath)
+            Scratch.setScratchReuse(false);
           if (Ctx.Limits.VerifyTrials > 0)
             Scratch.setVerifier(analysis::makeStepVerifier(
                 Scratch.constraints(), Ctx.VerifyOpts));
         };
 
-        // Single-step candidates, tried in the order the recorded
-        // derivations make likeliest after this side's previous rule.
-        std::vector<Step> Cands = enumerateCandidates(
-            Cur, Oth, /*CurrentIsInstruction=*/Side == 1);
+        // Single-step candidates. Enumeration depends only on this side's
+        // concrete text, the side flag, and whether the other side still
+        // has an output, so the pool is cached across re-reaches and
+        // widening rounds, keyed by name-sensitive structural identity
+        // (the steps carry concrete routine/operand names, so the
+        // rename-invariant fingerprint would be an unsound key).
+        bool OthHasOutput = hasOutput(*Oth);
+        std::shared_ptr<const std::vector<Step>> Cands;
+        if (Ctx.Limits.LegacyHotPath) {
+          Cands = std::make_shared<const std::vector<Step>>(
+              enumerateCandidates(*Cur, *Oth,
+                                  /*CurrentIsInstruction=*/Side == 1));
+        } else {
+          uint64_t CandKey =
+              pairKey(Interner::local().identity(*Cur),
+                      (Side == 1 ? 2u : 0u) | (OthHasOutput ? 1u : 0u));
+          auto It = Ctx.CandCache.find(CandKey);
+          if (It == Ctx.CandCache.end())
+            It = Ctx.CandCache
+                     .emplace(CandKey,
+                              std::make_shared<const std::vector<Step>>(
+                                  enumerateCandidates(
+                                      *Cur, *Oth,
+                                      /*CurrentIsInstruction=*/Side == 1)))
+                     .first;
+          Cands = It->second;
+        }
+        // Try in the order the recorded derivations make likeliest after
+        // this side's previous rule. The pool is shared, so sort an index
+        // over it rather than copying the steps.
+        std::vector<const Step *> Ordered;
+        Ordered.reserve(Cands->size());
+        for (const Step &S : *Cands)
+          Ordered.push_back(&S);
         {
           const Script &Prior = Side == 0 ? N.OpScript : N.InstScript;
           const std::string Prev =
               Prior.empty() ? std::string() : Prior.back().Rule;
-          std::stable_sort(Cands.begin(), Cands.end(),
-                           [&](const Step &A, const Step &B) {
-                             return Priors.bigram(Prev, A.Rule) >
-                                    Priors.bigram(Prev, B.Rule);
+          std::stable_sort(Ordered.begin(), Ordered.end(),
+                           [&](const Step *A, const Step *B) {
+                             return Priors.bigram(Prev, A->Rule) >
+                                    Priors.bigram(Prev, B->Rule);
                            });
         }
-        for (Step &S : Cands) {
+        for (const Step *SP : Ordered) {
+          const Step &S = *SP;
           ++Ctx.Stats.CandidatesTried;
           // In-expansion deadline checkpoint (every 8 candidates): a
           // single frontier node tries hundreds of candidates, each one
@@ -588,9 +783,31 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           // macro child (Variant 1); the plain child stays in the pool
           // so no single-step path is lost.
           int Variants = S.Rule == "fix-operand-value" ? 2 : 1;
+          ChildVerifyRejected = false;
           for (int Variant = 0; Variant < Variants; ++Variant) {
-            transform::Engine Scratch(Cur.clone());
-            InitScratch(Scratch);
+            // COW scratch engine: shares the node's version until a rule
+            // actually applies. The legacy A/B path pays the pre-COW
+            // per-candidate construction clone.
+            transform::Engine Scratch =
+                Ctx.Limits.LegacyHotPath
+                    ? transform::Engine(Cur.clone())
+                    : transform::Engine(Cur);
+            Scratch.setMetrics(Ctx.met());
+            if (Ctx.Limits.LegacyHotPath)
+              Scratch.setScratchReuse(false);
+            // The plain variant defers differential verification into
+            // MakeChild (after the transposition lookup); the macro
+            // variant keeps applying steps through the engine, so it
+            // verifies inline as each lands. The legacy A/B mode always
+            // verifies inline — the pre-COW ordering paid the trials on
+            // every applied child, duplicates included, before the table
+            // could prune them. Survival is order-independent (a child
+            // enters the beam iff it verifies and is not a duplicate),
+            // so outcomes stay identical either way.
+            bool InlineVerify = Variant == 1 || Ctx.Limits.LegacyHotPath;
+            if (InlineVerify && Ctx.Limits.VerifyTrials > 0)
+              Scratch.setVerifier(analysis::makeStepVerifier(
+                  Scratch.constraints(), Ctx.VerifyOpts));
             transform::ApplyResult R = Scratch.apply(S);
             if (!R.Applied) {
               ++Ctx.Stats.DeadEnds;
@@ -617,10 +834,14 @@ bool beamRound(const Description &Operator, const Description &Instruction,
             Script AppliedSteps{S};
             if (Variant == 1)
               pinAndSimplify(Scratch, S, AppliedSteps, &Ctx);
-            if (MakeChild(Scratch, std::move(AppliedSteps))) {
+            DeferredVerify DV{S, R};
+            if (MakeChild(Scratch, std::move(AppliedSteps),
+                          InlineVerify ? nullptr : &DV)) {
               Goal = true;
               break;
             }
+            if (ChildVerifyRejected)
+              break; // The macro variant would fail the same check.
           }
           if (Goal)
             break;
@@ -633,15 +854,40 @@ bool beamRound(const Description &Operator, const Description &Instruction,
         // atomically — a refused step discards the whole proposal — and
         // every applied step still passes the differential verifier, so
         // a synthesized candidate enters the beam only verified.
-        for (synth::Proposal &Prop : synth::synthesizeProposals(
-                 Cur, Oth, /*CurrentIsInstruction=*/Side == 1,
-                 Priors.vocabulary(), Ctx.met())) {
+        // Synthesis reads both sides, so the cache key combines both
+        // identities (again name-sensitive: proposals carry names).
+        std::shared_ptr<const std::vector<synth::Proposal>> Props;
+        if (Ctx.Limits.LegacyHotPath) {
+          Props = std::make_shared<const std::vector<synth::Proposal>>(
+              synth::synthesizeProposals(*Cur, *Oth,
+                                         /*CurrentIsInstruction=*/Side == 1,
+                                         Priors.vocabulary(), Ctx.met()));
+        } else {
+          Interner &I = Interner::local();
+          uint64_t SynthKey = pairKey(
+              pairKey(I.identity(*Cur), I.identity(*Oth)), Side == 1 ? 1 : 0);
+          auto It = Ctx.SynthCache.find(SynthKey);
+          if (It == Ctx.SynthCache.end())
+            It = Ctx.SynthCache
+                     .emplace(
+                         SynthKey,
+                         std::make_shared<const std::vector<synth::Proposal>>(
+                             synth::synthesizeProposals(
+                                 *Cur, *Oth,
+                                 /*CurrentIsInstruction=*/Side == 1,
+                                 Priors.vocabulary(), Ctx.met())))
+                     .first;
+          Props = It->second;
+        }
+        for (const synth::Proposal &Prop : *Props) {
           if (Prop.Steps.empty())
             continue;
           ++Ctx.Stats.CandidatesTried;
           if ((Ctx.Stats.CandidatesTried & 7) == 0 && Ctx.exhausted())
             return false;
-          transform::Engine Scratch(Cur.clone());
+          transform::Engine Scratch =
+              Ctx.Limits.LegacyHotPath ? transform::Engine(Cur.clone())
+                                       : transform::Engine(Cur);
           InitScratch(Scratch);
           Script AppliedSteps;
           bool AllApplied = true;
@@ -667,7 +913,7 @@ bool beamRound(const Description &Operator, const Description &Instruction,
           // cleanup rules so the child lands on the tidy form.
           if (Augmenting)
             simplifyToFixpoint(Scratch, AppliedSteps, &Ctx);
-          if (MakeChild(Scratch, std::move(AppliedSteps))) {
+          if (MakeChild(Scratch, std::move(AppliedSteps), nullptr)) {
             Goal = true;
             break;
           }
@@ -744,6 +990,12 @@ SearchOutcome search::searchDerivation(const Description &Operator,
   }
   obs::ScopedSpan SearchSpan(T, "search", 0, std::move(SearchP));
 
+  // One clone per side per search: every beam round shares the root
+  // versions through these handles, and their fingerprints and feature
+  // vectors are computed once here rather than once per round.
+  DescHandle OperatorH(Operator.clone());
+  DescHandle InstructionH(Instruction.clone());
+
   Clock::time_point Start = Clock::now();
   unsigned Width = std::max(1u, Limits.BeamWidth);
   unsigned LastWidth = Width;
@@ -756,7 +1008,7 @@ SearchOutcome search::searchDerivation(const Description &Operator,
     // typed fault on the outcome — the search never rethrows, and the
     // best partial line survives the abort.
     try {
-      Found = beamRound(Operator, Instruction, Width, Ctx, Out, Round,
+      Found = beamRound(OperatorH, InstructionH, Width, Ctx, Out, Round,
                         SearchSpan.id());
     } catch (const FaultError &FE) {
       Out.SearchFault = FE.fault();
@@ -801,7 +1053,9 @@ SearchOutcome search::searchDerivation(const Description &Operator,
       Out.Partial.Round = Ctx.Best.Round;
       Out.Partial.OperatorScript = Ctx.Best.OpScript;
       Out.Partial.InstructionScript = Ctx.Best.InstScript;
-      MatchResult M = matchDescriptions(Ctx.Best.Op, Ctx.Best.Inst);
+      Out.Partial.ViaRule = Ctx.Best.ViaRule;
+      Out.Partial.ViaSide = Ctx.Best.ViaSide;
+      MatchResult M = matchDescriptions(*Ctx.Best.Op, *Ctx.Best.Inst);
       Out.Partial.Divergence = M.Divergence;
       if (T.enabled()) {
         obs::Payload P;
@@ -815,6 +1069,10 @@ SearchOutcome search::searchDerivation(const Description &Operator,
             .add("steps_inst",
                  static_cast<uint64_t>(
                      Out.Partial.InstructionScript.size()));
+        if (!Out.Partial.ViaRule.empty())
+          P.add("rule", Out.Partial.ViaRule)
+              .add("side",
+                   Out.Partial.ViaSide == 0 ? "operator" : "instruction");
         if (Out.Partial.Divergence.Valid)
           P.add("routine_a", Out.Partial.Divergence.RoutineA)
               .add("routine_b", Out.Partial.Divergence.RoutineB)
@@ -835,6 +1093,8 @@ SearchOutcome search::searchDerivation(const Description &Operator,
     Ctx.met()->counter(Found ? "search.found" : "search.failed").add();
     Ctx.met()->counter("search.nodes_expanded").add(Ctx.Stats.NodesExpanded);
     Ctx.met()->counter("search.hash_hits").add(Ctx.Stats.HashHits);
+    if (Ctx.Stats.Reopened)
+      Ctx.met()->counter("search.reopened").add(Ctx.Stats.Reopened);
   }
   Out.Stats = Ctx.Stats;
   return Out;

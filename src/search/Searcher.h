@@ -16,10 +16,18 @@
 ///
 /// The search is an iteratively *widening* beam search over two-sided
 /// states (a step may apply to either the operator or the instruction
-/// copy). Revisited states are pruned in O(1) through a transposition
-/// table keyed by the rename-invariant canonical fingerprint (Canon.h),
-/// so detours that differ only in fresh-name choices or step order
-/// collapse. Every applied candidate passes the engine's applicability
+/// copy). Revisited states are pruned in O(1) through a *score-aware*
+/// transposition table keyed by the rename-invariant canonical
+/// fingerprint (Canon.h): detours that differ only in fresh-name choices
+/// or step order collapse, but a state re-reached by a strictly shorter
+/// script re-opens (fingerprint-equal states have equal structural
+/// distance, so comparing total script length is comparing score) — the
+/// cheapest line to each canonical state survives, not the first one.
+/// Search states hold copy-on-write isdl::DescHandles: a child shares its
+/// untouched side with its parent, fingerprints and feature vectors are
+/// cached per description version, and the per-candidate scratch engine
+/// clones only when a rule actually applies. Every applied candidate
+/// passes the engine's applicability
 /// checks and (optionally) a cheap per-node differential verification;
 /// a discovered script is then re-verified end to end through
 /// analysis::runAnalysis with full trial counts before being reported.
@@ -94,6 +102,15 @@ struct SearchLimits {
   /// watchdog uses this to bound cases whose between-expansion deadline
   /// check is starved by one long expansion.
   std::atomic<bool> *Cancel = nullptr;
+  /// Differential/benchmark mode: run the hot path the way the pre-COW
+  /// searcher did — a deep copy of the untouched side per child, a fresh
+  /// full-walk fingerprint per state (fingerprintLegacy), map-based
+  /// structural distance, a cloned description per scratch engine, and no
+  /// enumeration caches. Search *behavior* is identical (the differential
+  /// suite asserts it); only the representation cost differs. This is the
+  /// baseline side of the in-binary perf A/B gate, so the ≥3x CI check is
+  /// machine-independent.
+  bool LegacyHotPath = false;
 };
 
 /// Observability counters for one search (aggregated over widening
@@ -103,6 +120,10 @@ struct SearchStats {
   uint64_t NodesGenerated = 0;  ///< Children that applied successfully.
   uint64_t CandidatesTried = 0; ///< Candidate steps attempted.
   uint64_t HashHits = 0;        ///< Transposition-table prunes.
+  /// States re-reached by a strictly shorter script and re-opened instead
+  /// of pruned (the score-aware transposition table keeps the cheapest
+  /// line to each canonical state).
+  uint64_t Reopened = 0;
   uint64_t DeadEnds = 0;        ///< Candidates refused or failing verify.
   uint64_t GoalChecks = 0;      ///< Full common-form confirmations run.
   unsigned Rounds = 0;          ///< Beam rounds used (1 = no widening).
@@ -137,6 +158,12 @@ struct PartialLine {
   unsigned Round = 0;         ///< Widening round where it was generated.
   transform::Script OperatorScript;
   transform::Script InstructionScript;
+  /// Rule attribution of the step burst that produced the best state:
+  /// the driving rule and the side it applied to (0 = operator, 1 =
+  /// instruction). Empty/0 for the root state. Recorded unconditionally,
+  /// not only when tracing.
+  std::string ViaRule;
+  int ViaSide = 0;
   /// Where the best state still diverges (matchDescriptions re-run on
   /// the preserved state at failure time).
   isdl::DivergenceReport Divergence;

@@ -9,7 +9,37 @@
 #include "isdl/Traverse.h"
 #include "support/FaultInjection.h"
 
+#include <cassert>
 #include <chrono>
+
+namespace {
+
+/// One reusable working copy per thread, keyed by the version it was
+/// cloned from. The handle keeps that version's payload alive, so a
+/// pointer-equality key can never alias a recycled allocation.
+struct ScratchSlot {
+  extra::isdl::DescHandle For;
+  extra::isdl::Description Buf;
+  bool Valid = false;
+  /// Set while an apply is running; a reentrant apply on the same thread
+  /// (a verifier driving its own engine) must not steal the buffer out
+  /// from under the outer rule.
+  bool Busy = false;
+};
+
+ScratchSlot &scratchSlot() {
+  static thread_local ScratchSlot Slot;
+  return Slot;
+}
+
+struct BusyGuard {
+  explicit BusyGuard(ScratchSlot &S) : S(S), Prev(S.Busy) { S.Busy = true; }
+  ~BusyGuard() { S.Busy = Prev; }
+  ScratchSlot &S;
+  bool Prev;
+};
+
+} // namespace
 
 using namespace extra;
 using namespace extra::transform;
@@ -138,7 +168,8 @@ std::string Step::str() const {
   return Out;
 }
 
-Engine::Engine(Description Initial) : Desc(std::move(Initial)) {}
+Engine::Engine(Description Initial) : Cur(DescHandle(std::move(Initial))) {}
+Engine::Engine(DescHandle Initial) : Cur(std::move(Initial)) {}
 
 ApplyResult Engine::apply(const Step &S) {
   // Observability: time and classify every attempt. The disabled path
@@ -175,17 +206,45 @@ ApplyResult Engine::apply(const Step &S) {
     return R;
   }
 
-  // Work on a copy so a refused or failed application leaves the session
-  // state untouched, so the verifier can compare before/after, and so
-  // undo() can restore it.
-  Description Before = Desc.clone();
+  // Copy-on-write: the rule mutates a private working copy of the current
+  // version. A refused or failed application just discards the copy — the
+  // published version is immutable, so there is nothing to restore — and
+  // on success the old version survives in the log as a shared handle.
+  //
+  // Scratch reuse: the working copy lives in a thread-local slot keyed by
+  // the version it was cloned from. Under the rules' refusal-purity
+  // contract (Transformation::apply) a refused attempt leaves the copy
+  // equal to the version, so the next attempt on the same version skips
+  // the clone entirely — in a refusal-dominated searcher loop that is
+  // almost every attempt. The slot holds a handle to its source version,
+  // so the payload cannot be freed and recycled under the cache (no ABA),
+  // and a busy flag drops to a local clone on reentrant applies (e.g. a
+  // verifier that runs an engine of its own on this thread).
+  ScratchSlot &SB = scratchSlot();
+  bool Reusing = ScratchReuse && !SB.Busy;
+  Description WorkLocal;
+  if (Reusing) {
+    if (!SB.Valid || !SB.For.same(Cur)) {
+      SB.Buf = Cur.clone();
+      SB.For = Cur;
+      SB.Valid = true;
+      if (Met)
+        Met->counter("transform.scratch.clone").add();
+    } else if (Met) {
+      Met->counter("transform.scratch.reuse").add();
+    }
+  } else {
+    WorkLocal = Cur.clone();
+  }
+  Description &Work = Reusing ? SB.Buf : WorkLocal;
+  BusyGuard Busy(SB);
   size_t ConstraintsBefore = Constraints.size();
-  TransformContext Ctx{Desc, S.Routine, S.Args, &Constraints};
+  TransformContext Ctx{Work, S.Routine, S.Args, &Constraints};
 
   // Fault containment: a rule that throws (a genuine bug, or an injected
   // fault) must not take the session down or leave a half-rewritten
   // description behind. The exception is converted to a typed failure and
-  // the pre-step snapshot restored, exactly like a refusal.
+  // the half-rewritten working copy dropped, exactly like a refusal.
   ApplyResult R;
   try {
     // Fault-injection site: a rule implementation crashing mid-rewrite.
@@ -194,14 +253,17 @@ ApplyResult Engine::apply(const Step &S) {
                                  "injected fault: rule-apply"));
     R = T->apply(Ctx);
   } catch (const FaultError &FE) {
-    Desc = std::move(Before);
+    // The rule may have died mid-rewrite: the buffer is unusable.
+    if (Reusing)
+      SB.Valid = false;
     ApplyResult F = ApplyResult::failure("rule '" + S.Rule +
                                          "' faulted: " + FE.fault().Message);
     F.Category = FE.fault().Category;
     Finish(F, "faulted");
     return F;
   } catch (const std::exception &E) {
-    Desc = std::move(Before);
+    if (Reusing)
+      SB.Valid = false;
     ApplyResult F =
         ApplyResult::failure("rule '" + S.Rule + "' faulted: " + E.what());
     F.Category = FaultCategory::RuleApplication;
@@ -209,16 +271,22 @@ ApplyResult Engine::apply(const Step &S) {
     return F;
   }
   if (!R.Applied) {
-    Desc = std::move(Before);
+    // Refusal-purity contract: the working copy still equals the current
+    // version, so the slot stays valid for the next attempt. The debug
+    // check compares name-sensitive structural identities.
+    assert(!Reusing || isdl::Interner::local().identity(Work) ==
+                           isdl::Interner::local().identity(Cur.get()));
     Finish(R, "refused");
     return R;
   }
 
   if (Verifier) {
     std::string Error;
-    StepObservation Obs{S, Before, Desc, R.Effect, R.Adapter};
+    StepObservation Obs{S, Cur.get(), Work, R.Effect, R.Adapter};
     if (!Verifier(Obs, Error)) {
-      Desc = std::move(Before);
+      // The rewrite happened; the buffer no longer matches the version.
+      if (Reusing)
+        SB.Valid = false;
       ApplyResult F = ApplyResult::failure(
           "step verification failed for '" + S.Rule + "': " + Error);
       Finish(F, "verify-reject");
@@ -226,8 +294,10 @@ ApplyResult Engine::apply(const Step &S) {
     }
   }
 
-  Log.push_back({S, R.Effect, R.Note, std::move(Before),
-                 ConstraintsBefore});
+  Log.push_back({S, R.Effect, R.Note, Cur, ConstraintsBefore});
+  Cur = DescHandle(std::move(Work));
+  if (Reusing)
+    SB.Valid = false; // Moved out; the slot holds a husk.
   Finish(R, "applied");
   return R;
 }
@@ -235,7 +305,7 @@ ApplyResult Engine::apply(const Step &S) {
 bool Engine::undo() {
   if (Log.empty())
     return false;
-  Desc = std::move(Log.back().Before);
+  Cur = std::move(Log.back().Before);
   Constraints.truncate(Log.back().ConstraintsBefore);
   Log.pop_back();
   return true;

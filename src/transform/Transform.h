@@ -26,6 +26,7 @@
 
 #include "constraint/Constraint.h"
 #include "isdl/AST.h"
+#include "isdl/Intern.h"
 #include "isdl/Traverse.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -139,6 +140,18 @@ public:
   const std::string &description() const { return Desc; }
 
   /// Verifies applicability and applies, mutating the description.
+  ///
+  /// Refusal-purity contract: a rule that returns a failure must leave
+  /// `Ctx.Desc` exactly as it found it — all applicability checks run
+  /// before the first mutation (check-then-mutate). The engine's scratch
+  /// reuse depends on this: a refused attempt keeps the working copy for
+  /// the next candidate instead of re-cloning, so a rule that mutated
+  /// before refusing would leak the partial rewrite into later attempts.
+  /// Throwing mid-rewrite is fine (the engine discards the working copy
+  /// on any exception); constraint-set additions before a refusal are
+  /// also fine (the engine never rolled those back). Debug builds assert
+  /// the contract on every refusal; tests/intern_test.cpp sweeps it over
+  /// the corpus.
   virtual ApplyResult apply(TransformContext &Ctx) const = 0;
 
 private:
@@ -204,9 +217,21 @@ using StepVerifier = std::function<bool(const StepObservation &,
 
 /// Applies scripted steps to a working copy of a description, keeping a
 /// log and the constraint set. This is the EXTRA session object.
+///
+/// The session state is a copy-on-write handle to an immutable description
+/// version. apply() clones the current version once into a private working
+/// copy, lets the rule mutate that, and on success publishes it as the new
+/// current version while the log keeps the *handle* to the old one — so a
+/// refusal discards the working copy with nothing to restore, undo() is a
+/// refcount swap instead of a deep copy, and an Engine constructed from a
+/// shared DescHandle (the searcher's per-candidate scratch engine) costs no
+/// clone at all until a rule actually applies.
 class Engine {
 public:
   explicit Engine(isdl::Description Initial);
+  /// Shares \p Initial with the caller: no copy is made until a step
+  /// applies (the searcher constructs one scratch engine per candidate).
+  explicit Engine(isdl::DescHandle Initial);
 
   /// Verifies and applies one step. On failure the description is left
   /// unchanged and the failure reason is returned in the result.
@@ -216,8 +241,10 @@ public:
   /// number of successfully applied steps.
   size_t applyScript(const Script &S, std::string *FirstError = nullptr);
 
-  const isdl::Description &current() const { return Desc; }
-  isdl::Description takeDescription() { return std::move(Desc); }
+  const isdl::Description &current() const { return Cur.get(); }
+  /// The current version as a shareable handle (no copy).
+  const isdl::DescHandle &currentHandle() const { return Cur; }
+  isdl::Description takeDescription() { return std::move(Cur).take(); }
   const constraint::ConstraintSet &constraints() const { return Constraints; }
   size_t stepsApplied() const { return Log.size(); }
 
@@ -225,9 +252,9 @@ public:
     Step S;
     SemanticsEffect Effect;
     std::string Note;
-    /// Snapshot for undo: the description before the step and the
-    /// constraint-set size before it.
-    isdl::Description Before;
+    /// Snapshot for undo: a handle to the pre-step version (shared, not
+    /// copied) and the constraint-set size before the step.
+    isdl::DescHandle Before;
     size_t ConstraintsBefore = 0;
   };
   const std::vector<LogEntry> &log() const { return Log; }
@@ -240,6 +267,14 @@ public:
   /// Installs a per-step verifier (differential semantic check).
   void setVerifier(StepVerifier V) { Verifier = std::move(V); }
 
+  /// Scratch reuse (default on): apply() keeps one thread-local working
+  /// copy alive across attempts, so a refused candidate costs a rule
+  /// match but no clone — the next attempt on the same version reuses
+  /// the buffer under the rules' refusal-purity contract (see
+  /// Transformation::apply). The searcher's legacy A/B mode turns this
+  /// off to reproduce the pre-COW per-attempt clone cost.
+  void setScratchReuse(bool On) { ScratchReuse = On; }
+
   /// Observability hooks, both optional and non-owning. With metrics
   /// installed, apply() records per-rule apply/refuse counters and the
   /// apply latency histogram; with a trace sink, every attempt emits a
@@ -251,9 +286,10 @@ public:
   }
 
 private:
-  isdl::Description Desc;
+  isdl::DescHandle Cur;
   constraint::ConstraintSet Constraints;
   std::vector<LogEntry> Log;
+  bool ScratchReuse = true;
   StepVerifier Verifier;
   obs::Metrics *Met = nullptr;
   obs::TraceSink *Trace = nullptr;
