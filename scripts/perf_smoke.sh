@@ -72,5 +72,17 @@ awk -v f="${FRESH}" -v b="${BASE}" -v m="${MIN_RATIO}" 'BEGIN {
   exit (r >= m) ? 0 : 1;
 }' || {
   echo "error: searcher hot path regressed below ${MIN_RATIO}x baseline" >&2
+  # Attribution: name which benchmark and which phase counter moved,
+  # not just the one gated ratio. The committed BENCH_*.json is the old
+  # side; this run's summary lines are the new side.
+  CLI="${BUILD_DIR}/tools/extra-cli"
+  COMMITTED=$(ls "$(dirname "$0")"/../BENCH_*.json 2>/dev/null | head -1)
+  if [ -x "${CLI}" ] && [ -n "${COMMITTED}" ]; then
+    grep '^BENCH_JSON ' "${TMP}" | sed 's/^BENCH_JSON //' > "${TMP}.new" ||
+      true
+    echo "perf-smoke: regression attribution vs $(basename "${COMMITTED}"):"
+    "${CLI}" benchdiff "${COMMITTED}" "${TMP}.new" || true
+    rm -f "${TMP}.new"
+  fi
   exit 1
 }

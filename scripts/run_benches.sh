@@ -32,7 +32,7 @@ if [ -z "${BENCHES}" ]; then
 fi
 
 TMP=$(mktemp)
-trap 'rm -f "${TMP}"' EXIT
+trap 'rm -f "${TMP}" "${TMP}.lines"' EXIT
 
 : > "${OUT}"
 STATUS=0
@@ -54,7 +54,34 @@ for B in ${BENCHES}; do
   fi
   # grep exits 1 on a suite that emits no summaries; that is not an
   # error (some suites are report-only).
-  grep '^BENCH_JSON ' "${TMP}" | sed 's/^BENCH_JSON //' >> "${OUT}" || true
+  grep '^BENCH_JSON ' "${TMP}" | sed 's/^BENCH_JSON //' > "${TMP}.lines" ||
+    true
+  # Schema check before admission: every summary line must be a one-line
+  # JSON object carrying the four required keys with numeric iterations
+  # and ns_per_op. A malformed line names its binary and fails the
+  # script — a torn or drifted emitter must not poison the summary that
+  # benchdiff and the perf gate consume.
+  LINENO_IN_BENCH=0
+  while IFS= read -r LINE; do
+    LINENO_IN_BENCH=$((LINENO_IN_BENCH + 1))
+    [ -z "${LINE}" ] && continue
+    OK=1
+    case "${LINE}" in
+      \{*\}) ;;
+      *) OK=0 ;;
+    esac
+    echo "${LINE}" | grep -q '"bench":"[^"]*"' || OK=0
+    echo "${LINE}" | grep -q '"name":"[^"]*"' || OK=0
+    echo "${LINE}" | grep -Eq '"iterations":[0-9]+' || OK=0
+    echo "${LINE}" | grep -Eq '"ns_per_op":[0-9]+(\.[0-9eE+-]+)?' || OK=0
+    if [ "${OK}" -ne 1 ]; then
+      echo "error: ${NAME}: BENCH_JSON line ${LINENO_IN_BENCH} fails the" \
+           "schema (bench/name/iterations/ns_per_op): ${LINE}" >&2
+      STATUS=1
+    fi
+  done < "${TMP}.lines"
+  cat "${TMP}.lines" >> "${OUT}"
+  rm -f "${TMP}.lines"
 done
 
 echo "collected $(wc -l < "${OUT}") benchmark summaries -> ${OUT}"

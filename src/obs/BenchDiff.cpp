@@ -1,0 +1,195 @@
+//===- BenchDiff.cpp - Bench regression attribution -------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchDiff.h"
+
+#include "obs/TraceFile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace extra;
+using namespace extra::obs;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Why) {
+  if (Error)
+    *Error = Why;
+  return false;
+}
+
+} // namespace
+
+std::optional<BenchRecord> obs::parseBenchLine(const std::string &Line,
+                                               std::string *Error) {
+  // Split the nested counters object out so the flat parser can handle
+  // both halves. Counter values are plain numbers, so the first '}'
+  // after the opening brace closes the object.
+  std::string Outer = Line;
+  std::string Inner;
+  size_t CPos = Outer.find("\"counters\":{");
+  if (CPos != std::string::npos) {
+    size_t Open = Outer.find('{', CPos);
+    size_t Close = Outer.find('}', Open);
+    if (Close == std::string::npos) {
+      fail(Error, "unterminated counters object");
+      return std::nullopt;
+    }
+    Inner = Outer.substr(Open, Close - Open + 1);
+    // Remove `,"counters":{...}` (or the leading form) from the outer
+    // object, keeping it valid flat JSON.
+    size_t EraseBegin = CPos > 0 && Outer[CPos - 1] == ',' ? CPos - 1 : CPos;
+    size_t EraseEnd = Close + 1;
+    if (EraseBegin == CPos && EraseEnd < Outer.size() &&
+        Outer[EraseEnd] == ',')
+      ++EraseEnd;
+    Outer.erase(EraseBegin, EraseEnd - EraseBegin);
+  }
+
+  auto Obj = parseJsonObjectLine(Outer);
+  if (!Obj) {
+    fail(Error, "not a flat JSON object");
+    return std::nullopt;
+  }
+  BenchRecord R;
+  auto Require = [&](const char *Key, std::string &Out) {
+    auto It = Obj->find(Key);
+    if (It == Obj->end() || It->second.empty())
+      return false;
+    Out = It->second;
+    return true;
+  };
+  std::string Iter, Ns;
+  if (!Require("bench", R.Bench) || !Require("name", R.Name) ||
+      !Require("iterations", Iter) || !Require("ns_per_op", Ns)) {
+    fail(Error, "missing required key (bench/name/iterations/ns_per_op)");
+    return std::nullopt;
+  }
+  R.Iterations = std::strtoull(Iter.c_str(), nullptr, 10);
+  R.NsPerOp = std::strtod(Ns.c_str(), nullptr);
+
+  if (!Inner.empty()) {
+    auto Counters = parseJsonObjectLine(Inner);
+    if (!Counters) {
+      fail(Error, "malformed counters object");
+      return std::nullopt;
+    }
+    for (const auto &[K, V] : *Counters)
+      R.Counters[K] = std::strtod(V.c_str(), nullptr);
+  }
+  return R;
+}
+
+std::optional<std::vector<BenchRecord>> obs::readBenchFile(std::istream &In,
+                                                           std::string *Error) {
+  std::vector<BenchRecord> Out;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::string Why;
+    auto R = parseBenchLine(Line, &Why);
+    if (!R) {
+      fail(Error, "line " + std::to_string(LineNo) + ": " + Why);
+      return std::nullopt;
+    }
+    Out.push_back(std::move(*R));
+  }
+  return Out;
+}
+
+BenchDiffReport obs::diffBenches(const std::vector<BenchRecord> &Old,
+                                 const std::vector<BenchRecord> &New,
+                                 double Threshold) {
+  BenchDiffReport Rep;
+  std::map<std::string, const BenchRecord *> OldByKey, NewByKey;
+  for (const BenchRecord &R : Old)
+    OldByKey[R.key()] = &R;
+  for (const BenchRecord &R : New)
+    NewByKey[R.key()] = &R;
+
+  for (const auto &[Key, R] : OldByKey) {
+    (void)R;
+    if (!NewByKey.count(Key))
+      Rep.OnlyOld.push_back(Key);
+  }
+  for (const auto &[Key, R] : NewByKey) {
+    (void)R;
+    if (!OldByKey.count(Key))
+      Rep.OnlyNew.push_back(Key);
+  }
+
+  auto Consider = [&](const std::string &Key, const std::string &Metric,
+                      double OldV, double NewV) {
+    if (OldV == 0 && NewV == 0)
+      return;
+    double Rel = OldV != 0 ? std::fabs(NewV - OldV) / std::fabs(OldV) : 1.0;
+    if (Rel <= Threshold)
+      return;
+    Rep.Moved.push_back({Key, Metric, OldV, NewV});
+  };
+
+  for (const auto &[Key, OldR] : OldByKey) {
+    auto It = NewByKey.find(Key);
+    if (It == NewByKey.end())
+      continue;
+    const BenchRecord &NewR = *It->second;
+    ++Rep.Compared;
+    Consider(Key, "ns_per_op", OldR->NsPerOp, NewR.NsPerOp);
+    for (const auto &[CName, OldV] : OldR->Counters) {
+      auto CIt = NewR.Counters.find(CName);
+      if (CIt != NewR.Counters.end())
+        Consider(Key, CName, OldV, CIt->second);
+    }
+  }
+
+  std::stable_sort(Rep.Moved.begin(), Rep.Moved.end(),
+                   [](const BenchDelta &A, const BenchDelta &B) {
+                     auto Mag = [](const BenchDelta &D) {
+                       double R = D.ratio();
+                       return R > 0 ? std::fabs(std::log(R)) : 1e9;
+                     };
+                     return Mag(A) > Mag(B);
+                   });
+  return Rep;
+}
+
+std::string BenchDiffReport::str() const {
+  std::string Out;
+  char Buf[256];
+  if (!anyMovement()) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "benchdiff: no movement across %u compared benchmarks\n",
+                  Compared);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "benchdiff: %zu metric(s) moved across %u compared "
+                "benchmark(s)\n",
+                Moved.size(), Compared);
+  Out += Buf;
+  if (!Moved.empty()) {
+    std::snprintf(Buf, sizeof(Buf), "  %-44s %-32s %14s %14s %8s\n",
+                  "benchmark", "metric", "old", "new", "ratio");
+    Out += Buf;
+    for (const BenchDelta &D : Moved) {
+      std::snprintf(Buf, sizeof(Buf), "  %-44s %-32s %14.3f %14.3f %7.2fx\n",
+                    D.Key.c_str(), D.Metric.c_str(), D.Old, D.New, D.ratio());
+      Out += Buf;
+    }
+  }
+  for (const std::string &K : OnlyOld)
+    Out += "  only in old: " + K + "\n";
+  for (const std::string &K : OnlyNew)
+    Out += "  only in new: " + K + "\n";
+  return Out;
+}

@@ -1,0 +1,143 @@
+//===- Exposition.cpp - Prometheus-style metrics exposition -----*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Exposition.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace extra;
+using namespace extra::obs;
+
+std::string obs::prometheusName(const std::string &Name) {
+  std::string Out = "extra_";
+  Out.reserve(Out.size() + Name.size());
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+namespace {
+
+void appendSample(std::string &Out, const std::string &Prom,
+                  const std::string &Labels, double Value) {
+  char Buf[64];
+  // %.17g round-trips doubles; counters stay integral in practice.
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  Out += Prom;
+  Out += Labels;
+  Out += ' ';
+  Out += Buf;
+  Out += '\n';
+}
+
+std::string nameLabel(const std::string &Name) {
+  return "{name=\"" + jsonEscape(Name) + "\"}";
+}
+
+} // namespace
+
+std::string obs::prometheusText(const Metrics &M) {
+  std::string Out;
+  for (const auto &[Name, Value] : M.counters()) {
+    std::string Prom = prometheusName(Name);
+    Out += "# TYPE " + Prom + " counter\n";
+    appendSample(Out, Prom, nameLabel(Name), double(Value));
+  }
+  for (const auto &[Name, S] : M.histograms()) {
+    std::string Prom = prometheusName(Name);
+    std::string Label = jsonEscape(Name);
+    Out += "# TYPE " + Prom + " summary\n";
+    appendSample(Out, Prom,
+                 "{name=\"" + Label + "\",quantile=\"0.5\"}", double(S.P50));
+    appendSample(Out, Prom,
+                 "{name=\"" + Label + "\",quantile=\"0.9\"}", double(S.P90));
+    appendSample(Out, Prom,
+                 "{name=\"" + Label + "\",quantile=\"0.99\"}", double(S.P99));
+    appendSample(Out, Prom + "_count", nameLabel(Name), double(S.Count));
+    appendSample(Out, Prom + "_sum", nameLabel(Name), double(S.Sum));
+  }
+  return Out;
+}
+
+namespace {
+
+bool isNameStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == ':';
+}
+bool isNameChar(char C) {
+  return isNameStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+bool fail(std::string *Error, size_t LineNo, const std::string &Why) {
+  if (Error)
+    *Error = "line " + std::to_string(LineNo) + ": " + Why;
+  return false;
+}
+
+} // namespace
+
+bool obs::validateExposition(const std::string &Text,
+                             std::map<std::string, double> &Samples,
+                             std::string *Error) {
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    size_t I = 0;
+    if (!isNameStart(Line[I]))
+      return fail(Error, LineNo, "sample does not start with a metric name");
+    while (I < Line.size() && isNameChar(Line[I]))
+      ++I;
+    std::string Key = Line.substr(0, I);
+
+    if (I < Line.size() && Line[I] == '{') {
+      size_t Close = Line.find('}', I);
+      if (Close == std::string::npos)
+        return fail(Error, LineNo, "unterminated label set");
+      // Labels must be key="value" pairs; a quote audit is enough to
+      // catch truncated output without re-implementing the grammar.
+      std::string Labels = Line.substr(I, Close - I + 1);
+      size_t Quotes = 0;
+      for (char C : Labels)
+        if (C == '"')
+          ++Quotes;
+      if (Quotes == 0 || Quotes % 2 != 0)
+        return fail(Error, LineNo, "malformed label set " + Labels);
+      Key += Labels;
+      I = Close + 1;
+    }
+
+    if (I >= Line.size() || Line[I] != ' ')
+      return fail(Error, LineNo, "expected space before sample value");
+    ++I;
+    const char *Start = Line.c_str() + I;
+    char *ValEnd = nullptr;
+    double Value = std::strtod(Start, &ValEnd);
+    if (ValEnd == Start || *ValEnd != '\0')
+      return fail(Error, LineNo,
+                  "unparseable sample value '" + Line.substr(I) + "'");
+    Samples[Key] = Value;
+  }
+  if (Samples.empty())
+    return fail(Error, LineNo, "exposition contains no samples");
+  return true;
+}

@@ -1,0 +1,54 @@
+//===- Exposition.h - Prometheus-style metrics exposition -------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the `obs::Metrics` registry as Prometheus text exposition
+/// (version 0.0.4) so external scrapers can consume the discovery
+/// service without speaking the line-JSON protocol. Metric names keep
+/// the registry taxonomy under an `extra_` prefix with the characters
+/// Prometheus rejects (dots, dashes) folded to underscores; the
+/// original registry name rides along as a `name` label so nothing is
+/// lost in the folding. Histograms are exposed summary-style: `_count`,
+/// `_sum`, and `quantile`-labelled samples from the log2-bucket
+/// estimates.
+///
+/// `validateExposition` is the other half of the contract: a strict
+/// line-grammar check used by tests and the obs-smoke CI job to assert
+/// that what the server serves actually parses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_OBS_EXPOSITION_H
+#define EXTRA_OBS_EXPOSITION_H
+
+#include <map>
+#include <string>
+
+namespace extra {
+namespace obs {
+
+class Metrics;
+
+/// Folds a registry metric name into the Prometheus identifier charset:
+/// `extra_` prefix, `[a-zA-Z0-9_:]` body, everything else becomes '_'.
+std::string prometheusName(const std::string &Name);
+
+/// The full registry as Prometheus text exposition. Deterministic:
+/// sorted by name, counters first, then histogram summaries.
+std::string prometheusText(const Metrics &M);
+
+/// Strictly parses a text exposition: every line is a comment (`# ...`)
+/// or `name{labels} value`. On success returns true and fills \p
+/// Samples with `name{labels}` -> value. On failure returns false and
+/// sets \p Error to `line N: <reason>`.
+bool validateExposition(const std::string &Text,
+                        std::map<std::string, double> &Samples,
+                        std::string *Error);
+
+} // namespace obs
+} // namespace extra
+
+#endif // EXTRA_OBS_EXPOSITION_H

@@ -16,11 +16,18 @@
 ///   rule.apply.<rule>            per-rule successful applications
 ///   rule.refuse.<rule>           per-rule applicability refusals
 ///   transform.apply_ns           latency of one Engine::apply
+///   transform.scratch.reuse      COW applies served by the thread-local
+///                                scratch working copy (clone-free)
+///   transform.scratch.clone      COW applies that had to clone
 ///   verify.pass / verify.fail    differential step verifications
 ///   verify.ns                    latency of one differential check
 ///   match.attempt / match.success / match.fail.<cause>
 ///   search.prune.<reason>        score-cutoff | duplicate-fingerprint |
 ///                                verify-reject
+///   search.verify.memo_hit       verifications answered by the
+///                                deterministic verdict memo
+///   search.reopen.cheaper-line   transposition re-opens by a strictly
+///                                shorter script
 ///   search.beam.children         children generated per depth
 ///   search.beam.occupancy        frontier size after truncation
 ///   synth.proposal.<kind>        proposals generated per kind
@@ -31,6 +38,9 @@
 ///                                the cross-run memo store
 ///   server.job_wall_ms           per-job wall time on a service worker
 ///   server.store.put_fault       memo appends lost to store faults
+///   server.progress.watchers     `watch` subscriptions accepted
+///   server.progress.ticks        progress tick lines pushed to watchers
+///   server.progress.disconnects  watchers that vanished mid-stream
 ///
 /// Adding a counter is one line at the instrumentation site:
 /// `if (M) M->counter("my.metric").add();` — registration is implicit

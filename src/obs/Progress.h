@@ -1,0 +1,148 @@
+//===- Progress.h - Lock-free live progress publication ---------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live-telemetry half of a running search: the searcher publishes a
+/// small snapshot of its beam state once per depth, and samplers (the
+/// job watchdog thread, the service's `watch` streaming loop) read it
+/// without ever blocking the search.
+///
+/// The publication is a seqlock: a version counter goes odd while the
+/// writer stores the fields and even (release) when the snapshot is
+/// consistent; readers retry until they see the same even version on
+/// both sides of their field loads. The writer never waits, never
+/// allocates, and never takes a lock — the hot-path cost is one relaxed
+/// store per field once per *depth*, which is noise next to the
+/// thousands of candidate applications a depth performs. There is
+/// exactly one writer (the searching thread); `setRate` and `markDone`
+/// write dedicated slots and may be called from other threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_OBS_PROGRESS_H
+#define EXTRA_OBS_PROGRESS_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <optional>
+
+namespace extra {
+namespace obs {
+
+/// One consistent view of a running search, as published at the end of a
+/// beam depth. `BestDistance` is UINT64_MAX until a best line exists.
+struct ProgressSnapshot {
+  uint64_t Seq = 0; ///< Publication count (0 = nothing published yet).
+  uint64_t Depth = 0;
+  uint64_t Round = 0;
+  uint64_t Frontier = 0; ///< Beam occupancy after truncation.
+  uint64_t Expanded = 0;
+  uint64_t Generated = 0;
+  uint64_t HashHits = 0;  ///< Transposition-table prunes.
+  uint64_t MemoHits = 0;  ///< Verification-memo answers.
+  uint64_t Reopened = 0;  ///< Cheaper-line re-opens.
+  uint64_t BestDistance = UINT64_MAX;
+  /// Expansions per second, computed by the watchdog sampler from
+  /// Expanded deltas (0 until the first sample interval elapses).
+  double ExpansionsPerSec = 0;
+  bool Done = false;
+
+  /// Fraction of generated-or-pruned children answered by the table.
+  double hashHitRate() const {
+    uint64_t Denom = Generated + HashHits;
+    return Denom ? static_cast<double>(HashHits) / Denom : 0.0;
+  }
+};
+
+/// Single-writer seqlock publisher. The searcher holds a non-owning
+/// pointer (SearchLimits::Progress, null when nobody watches); the
+/// service's WorkQueue owns one per job so watchers can attach before
+/// the job is claimed.
+class ProgressPublisher {
+public:
+  /// Publishes a consistent snapshot (writer thread only). Seq, rate,
+  /// and Done are managed internally; the caller fills the beam fields.
+  void publish(const ProgressSnapshot &S) {
+    uint64_t V = Version.load(std::memory_order_relaxed);
+    Version.store(V + 1, std::memory_order_relaxed);
+    // The odd version must be visible before any field store.
+    std::atomic_thread_fence(std::memory_order_release);
+    Field[0].store(S.Depth, std::memory_order_relaxed);
+    Field[1].store(S.Round, std::memory_order_relaxed);
+    Field[2].store(S.Frontier, std::memory_order_relaxed);
+    Field[3].store(S.Expanded, std::memory_order_relaxed);
+    Field[4].store(S.Generated, std::memory_order_relaxed);
+    Field[5].store(S.HashHits, std::memory_order_relaxed);
+    Field[6].store(S.MemoHits, std::memory_order_relaxed);
+    Field[7].store(S.Reopened, std::memory_order_relaxed);
+    Field[8].store(S.BestDistance, std::memory_order_relaxed);
+    Seq.fetch_add(1, std::memory_order_relaxed);
+    Version.store(V + 2, std::memory_order_release);
+  }
+
+  /// A consistent snapshot, or nullopt when nothing was published yet.
+  /// Retries while a publish is in flight (bounded in practice: the
+  /// writer's critical section is nine relaxed stores).
+  std::optional<ProgressSnapshot> read() const {
+    for (;;) {
+      uint64_t V1 = Version.load(std::memory_order_acquire);
+      if (V1 == 0)
+        return std::nullopt;
+      if (V1 & 1)
+        continue; // A publish is in flight.
+      ProgressSnapshot S;
+      S.Depth = Field[0].load(std::memory_order_relaxed);
+      S.Round = Field[1].load(std::memory_order_relaxed);
+      S.Frontier = Field[2].load(std::memory_order_relaxed);
+      S.Expanded = Field[3].load(std::memory_order_relaxed);
+      S.Generated = Field[4].load(std::memory_order_relaxed);
+      S.HashHits = Field[5].load(std::memory_order_relaxed);
+      S.MemoHits = Field[6].load(std::memory_order_relaxed);
+      S.Reopened = Field[7].load(std::memory_order_relaxed);
+      S.BestDistance = Field[8].load(std::memory_order_relaxed);
+      S.Seq = Seq.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (Version.load(std::memory_order_relaxed) == V1) {
+        S.ExpansionsPerSec =
+            std::bit_cast<double>(RateBits.load(std::memory_order_relaxed));
+        S.Done = DoneFlag.load(std::memory_order_acquire);
+        return S;
+      }
+    }
+  }
+
+  /// The running expansion count without snapshot consistency — what
+  /// the watchdog sampler diffs to compute the rate.
+  uint64_t expandedNow() const {
+    return Field[3].load(std::memory_order_relaxed);
+  }
+
+  /// Publication count so far (ticks can dedupe on it).
+  uint64_t seq() const { return Seq.load(std::memory_order_relaxed); }
+
+  /// Writes the sampled expansions/sec (any thread).
+  void setRate(double PerSec) {
+    RateBits.store(std::bit_cast<uint64_t>(PerSec),
+                   std::memory_order_relaxed);
+  }
+
+  /// Marks the job finished; late readers see Done on every snapshot.
+  void markDone() { DoneFlag.store(true, std::memory_order_release); }
+  bool done() const { return DoneFlag.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<uint64_t> Version{0};
+  std::atomic<uint64_t> Field[9] = {};
+  std::atomic<uint64_t> Seq{0};
+  std::atomic<uint64_t> RateBits{0};
+  std::atomic<bool> DoneFlag{false};
+};
+
+} // namespace obs
+} // namespace extra
+
+#endif // EXTRA_OBS_PROGRESS_H

@@ -47,17 +47,44 @@ Attempt runAttempt(const BatchCase &C, const SearchLimits &Limits,
   std::thread Monitor;
   if (ExternalCancel)
     L.Cancel = ExternalCancel;
-  if (Watchdog) {
-    L.Cancel = Cancel;
+  // The monitor thread doubles as the telemetry sampler: when the job
+  // carries a ProgressPublisher, each 20ms tick diffs the published
+  // expansion count and writes expansions/sec into the publisher's rate
+  // slot (the searcher itself never reads a clock for telemetry). It
+  // runs whenever there is a watchdog to arm or a publisher to sample.
+  obs::ProgressPublisher *Progress = L.Progress;
+  if (Watchdog || Progress) {
+    if (Watchdog)
+      L.Cancel = Cancel;
     uint64_t DeadlineMs = L.TimeBudgetMs + L.TimeBudgetMs / 2 + 1000;
-    Monitor = std::thread([Cancel, &Done, &WatchdogFired, DeadlineMs]() {
+    Monitor = std::thread([Cancel, &Done, &WatchdogFired, DeadlineMs,
+                           Watchdog, Progress]() {
       Clock::time_point Deadline =
           Clock::now() + std::chrono::milliseconds(DeadlineMs);
+      Clock::time_point WindowStart = Clock::now();
+      uint64_t WindowExpanded = Progress ? Progress->expandedNow() : 0;
+      bool Armed = Watchdog;
       while (!Done.load(std::memory_order_acquire)) {
-        if (Clock::now() >= Deadline) {
+        if (Armed && Clock::now() >= Deadline) {
           WatchdogFired.store(true, std::memory_order_release);
           Cancel->store(true, std::memory_order_release);
-          break;
+          Armed = false;
+          if (!Progress)
+            break;
+        }
+        if (Progress) {
+          Clock::time_point Now = Clock::now();
+          double ElapsedS =
+              std::chrono::duration<double>(Now - WindowStart).count();
+          // ~250ms windows: long enough to smooth the 20ms tick noise,
+          // short enough to track a widening round kicking in.
+          if (ElapsedS >= 0.25) {
+            uint64_t Expanded = Progress->expandedNow();
+            Progress->setRate(
+                double(Expanded - WindowExpanded) / ElapsedS);
+            WindowStart = Now;
+            WindowExpanded = Expanded;
+          }
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
       }
@@ -160,6 +187,10 @@ JobExecution search::executeJob(const BatchCase &C, const JobPolicy &Policy) {
   E.FaultMessage = std::move(Kept.FaultMessage);
   E.Retried = Retried;
   E.WallMs = Kept.WallMs;
+  // After the retry decision: a degraded second attempt reuses the same
+  // publisher, so Done must not be raised between attempts.
+  if (Policy.Limits.Progress)
+    Policy.Limits.Progress->markDone();
   return E;
 }
 

@@ -42,6 +42,7 @@
 
 #include "analysis/Analysis.h"
 #include "obs/Metrics.h"
+#include "obs/Progress.h"
 #include "obs/Trace.h"
 #include "support/Error.h"
 #include "transform/Transform.h"
@@ -102,6 +103,14 @@ struct SearchLimits {
   /// watchdog uses this to bound cases whose between-expansion deadline
   /// check is starved by one long expansion.
   std::atomic<bool> *Cancel = nullptr;
+  /// Live progress publication (optional, non-owning). When set, the
+  /// search publishes one lock-free ProgressSnapshot at the end of each
+  /// beam depth — depth, frontier occupancy, expansion counts, best
+  /// partial distance, hit rates — which the job watchdog samples for
+  /// expansions/sec and the service's `watch` verb streams to clients.
+  /// The hot-path cost is exactly one relaxed seqlock publish per depth;
+  /// null (the default) costs one branch per depth.
+  obs::ProgressPublisher *Progress = nullptr;
   /// Differential/benchmark mode: run the hot path the way the pre-COW
   /// searcher did — a deep copy of the untouched side per child, a fresh
   /// full-walk fingerprint per state (fingerprintLegacy), map-based
@@ -120,6 +129,9 @@ struct SearchStats {
   uint64_t NodesGenerated = 0;  ///< Children that applied successfully.
   uint64_t CandidatesTried = 0; ///< Candidate steps attempted.
   uint64_t HashHits = 0;        ///< Transposition-table prunes.
+  /// Per-node verifications answered by the deterministic verdict memo
+  /// instead of fresh differential trials.
+  uint64_t VerifyMemoHits = 0;
   /// States re-reached by a strictly shorter script and re-opened instead
   /// of pruned (the score-aware transposition table keeps the cheapest
   /// line to each canonical state).

@@ -43,3 +43,34 @@ Expected<Response> Client::request(const std::string &Line) {
   R.Fields = std::move(*Fields);
   return R;
 }
+
+Expected<Response> Client::requestStream(
+    const std::string &Line,
+    const std::function<bool(const Response &)> &OnTick) {
+  if (!writeLine(Fd, Line))
+    return makeFault(FaultCategory::Protocol,
+                     "connection lost while sending request");
+  for (;;) {
+    auto Raw = readLine(Fd, Buf);
+    if (!Raw)
+      return makeFault(FaultCategory::Protocol,
+                       "connection closed mid-stream");
+    auto Fields = obs::parseJsonObjectLine(*Raw);
+    if (!Fields)
+      return makeFault(FaultCategory::Protocol,
+                       "malformed stream line: " + *Raw);
+    Response R;
+    R.Raw = std::move(*Raw);
+    R.Fields = std::move(*Fields);
+    // Tick lines carry "done":false and no "ok"; the final response is
+    // a normal ok/fault line.
+    if (R.Fields.count("ok"))
+      return R;
+    if (!OnTick(R)) {
+      ::close(Fd);
+      Fd = -1;
+      return makeFault(FaultCategory::Protocol,
+                       "watch abandoned by the caller");
+    }
+  }
+}

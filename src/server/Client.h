@@ -17,6 +17,7 @@
 
 #include "support/Error.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +51,15 @@ public:
   /// when the connection drops or the response is not a flat JSON
   /// object.
   Expected<Response> request(const std::string &Line);
+
+  /// The streaming variant for `watch`: sends one request line, then
+  /// invokes \p OnTick for every intermediate line (those without an
+  /// "ok" field) until the final response arrives, which is returned.
+  /// OnTick returning false stops reading early (the caller is done
+  /// watching) and closes the connection.
+  Expected<Response>
+  requestStream(const std::string &Line,
+                const std::function<bool(const Response &)> &OnTick);
 
 private:
   explicit Client(int Fd) : Fd(Fd) {}

@@ -28,6 +28,10 @@ const char *server::cmdName(Request::Cmd C) {
     return "shutdown";
   case Request::Cmd::Export:
     return "export";
+  case Request::Cmd::Metrics:
+    return "metrics";
+  case Request::Cmd::Watch:
+    return "watch";
   }
   return "?";
 }
@@ -59,6 +63,10 @@ Expected<Request> server::parseRequest(const std::string &Line) {
     R.C = Request::Cmd::Shutdown;
   else if (Cmd == "export")
     R.C = Request::Cmd::Export;
+  else if (Cmd == "metrics")
+    R.C = Request::Cmd::Metrics;
+  else if (Cmd == "watch")
+    R.C = Request::Cmd::Watch;
   else if (Cmd.empty())
     return Protocol("request carries no \"cmd\"");
   else
@@ -90,6 +98,18 @@ Expected<Request> server::parseRequest(const std::string &Line) {
       return Protocol(std::string(cmdName(R.C)) +
                       " needs \"case\" or \"operator\"+\"instruction\"");
   }
+
+  R.Format = Get("format");
+  if (R.C == Request::Cmd::Metrics && !R.Format.empty() &&
+      R.Format != "json" && R.Format != "prom")
+    return Protocol("unknown metrics format '" + R.Format +
+                    "' (\"json\" or \"prom\")");
+
+  std::string Job = Get("job");
+  if (!Job.empty())
+    R.JobId = std::strtoull(Job.c_str(), nullptr, 10);
+  if (R.C == Request::Cmd::Watch && R.JobId == 0 && R.CaseId.empty())
+    return Protocol("watch needs a \"job\" id or a \"case\"");
   return R;
 }
 

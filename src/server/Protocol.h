@@ -7,7 +7,7 @@
 /// \file
 /// The wire protocol of the discovery service: one flat JSON object per
 /// line in each direction, parsed with the same dependency-free reader
-/// as traces and checkpoints (obs::parseJsonObjectLine). Five requests:
+/// as traces and checkpoints (obs::parseJsonObjectLine). The requests:
 ///
 ///   {"cmd":"submit","operator":ID,"instruction":ID[,"mode":"base"|
 ///    "extension"]["case":LABEL]["wait":true]["priority":N]}
@@ -16,11 +16,24 @@
 ///   {"cmd":"query","case":RECORDED-CASE-ID}
 ///   {"cmd":"status"}   {"cmd":"drain"}   {"cmd":"shutdown"}
 ///   {"cmd":"export","path":FILE}
+///   {"cmd":"metrics"[,"format":"json"|"prom"]}
+///   {"cmd":"watch","job":ID}   {"cmd":"watch","case":CASE-ID}
 ///
 /// `export` dumps the store's verified pairings as a binding-registry
 /// file (src/registry format) at a server-side path, answering
 /// `{"ok":true,"path":...,"exported":N,"skipped":M}` — the bridge from
 /// the discovery service to a deployable code-generator registry.
+///
+/// `metrics` serializes the live registry — every counter and histogram
+/// snapshot — as an escaped text block: `{"ok":true,"format":"json",
+/// "metrics":"<escaped Metrics::json()>"}`, or the Prometheus text
+/// exposition (obs/Exposition.h) when `"format":"prom"`.
+///
+/// `watch` is the one *streaming* verb: the server pushes one flat JSON
+/// tick line per progress sample (`"done":false`) and finishes with a
+/// normal `"ok"` response carrying the job's record. A transport that
+/// cannot push (the in-process handle() without a callback) degrades to
+/// answering one snapshot.
 ///
 /// Responses always carry `"ok":true|false`; failures add `"error"` and
 /// `"category"` (the spelled FaultCategory — protocol violations are
@@ -52,7 +65,16 @@ namespace server {
 
 /// A parsed request line.
 struct Request {
-  enum class Cmd { Submit, Query, Status, Drain, Shutdown, Export };
+  enum class Cmd {
+    Submit,
+    Query,
+    Status,
+    Drain,
+    Shutdown,
+    Export,
+    Metrics,
+    Watch
+  };
   Cmd C = Cmd::Status;
   /// Export: server-side destination file for the registry dump.
   std::string Path;
@@ -64,6 +86,10 @@ struct Request {
   analysis::Mode M = analysis::Mode::Base;
   bool Wait = false;
   int Priority = 0;
+  /// Metrics: exposition format ("json" default, or "prom").
+  std::string Format;
+  /// Watch: the job id to stream (0 = resolve via CaseId).
+  uint64_t JobId = 0;
 };
 
 /// Spelled command name ("submit", ...), the wire format.

@@ -7,11 +7,14 @@
 #include "server/Service.h"
 
 #include "descriptions/Descriptions.h"
+#include "obs/Exposition.h"
 #include "registry/Registry.h"
 #include "search/BatchDriver.h"
 #include "search/Canon.h"
 #include "support/FaultInjection.h"
 #include "transform/ScriptIO.h"
+
+#include <chrono>
 
 using namespace extra;
 using namespace extra::server;
@@ -95,6 +98,9 @@ void Service::workerLoop() {
     Policy.Watchdog = Opts.Watchdog;
     Policy.DegradedRetry = Opts.DegradedRetry;
     Policy.ExternalCancel = Job->Cancel.get();
+    // Wire the job's live-progress publisher into the search so watchers
+    // attached to this job id see the beam advance depth by depth.
+    Policy.Limits.Progress = Job->Progress.get();
     search::JobExecution E = search::executeJob(Job->Case, Policy);
     EffectiveMetrics->histogram("server.job_wall_ms")
         .record(static_cast<uint64_t>(E.WallMs));
@@ -148,7 +154,7 @@ bool Service::entryAnswers(const MemoEntry &E) const {
   return E.Limits.covers(MemoLimits::fromSearchLimits(Opts.Limits));
 }
 
-std::string Service::handle(const std::string &Line) {
+std::string Service::handle(const std::string &Line, const PushFn *Push) {
   auto R = parseRequest(Line);
   if (!R)
     return faultResponse(R.fault());
@@ -166,6 +172,10 @@ std::string Service::handle(const std::string &Line) {
       return handleShutdown();
     case Request::Cmd::Export:
       return handleExport(*R);
+    case Request::Cmd::Metrics:
+      return handleMetrics(*R);
+    case Request::Cmd::Watch:
+      return handleWatch(*R, Push);
     }
     return faultResponse(
         makeFault(FaultCategory::Protocol, "unhandled command"));
@@ -318,5 +328,126 @@ std::string Service::handleExport(const Request &R) {
   P.add("path", R.Path);
   P.add("exported", static_cast<uint64_t>(Reg.size()));
   P.add("skipped", Skipped);
+  return okResponse(P);
+}
+
+std::string Service::handleMetrics(const Request &R) {
+  // The full live registry in one response. The body is nested JSON (or
+  // Prometheus text), which the flat wire grammar cannot carry inline —
+  // so it travels as an escaped text block, exactly like scripts and
+  // bindings.
+  bool Prom = R.Format == "prom";
+  obs::Payload P;
+  P.add("format", Prom ? "prom" : "json");
+  P.add("metrics", Prom ? obs::prometheusText(*EffectiveMetrics)
+                        : EffectiveMetrics->json());
+  return okResponse(P);
+}
+
+namespace {
+
+/// One flat tick line for a watch stream: `"done":false` marks it as
+/// intermediate, everything else is the job's latest ProgressSnapshot.
+std::string renderTick(uint64_t JobId, uint64_t Tick,
+                       const obs::ProgressSnapshot &S) {
+  obs::Payload P;
+  P.add("job", JobId);
+  P.add("tick", Tick);
+  P.add("depth", S.Depth);
+  P.add("round", S.Round);
+  P.add("frontier", S.Frontier);
+  P.add("expanded", S.Expanded);
+  P.add("generated", S.Generated);
+  P.add("hash_hit_rate", S.hashHitRate());
+  P.add("memo_hits", S.MemoHits);
+  P.add("reopened", S.Reopened);
+  if (S.BestDistance != UINT64_MAX)
+    P.add("best_distance", S.BestDistance);
+  P.add("expansions_per_sec", S.ExpansionsPerSec);
+  return "{\"done\":false" + P.rendered() + "}";
+}
+
+} // namespace
+
+std::string Service::handleWatch(const Request &R, const PushFn *Push) {
+  using Clock = std::chrono::steady_clock;
+
+  uint64_t JobId = R.JobId;
+  if (JobId == 0) {
+    auto Resolved = resolvePairing(R);
+    if (!Resolved)
+      return faultResponse(Resolved.fault());
+    JobId = Queue->liveJobFor(Resolved->second);
+    if (JobId == 0)
+      return faultResponse(makeFault(
+          FaultCategory::Protocol,
+          "no live job for case '" + R.CaseId +
+              "' (completed pairings are answered by query)"));
+  }
+  std::shared_ptr<obs::ProgressPublisher> Progress =
+      Queue->progressOf(JobId);
+  JobView V = Queue->peek(JobId);
+  if (!V.Known || !Progress)
+    return faultResponse(
+        makeFault(FaultCategory::Protocol,
+                  "unknown job " + std::to_string(JobId)));
+  EffectiveMetrics->counter("server.progress.watchers").add();
+
+  uint64_t Ticks = 0;
+  bool Streaming = Push != nullptr;
+  auto PushTick = [&](const obs::ProgressSnapshot &S) {
+    if (!Streaming)
+      return;
+    if ((*Push)(renderTick(JobId, ++Ticks, S))) {
+      EffectiveMetrics->counter("server.progress.ticks").add();
+    } else {
+      // Client gone mid-stream: stop pushing, keep the service healthy,
+      // and still return the final line (the transport drops it).
+      EffectiveMetrics->counter("server.progress.disconnects").add();
+      Streaming = false;
+    }
+  };
+
+  obs::ProgressSnapshot Last;
+  if (auto S = Progress->read())
+    Last = *S;
+  if (!V.Done)
+    PushTick(Last); // Immediate first tick: a watch always sees >= 1.
+
+  // Push-less transports degrade to one snapshot (Streaming starts
+  // false); a disconnect mid-stream exits the same way — the final line
+  // is returned either way and the transport drops it if nobody reads.
+  Clock::time_point LastEmit = Clock::now();
+  while (Streaming && !V.Done &&
+         !Shutdown.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    V = Queue->peek(JobId);
+    Clock::time_point Now = Clock::now();
+    bool Changed = Progress->seq() != Last.Seq;
+    bool Heartbeat = Now - LastEmit >= std::chrono::seconds(1);
+    if (!V.Done && (Changed || Heartbeat)) {
+      if (auto S = Progress->read())
+        Last = *S;
+      PushTick(Last);
+      LastEmit = Now;
+    }
+  }
+
+  obs::Payload P;
+  P.add("job", JobId);
+  P.add("ticks", Ticks);
+  P.add("done", V.Done);
+  if (auto S = Progress->read())
+    Last = *S;
+  P.add("depth", Last.Depth);
+  P.add("expanded", Last.Expanded);
+  P.add("expansions_per_sec", Last.ExpansionsPerSec);
+  if (V.Done) {
+    P.add("case", V.Record.Case);
+    P.add("outcome", search::caseOutcomeName(V.Record.Outcome));
+    P.add("found", V.Record.Found);
+    P.add("verified", V.Record.Verified);
+    P.add("nodes", V.Record.Nodes);
+  }
   return okResponse(P);
 }

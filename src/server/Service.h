@@ -36,6 +36,9 @@
 ///   server.cache.hit / server.cache.miss   submit cache consults
 ///   server.job_wall_ms                     per-job discovery wall time
 ///   server.store.put_fault                 appends lost to store faults
+///   server.progress.watchers               watch requests accepted
+///   server.progress.ticks                  progress tick lines pushed
+///   server.progress.disconnects            watchers gone mid-stream
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +53,7 @@
 #include "support/Error.h"
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -80,10 +84,21 @@ public:
 
   ~Service(); ///< stop() if not already stopped.
 
+  /// A transport's push hook for streaming verbs: delivers one line to
+  /// the client mid-request, returning false once the client is gone.
+  using PushFn = std::function<bool(const std::string &)>;
+
   /// Handles one request line, returning one response line (no trailing
   /// newline). Never throws: every failure is an `"ok":false` response.
   /// Safe to call from many transport threads concurrently.
-  std::string handle(const std::string &Line);
+  std::string handle(const std::string &Line) { return handle(Line, nullptr); }
+
+  /// The streaming-aware overload: a non-null \p Push lets streaming
+  /// verbs (`watch`) deliver intermediate tick lines before the final
+  /// response; a push returning false means the client disconnected —
+  /// streaming stops, the request still completes, and the service stays
+  /// healthy. Non-streaming verbs never call \p Push.
+  std::string handle(const std::string &Line, const PushFn *Push);
 
   /// True once a shutdown request was handled; the owning loop should
   /// then call stop() and exit.
@@ -117,6 +132,8 @@ private:
   std::string handleDrain();
   std::string handleShutdown();
   std::string handleExport(const Request &R);
+  std::string handleMetrics(const Request &R);
+  std::string handleWatch(const Request &R, const PushFn *Push);
 
   ServiceOptions Opts;
   std::unique_ptr<MemoStore> Store;

@@ -155,10 +155,15 @@ void server::serveLoop(int ListenFd, const std::string &Path, Service &S) {
     }
     Handlers.emplace_back([Client, &S, &ClientsMu, &ClientFds] {
       std::string Buf;
+      // Streaming verbs push intermediate lines through this hook; a
+      // failed push tells the service the client hung up mid-stream.
+      Service::PushFn Push = [Client](const std::string &Line) {
+        return writeLine(Client, Line);
+      };
       while (auto Line = readLine(Client, Buf)) {
         if (Line->empty())
           continue;
-        if (!writeLine(Client, S.handle(*Line)))
+        if (!writeLine(Client, S.handle(*Line, &Push)))
           break;
       }
       std::lock_guard<std::mutex> Lock(ClientsMu);

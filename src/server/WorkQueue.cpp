@@ -59,6 +59,7 @@ JobTicket WorkQueue::submit(search::BatchCase C, std::string Key,
     J.Priority = Priority;
     J.Seq = Seq;
     J.Cancel = std::make_shared<std::atomic<bool>>(false);
+    J.Progress = std::make_shared<obs::ProgressPublisher>();
     T.Id = J.Id;
     S.LiveByKey[Key] = J.Id;
     S.Backlog.push_back(J.Id);
@@ -114,6 +115,7 @@ std::optional<ClaimedJob> WorkQueue::pop() {
       Out.Key = It->second.Key;
       Out.Case = It->second.Case;
       Out.Cancel = It->second.Cancel;
+      Out.Progress = It->second.Progress;
       return Out;
     }
 
@@ -230,3 +232,34 @@ void WorkQueue::close() {
 size_t WorkQueue::queuedCount() const { return Queued.load(); }
 size_t WorkQueue::runningCount() const { return Running.load(); }
 uint64_t WorkQueue::completedCount() const { return Completed.load(); }
+
+std::shared_ptr<obs::ProgressPublisher>
+WorkQueue::progressOf(uint64_t Id) const {
+  const Shard &S = shardOf(Id);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Jobs.find(Id);
+  return It == S.Jobs.end() ? nullptr : It->second.Progress;
+}
+
+JobView WorkQueue::peek(uint64_t Id) const {
+  JobView V;
+  const Shard &S = shardOf(Id);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Jobs.find(Id);
+  if (It == S.Jobs.end())
+    return V;
+  V.Known = true;
+  V.Running = It->second.St == State::Running;
+  V.Done = It->second.St == State::Done;
+  if (V.Done)
+    V.Record = It->second.Record;
+  return V;
+}
+
+uint64_t WorkQueue::liveJobFor(const std::string &Key) const {
+  const Shard &S =
+      Shards[std::hash<std::string>{}(Key) & (Shards.size() - 1)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.LiveByKey.find(Key);
+  return It == S.LiveByKey.end() ? 0 : It->second;
+}

@@ -29,6 +29,7 @@
 #ifndef EXTRA_SERVER_WORKQUEUE_H
 #define EXTRA_SERVER_WORKQUEUE_H
 
+#include "obs/Progress.h"
 #include "search/JobRunner.h"
 
 #include <atomic>
@@ -58,6 +59,18 @@ struct ClaimedJob {
   search::BatchCase Case;
   /// Cooperative cancel shared with cancelAll(); wire into JobPolicy.
   std::shared_ptr<std::atomic<bool>> Cancel;
+  /// Live-progress publisher created at submit (so a `watch` can attach
+  /// before the job is claimed); wire into JobPolicy's SearchLimits.
+  std::shared_ptr<obs::ProgressPublisher> Progress;
+};
+
+/// A non-blocking view of one job's lifecycle, for streaming watchers.
+struct JobView {
+  bool Known = false;
+  bool Running = false;
+  bool Done = false;
+  /// Valid when Done.
+  search::CheckpointRecord Record;
 };
 
 class WorkQueue {
@@ -98,6 +111,18 @@ public:
   size_t runningCount() const;
   uint64_t completedCount() const;
 
+  /// The live-progress publisher of \p Id; null for unknown jobs. Valid
+  /// for the job's whole lifetime (jobs stay in the table after Done).
+  std::shared_ptr<obs::ProgressPublisher> progressOf(uint64_t Id) const;
+
+  /// A non-blocking state snapshot of \p Id — the polling half of a
+  /// streaming watcher (wait() is the blocking half).
+  JobView peek(uint64_t Id) const;
+
+  /// The id of the queued/running job covering \p Key, or 0 when none
+  /// is live (completed jobs are answered by the memo store instead).
+  uint64_t liveJobFor(const std::string &Key) const;
+
 private:
   enum class State { Queued, Running, Done };
 
@@ -109,6 +134,7 @@ private:
     uint64_t Seq = 0;
     State St = State::Queued;
     std::shared_ptr<std::atomic<bool>> Cancel;
+    std::shared_ptr<obs::ProgressPublisher> Progress;
     search::CheckpointRecord Record;
   };
 

@@ -173,17 +173,22 @@ Engine::Engine(DescHandle Initial) : Cur(std::move(Initial)) {}
 
 ApplyResult Engine::apply(const Step &S) {
   // Observability: time and classify every attempt. The disabled path
-  // costs the two null checks; the clock is read only with metrics on.
+  // costs the two null checks; the clock is read only when metrics or an
+  // enabled trace will consume the duration (the profiler's per-rule
+  // rollup needs dur_ns on the event).
   using ObsClock = std::chrono::steady_clock;
+  bool Timing = Met || (Trace && Trace->enabled());
   ObsClock::time_point ObsStart;
-  if (Met)
+  if (Timing)
     ObsStart = ObsClock::now();
   auto Finish = [&](const ApplyResult &R, const char *Outcome) {
-    if (Met) {
-      uint64_t Ns = static_cast<uint64_t>(
+    uint64_t Ns = 0;
+    if (Timing)
+      Ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               ObsClock::now() - ObsStart)
               .count());
+    if (Met) {
       Met->histogram("transform.apply_ns").record(Ns);
       Met->counter(std::string(R.Applied ? "rule.apply." : "rule.refuse.") +
                    S.Rule)
@@ -195,6 +200,7 @@ ApplyResult Engine::apply(const Step &S) {
                        .add("rule", S.Rule)
                        .add("applied", R.Applied)
                        .add("outcome", Outcome)
+                       .add("dur_ns", Ns)
                        .add("detail", R.Applied ? R.Note : R.Reason));
   };
 

@@ -12,7 +12,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/BenchDiff.h"
+#include "obs/Exposition.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
+#include "obs/Progress.h"
 #include "obs/Trace.h"
 #include "obs/TraceFile.h"
 
@@ -23,6 +27,9 @@
 #include "search/Searcher.h"
 #include "transform/Transform.h"
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
 #include <thread>
@@ -388,6 +395,465 @@ TEST(ObsSearch, TracedDiscoveryProducesParseableTrace) {
   EXPECT_TRUE(RuleApplies);
   EXPECT_GT(Met.histogram("search.beam.children").snapshot().Count, 0u);
   EXPECT_GT(Met.counter("verify.pass").value(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+TEST(ObsExposition, FoldsNamesAndKeepsOriginalAsLabel) {
+  EXPECT_EQ(obs::prometheusName("rule.apply.fold-constant"),
+            "extra_rule_apply_fold_constant");
+  EXPECT_EQ(obs::prometheusName("verify.pass"), "extra_verify_pass");
+}
+
+TEST(ObsExposition, RendersAndValidatesRoundTrip) {
+  obs::Metrics M;
+  M.counter("verify.pass").add(5);
+  M.counter("server.cache.hit").add(2);
+  M.histogram("transform.apply_ns").record(1000);
+  M.histogram("transform.apply_ns").record(3000);
+
+  std::string Text = obs::prometheusText(M);
+  EXPECT_NE(Text.find("# TYPE extra_verify_pass counter"), std::string::npos);
+  EXPECT_NE(Text.find("extra_verify_pass{name=\"verify.pass\"} 5"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE extra_transform_apply_ns summary"),
+            std::string::npos);
+
+  std::map<std::string, double> Samples;
+  std::string Err;
+  ASSERT_TRUE(obs::validateExposition(Text, Samples, &Err)) << Err;
+  EXPECT_EQ(Samples.at("extra_verify_pass{name=\"verify.pass\"}"), 5.0);
+  EXPECT_EQ(Samples.at("extra_server_cache_hit{name=\"server.cache.hit\"}"),
+            2.0);
+  EXPECT_EQ(
+      Samples.at("extra_transform_apply_ns_count{name=\"transform.apply_ns\"}"),
+      2.0);
+  EXPECT_EQ(
+      Samples.at("extra_transform_apply_ns_sum{name=\"transform.apply_ns\"}"),
+      4000.0);
+  // Quantile samples carry an extra label each.
+  unsigned Quantiles = 0;
+  for (const auto &[Key, Value] : Samples) {
+    (void)Value;
+    if (Key.find("quantile=") != std::string::npos)
+      ++Quantiles;
+  }
+  EXPECT_EQ(Quantiles, 3u);
+}
+
+TEST(ObsExposition, RejectsMalformedTextWithLineNumber) {
+  std::map<std::string, double> Samples;
+  std::string Err;
+  EXPECT_FALSE(obs::validateExposition("extra_ok 1\nbogus line here\n",
+                                       Samples, &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+
+  Samples.clear();
+  EXPECT_FALSE(obs::validateExposition("# only a comment\n", Samples, &Err))
+      << "an exposition with zero samples must not validate";
+}
+
+//===----------------------------------------------------------------------===//
+// Trace profiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+obs::TraceRecord
+makeSpan(uint64_t Seq, uint64_t Id, uint64_t Parent, const char *Name,
+         uint64_t WallUs,
+         std::map<std::string, std::string> Fields = {}) {
+  obs::TraceRecord R;
+  R.K = obs::TraceRecord::Kind::Span;
+  R.Seq = Seq;
+  R.Id = Id;
+  R.Parent = Parent;
+  R.Name = Name;
+  R.WallUs = WallUs;
+  R.Fields = std::move(Fields);
+  return R;
+}
+
+obs::TraceRecord makeEvent(uint64_t Seq, const char *Name,
+                           std::map<std::string, std::string> Fields) {
+  obs::TraceRecord R;
+  R.K = obs::TraceRecord::Kind::Event;
+  R.Seq = Seq;
+  R.Name = Name;
+  R.Fields = std::move(Fields);
+  return R;
+}
+
+const obs::ProfileStat *findStat(const std::vector<obs::ProfileStat> &Rows,
+                                 const std::string &Key) {
+  for (const obs::ProfileStat &S : Rows)
+    if (S.Key == Key)
+      return &S;
+  return nullptr;
+}
+
+/// A synthetic tree with known self times:
+///   search(1000) -> round(600) -> depth#1(400), depth#2(100)
+///               -> verify(200)
+/// Self: search 200, round 100, depth 500, verify 200. Sum == 1000.
+std::vector<obs::TraceRecord> syntheticProfileTrace() {
+  std::vector<obs::TraceRecord> T;
+  T.push_back(makeSpan(1, 3, 2, "depth", 400, {{"depth", "1"}}));
+  T.push_back(makeSpan(2, 4, 2, "depth", 100, {{"depth", "2"}}));
+  T.push_back(makeSpan(3, 2, 1, "round", 600));
+  T.push_back(makeSpan(4, 5, 1, "verify", 200));
+  T.push_back(makeSpan(5, 1, 0, "search", 1000));
+  T.push_back(makeEvent(6, "rule-apply",
+                        {{"rule", "fold-constant"}, {"dur_ns", "5000"}}));
+  T.push_back(makeEvent(7, "rule-apply",
+                        {{"rule", "fold-constant"}, {"dur_ns", "5000"}}));
+  T.push_back(
+      makeEvent(8, "rule-apply", {{"rule", "swap"}, {"dur_ns", "2000"}}));
+  return T;
+}
+
+} // namespace
+
+TEST(ObsProfile, SelfTimeAccountsForTracedWallExactly) {
+  obs::ProfileReport R = obs::profileTrace(syntheticProfileTrace());
+  EXPECT_EQ(R.Spans, 5u);
+  EXPECT_EQ(R.Events, 3u);
+  EXPECT_EQ(R.TracedWallUs, 1000u);
+  // The invariant the rollup rests on: summing self over every span of
+  // the tree reproduces the root's wall time (acceptance bound is 5%;
+  // synthetic clocks make it exact).
+  EXPECT_EQ(R.selfTotalUs(), R.TracedWallUs);
+
+  const obs::ProfileStat *Depth = findStat(R.ByLabel, "depth");
+  ASSERT_NE(Depth, nullptr);
+  EXPECT_EQ(Depth->Count, 2u);
+  EXPECT_EQ(Depth->TotalUs, 500u);
+  EXPECT_EQ(Depth->SelfUs, 500u);
+  EXPECT_EQ(R.ByLabel.front().Key, "depth") << "sorted by self time";
+
+  const obs::ProfileStat *Search = findStat(R.ByLabel, "search");
+  ASSERT_NE(Search, nullptr);
+  EXPECT_EQ(Search->TotalUs, 1000u);
+  EXPECT_EQ(Search->SelfUs, 200u);
+
+  const obs::ProfileStat *Round = findStat(R.ByLabel, "round");
+  ASSERT_NE(Round, nullptr);
+  EXPECT_EQ(Round->SelfUs, 100u);
+}
+
+TEST(ObsProfile, RollsRulesFromDurNsAndDepthsInOrder) {
+  obs::ProfileReport R = obs::profileTrace(syntheticProfileTrace());
+
+  ASSERT_EQ(R.ByRule.size(), 2u);
+  EXPECT_EQ(R.ByRule[0].Key, "fold-constant");
+  EXPECT_EQ(R.ByRule[0].Count, 2u);
+  EXPECT_EQ(R.ByRule[0].TotalUs, 10u); // 2 x 5000 ns.
+  EXPECT_EQ(R.ByRule[0].SelfUs, 10u);  // Events have no children.
+  EXPECT_EQ(R.ByRule[1].Key, "swap");
+  EXPECT_EQ(R.ByRule[1].TotalUs, 2u);
+
+  ASSERT_EQ(R.ByDepth.size(), 2u);
+  EXPECT_EQ(R.ByDepth[0].Key, "1"); // Depth order, not time order.
+  EXPECT_EQ(R.ByDepth[0].SelfUs, 400u);
+  EXPECT_EQ(R.ByDepth[1].Key, "2");
+  EXPECT_EQ(R.ByDepth[1].SelfUs, 100u);
+
+  std::string Text = R.str();
+  EXPECT_NE(Text.find("traced wall 1000 us"), std::string::npos);
+  EXPECT_NE(Text.find("self-time accounted 1000 us"), std::string::npos);
+  EXPECT_NE(Text.find("fold-constant"), std::string::npos);
+}
+
+TEST(ObsProfile, CollapsedStacksKeepTreePaths) {
+  std::string Collapsed = obs::collapsedStacks(syntheticProfileTrace());
+  EXPECT_EQ(Collapsed, "search 200\n"
+                       "search;round 100\n"
+                       "search;round;depth 500\n"
+                       "search;verify 200\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Bench regression attribution
+//===----------------------------------------------------------------------===//
+
+TEST(ObsBenchDiff, ParsesLineWithNestedCounters) {
+  std::string Err;
+  auto R = obs::parseBenchLine(
+      "{\"bench\":\"bench_search_discovery\",\"name\":\"discoveryReport/"
+      "suite\",\"iterations\":3,\"ns_per_op\":250.5,"
+      "\"counters\":{\"search.expansions_per_sec\":1200,"
+      "\"server.cache.hit\":7}}",
+      &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->Bench, "bench_search_discovery");
+  EXPECT_EQ(R->Name, "discoveryReport/suite");
+  EXPECT_EQ(R->Iterations, 3u);
+  EXPECT_DOUBLE_EQ(R->NsPerOp, 250.5);
+  EXPECT_DOUBLE_EQ(R->Counters.at("search.expansions_per_sec"), 1200.0);
+  EXPECT_DOUBLE_EQ(R->Counters.at("server.cache.hit"), 7.0);
+  EXPECT_EQ(R->key(), "bench_search_discovery/discoveryReport/suite");
+
+  EXPECT_FALSE(obs::parseBenchLine("{\"bench\":\"b\"}", &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+}
+
+namespace {
+
+obs::BenchRecord benchFixture(const char *Name, double NsPerOp,
+                              double ExpPerSec) {
+  obs::BenchRecord R;
+  R.Bench = "bench_search_discovery";
+  R.Name = Name;
+  R.Iterations = 10;
+  R.NsPerOp = NsPerOp;
+  R.Counters["search.expansions_per_sec"] = ExpPerSec;
+  return R;
+}
+
+} // namespace
+
+TEST(ObsBenchDiff, NamesTheBenchmarkAndMetricThatMoved) {
+  std::vector<obs::BenchRecord> Old = {benchFixture("suite", 100, 1000),
+                                       benchFixture("cow", 50, 4000),
+                                       benchFixture("gone", 10, 1)};
+  std::vector<obs::BenchRecord> New = {
+      benchFixture("suite", 130, 1020), // ns_per_op +30%, counter +2%.
+      benchFixture("cow", 51, 4010),    // Within threshold on both.
+      benchFixture("fresh", 10, 1)};
+
+  obs::BenchDiffReport D = obs::diffBenches(Old, New, 0.10);
+  EXPECT_TRUE(D.anyMovement());
+  EXPECT_EQ(D.Compared, 2u);
+  ASSERT_EQ(D.Moved.size(), 1u);
+  EXPECT_EQ(D.Moved[0].Key, "bench_search_discovery/suite");
+  EXPECT_EQ(D.Moved[0].Metric, "ns_per_op");
+  EXPECT_DOUBLE_EQ(D.Moved[0].Old, 100.0);
+  EXPECT_DOUBLE_EQ(D.Moved[0].New, 130.0);
+  EXPECT_NEAR(D.Moved[0].ratio(), 1.3, 1e-9);
+  ASSERT_EQ(D.OnlyOld.size(), 1u);
+  EXPECT_EQ(D.OnlyOld[0], "bench_search_discovery/gone");
+  ASSERT_EQ(D.OnlyNew.size(), 1u);
+  EXPECT_EQ(D.OnlyNew[0], "bench_search_discovery/fresh");
+
+  std::string Table = D.str();
+  EXPECT_NE(Table.find("ns_per_op"), std::string::npos);
+  EXPECT_NE(Table.find("bench_search_discovery/suite"), std::string::npos);
+
+  // A looser threshold swallows the 30% move.
+  obs::BenchDiffReport Loose = obs::diffBenches(Old, New, 0.50);
+  EXPECT_TRUE(Loose.Moved.empty());
+  EXPECT_EQ(Loose.Compared, 2u);
+
+  obs::BenchDiffReport Same = obs::diffBenches(Old, Old, 0.10);
+  EXPECT_FALSE(Same.anyMovement());
+  EXPECT_NE(Same.str().find("no movement"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Rotating trace sink
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Temp path helper for rotation tests; removes the whole rotated set.
+struct TempTrace {
+  std::string Path;
+  explicit TempTrace(const std::string &Name)
+      : Path(::testing::TempDir() + Name) {
+    cleanup();
+  }
+  ~TempTrace() { cleanup(); }
+  void cleanup() {
+    std::remove(Path.c_str());
+    for (unsigned I = 1; I <= 16; ++I)
+      std::remove(obs::rotatedTraceName(Path, I).c_str());
+  }
+};
+
+} // namespace
+
+TEST(ObsRotation, RotatedNamesInsertBeforeExtension) {
+  EXPECT_EQ(obs::rotatedTraceName("trace.jsonl", 0), "trace.jsonl");
+  EXPECT_EQ(obs::rotatedTraceName("trace.jsonl", 1), "trace.1.jsonl");
+  EXPECT_EQ(obs::rotatedTraceName("/tmp/t.d/trace.jsonl", 2),
+            "/tmp/t.d/trace.2.jsonl");
+  EXPECT_EQ(obs::rotatedTraceName("noext", 3), "noext.3");
+}
+
+TEST(ObsRotation, RotatesAtCapAndReadTraceSetReassembles) {
+  TempTrace F("obs_rotation_test.jsonl");
+  uint64_t Emitted = 0;
+  uint64_t Rotations = 0;
+  {
+    obs::RotatingTraceSink::Options Opts;
+    Opts.MaxBytes = 512; // Tiny cap: a handful of records per file.
+    Opts.MaxRotated = 16;
+    obs::RotatingTraceSink Sink(F.Path, Opts);
+    ASSERT_TRUE(Sink.ok());
+    uint64_t Root = Sink.beginSpan("search", 0, obs::Payload());
+    for (unsigned I = 0; I < 40; ++I)
+      Sink.event("frontier", Root, obs::Payload().add("round", uint64_t(I)));
+    Sink.endSpan(Root);
+    Emitted = Sink.recordCount();
+    Rotations = Sink.rotations();
+    EXPECT_GE(Rotations, 2u);
+  }
+  EXPECT_EQ(Emitted, 41u);
+
+  // The rotated generations exist on disk.
+  EXPECT_TRUE(std::ifstream(obs::rotatedTraceName(F.Path, 1)).good());
+  EXPECT_TRUE(std::ifstream(obs::rotatedTraceName(F.Path, Rotations)).good());
+
+  // readTraceSet stitches oldest-first; seq stays strictly monotonic
+  // across file boundaries and nothing is lost.
+  std::string Err;
+  auto Trace = obs::readTraceSet(F.Path, &Err);
+  ASSERT_TRUE(Trace.has_value()) << Err;
+  ASSERT_EQ(Trace->size(), Emitted);
+  for (size_t I = 0; I < Trace->size(); ++I)
+    EXPECT_EQ((*Trace)[I].Seq, I + 1);
+  EXPECT_EQ(Trace->back().Name, "search");
+  EXPECT_EQ(Trace->back().K, obs::TraceRecord::Kind::Span);
+}
+
+TEST(ObsRotation, MaxBytesZeroIsTheOffSwitch) {
+  TempTrace F("obs_rotation_off_test.jsonl");
+  {
+    obs::RotatingTraceSink::Options Opts;
+    Opts.MaxBytes = 0;
+    obs::RotatingTraceSink Sink(F.Path, Opts);
+    ASSERT_TRUE(Sink.ok());
+    for (unsigned I = 0; I < 200; ++I)
+      Sink.event("frontier", 0, obs::Payload().add("round", uint64_t(I)));
+    EXPECT_EQ(Sink.rotations(), 0u);
+  }
+  EXPECT_FALSE(std::ifstream(obs::rotatedTraceName(F.Path, 1)).good());
+  std::string Err;
+  auto Trace = obs::readTraceSet(F.Path, &Err);
+  ASSERT_TRUE(Trace.has_value()) << Err;
+  EXPECT_EQ(Trace->size(), 200u);
+}
+
+//===----------------------------------------------------------------------===//
+// Progress publication (seqlock)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsProgress, UnpublishedReadsNothingThenRoundTrips) {
+  obs::ProgressPublisher P;
+  EXPECT_FALSE(P.read().has_value());
+  EXPECT_EQ(P.seq(), 0u);
+
+  obs::ProgressSnapshot S;
+  S.Depth = 3;
+  S.Round = 2;
+  S.Frontier = 64;
+  S.Expanded = 1000;
+  S.Generated = 4000;
+  S.HashHits = 500;
+  S.MemoHits = 20;
+  S.Reopened = 1;
+  S.BestDistance = 7;
+  P.publish(S);
+  P.setRate(123.5);
+
+  auto R = P.read();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Seq, 1u);
+  EXPECT_EQ(R->Depth, 3u);
+  EXPECT_EQ(R->Frontier, 64u);
+  EXPECT_EQ(R->Expanded, 1000u);
+  EXPECT_EQ(R->BestDistance, 7u);
+  EXPECT_DOUBLE_EQ(R->ExpansionsPerSec, 123.5);
+  EXPECT_NEAR(R->hashHitRate(), 500.0 / 4500.0, 1e-12);
+  EXPECT_FALSE(R->Done);
+  EXPECT_EQ(P.expandedNow(), 1000u);
+
+  P.markDone();
+  EXPECT_TRUE(P.done());
+  EXPECT_TRUE(P.read()->Done);
+}
+
+TEST(ObsProgress, ConcurrentReadersNeverSeeTornSnapshots) {
+  // The writer publishes snapshots whose nine fields all equal the
+  // publication index; any torn read mixes two indices and fails the
+  // all-equal check. Readers hammer read() for the whole write burst.
+  obs::ProgressPublisher P;
+  constexpr uint64_t Writes = 50000;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Torn{0};
+
+  auto Reader = [&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      auto S = P.read();
+      if (!S)
+        continue;
+      uint64_t V = S->Depth;
+      if (S->Round != V || S->Frontier != V || S->Expanded != V ||
+          S->Generated != V || S->HashHits != V || S->MemoHits != V ||
+          S->Reopened != V || S->BestDistance != V)
+        Torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread R1(Reader), R2(Reader);
+
+  for (uint64_t I = 1; I <= Writes; ++I) {
+    obs::ProgressSnapshot S;
+    S.Depth = S.Round = S.Frontier = S.Expanded = S.Generated = I;
+    S.HashHits = S.MemoHits = S.Reopened = S.BestDistance = I;
+    P.publish(S);
+  }
+  Stop.store(true, std::memory_order_release);
+  R1.join();
+  R2.join();
+
+  EXPECT_EQ(Torn.load(), 0u);
+  EXPECT_EQ(P.seq(), Writes);
+  EXPECT_EQ(P.read()->Depth, Writes);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics snapshots under concurrent recording
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetrics, SnapshotDuringRecordStaysConsistent) {
+  obs::Metrics M;
+  // Register both names up front: an exposition with zero samples fails
+  // validation by design, and the scrapes below may win the race with
+  // the first worker's add().
+  M.counter("search.expansions");
+  M.histogram("transform.apply_ns");
+  constexpr unsigned Threads = 4, PerThread = 20000;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&M] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        M.counter("search.expansions").add();
+        M.histogram("transform.apply_ns").record(I);
+      }
+    });
+
+  // Scrape both serializations while the writers run: every snapshot
+  // must be well-formed — the live `client metrics` path does exactly
+  // this against a service mid-job.
+  for (unsigned I = 0; I < 50; ++I) {
+    std::string Json = M.json();
+    EXPECT_FALSE(Json.empty());
+    EXPECT_EQ(Json.front(), '{');
+    EXPECT_EQ(Json.back(), '}');
+    std::map<std::string, double> Samples;
+    std::string Err;
+    EXPECT_TRUE(obs::validateExposition(obs::prometheusText(M), Samples, &Err))
+        << Err;
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(M.counter("search.expansions").value(),
+            uint64_t(Threads) * PerThread);
+  EXPECT_EQ(M.histogram("transform.apply_ns").snapshot().Count,
+            uint64_t(Threads) * PerThread);
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 #include "server/Socket.h"
 #include "server/WorkQueue.h"
 
+#include "obs/Exposition.h"
 #include "obs/TraceFile.h"
 #include "registry/Registry.h"
 #include "search/Checkpoint.h"
@@ -531,6 +532,37 @@ TEST(ProtocolTest, ResponsesAreFlatJsonLines) {
   EXPECT_EQ((*Fields)["error"], "no \"cmd\"");
 }
 
+TEST(ProtocolTest, MetricsAndWatchRequestsParse) {
+  auto M = parseRequest("{\"cmd\":\"metrics\"}");
+  ASSERT_TRUE(bool(M));
+  EXPECT_EQ(M->C, Request::Cmd::Metrics);
+  EXPECT_TRUE(M->Format.empty());
+
+  auto Prom = parseRequest("{\"cmd\":\"metrics\",\"format\":\"prom\"}");
+  ASSERT_TRUE(bool(Prom));
+  EXPECT_EQ(Prom->Format, "prom");
+
+  auto BadFormat = parseRequest("{\"cmd\":\"metrics\",\"format\":\"xml\"}");
+  ASSERT_FALSE(bool(BadFormat));
+  EXPECT_EQ(BadFormat.fault().Category, FaultCategory::Protocol);
+
+  auto ByJob = parseRequest("{\"cmd\":\"watch\",\"job\":12}");
+  ASSERT_TRUE(bool(ByJob));
+  EXPECT_EQ(ByJob->C, Request::Cmd::Watch);
+  EXPECT_EQ(ByJob->JobId, 12u);
+
+  auto ByCase =
+      parseRequest("{\"cmd\":\"watch\",\"case\":\"vax.movc3/pc2.copy\"}");
+  ASSERT_TRUE(bool(ByCase));
+  EXPECT_EQ(ByCase->CaseId, "vax.movc3/pc2.copy");
+  EXPECT_EQ(ByCase->JobId, 0u);
+
+  // A watch must address a job one way or the other.
+  auto Bare = parseRequest("{\"cmd\":\"watch\"}");
+  ASSERT_FALSE(bool(Bare));
+  EXPECT_EQ(Bare.fault().Category, FaultCategory::Protocol);
+}
+
 //===----------------------------------------------------------------------===//
 // Service (in-process: handle() is the whole protocol)
 //===----------------------------------------------------------------------===//
@@ -719,6 +751,166 @@ TEST(ServiceTest, StatusDrainShutdownAndUnknownCase) {
   ASSERT_TRUE(Down);
   EXPECT_EQ((*Down)["stopping"], "true");
   EXPECT_TRUE((*S)->shutdownRequested());
+  (*S)->stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Live telemetry: the metrics verb and watch streaming
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, MetricsVerbServesLiveRegistry) {
+  TempFile F("svc_metrics.jsonl");
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+  ASSERT_TRUE(obs::parseJsonObjectLine((*S)->handle(kSelfSubmit)));
+
+  // Default format: the full registry as one escaped JSON block.
+  auto J = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"metrics\"}"));
+  ASSERT_TRUE(J);
+  EXPECT_EQ((*J)["ok"], "true");
+  EXPECT_EQ((*J)["format"], "json");
+  const std::string &Body = (*J)["metrics"];
+  EXPECT_NE(Body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Body.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(Body.find("server.cache.miss"), std::string::npos);
+  EXPECT_NE(Body.find("server.job_wall_ms"), std::string::npos);
+
+  // Prometheus format: the body must survive the strict validator and
+  // carry the core counters the obs-smoke CI job asserts on.
+  auto Pm = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"metrics\",\"format\":\"prom\"}"));
+  ASSERT_TRUE(Pm);
+  EXPECT_EQ((*Pm)["format"], "prom");
+  std::map<std::string, double> Samples;
+  std::string Err;
+  ASSERT_TRUE(obs::validateExposition((*Pm)["metrics"], Samples, &Err)) << Err;
+  EXPECT_EQ(
+      Samples.at("extra_server_cache_miss{name=\"server.cache.miss\"}"), 1.0);
+  EXPECT_GE(
+      Samples.at("extra_server_job_wall_ms_count{name=\"server.job_wall_ms\"}"),
+      1.0);
+
+  auto Bad = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"metrics\",\"format\":\"xml\"}"));
+  ASSERT_TRUE(Bad);
+  EXPECT_EQ((*Bad)["ok"], "false");
+  EXPECT_EQ((*Bad)["category"], "protocol");
+  (*S)->stop();
+}
+
+TEST(ServiceTest, WatchStreamsTicksUntilDone) {
+  TempFile F("svc_watch.jsonl");
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+
+  // A cold cross pairing submitted without wait: the job runs on a
+  // worker while this thread watches it to completion.
+  auto Sub = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+                   "\"instruction\":\"vax.movc3\",\"wait\":false}"));
+  ASSERT_TRUE(Sub);
+  ASSERT_EQ((*Sub)["ok"], "true");
+  std::string Job = (*Sub)["job"];
+  ASSERT_FALSE(Job.empty());
+
+  std::vector<std::string> TickLines;
+  Service::PushFn Push = [&](const std::string &Line) {
+    TickLines.push_back(Line);
+    return true;
+  };
+  auto Fin = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"watch\",\"job\":" + Job + "}", &Push));
+  ASSERT_TRUE(Fin);
+  EXPECT_EQ((*Fin)["ok"], "true");
+  EXPECT_EQ((*Fin)["done"], "true");
+  EXPECT_EQ((*Fin)["case"], "vax.movc3/pc2.copy");
+  EXPECT_EQ((*Fin)["outcome"], "verified");
+  EXPECT_EQ((*Fin)["ticks"], std::to_string(TickLines.size()));
+
+  // The immediate-first-tick guarantee: a watch on a live job always
+  // streams at least one tick before the final line.
+  ASSERT_GE(TickLines.size(), 1u);
+  auto First = obs::parseJsonObjectLine(TickLines.front());
+  ASSERT_TRUE(First);
+  EXPECT_EQ((*First)["done"], "false");
+  EXPECT_EQ((*First)["job"], Job);
+  EXPECT_EQ((*First)["tick"], "1");
+  EXPECT_TRUE(First->count("depth"));
+  EXPECT_TRUE(First->count("expanded"));
+  EXPECT_TRUE(First->count("expansions_per_sec"));
+
+  obs::Metrics &M = (*S)->metrics();
+  EXPECT_EQ(M.counter("server.progress.watchers").value(), 1u);
+  EXPECT_EQ(M.counter("server.progress.ticks").value(), TickLines.size());
+  EXPECT_EQ(M.counter("server.progress.disconnects").value(), 0u);
+  (*S)->stop();
+}
+
+TEST(ServiceTest, WatchDisconnectMidStreamLeavesServiceHealthy) {
+  TempFile F("svc_watch_gone.jsonl");
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+
+  auto Sub = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+                   "\"instruction\":\"vax.movc3\",\"wait\":false}"));
+  ASSERT_TRUE(Sub);
+  std::string Job = (*Sub)["job"];
+
+  // The client vanishes on the very first push. The handler must note
+  // the disconnect, stop streaming, and still return the final line.
+  unsigned Pushes = 0;
+  Service::PushFn Gone = [&](const std::string &) {
+    ++Pushes;
+    return false;
+  };
+  auto Fin = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"watch\",\"job\":" + Job + "}", &Gone));
+  ASSERT_TRUE(Fin);
+  EXPECT_EQ((*Fin)["ok"], "true");
+  EXPECT_EQ(Pushes, 1u);
+  EXPECT_EQ((*Fin)["ticks"], "1");
+
+  obs::Metrics &M = (*S)->metrics();
+  EXPECT_EQ(M.counter("server.progress.disconnects").value(), 1u);
+  EXPECT_EQ(M.counter("server.progress.ticks").value(), 0u);
+
+  // The service is still healthy: status answers, and waiting on the
+  // same pairing dedups onto the live job and completes it.
+  auto St = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"status\"}"));
+  ASSERT_TRUE(St);
+  EXPECT_EQ((*St)["ok"], "true");
+  auto Done = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+                   "\"instruction\":\"vax.movc3\",\"wait\":true}"));
+  ASSERT_TRUE(Done);
+  EXPECT_EQ((*Done)["ok"], "true");
+  EXPECT_EQ((*Done)["verified"], "true");
+
+  // A push-less transport degrades to one final snapshot; the job is
+  // done, so the record rides along and no ticks are attempted.
+  auto Snap = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"watch\",\"job\":" + Job + "}"));
+  ASSERT_TRUE(Snap);
+  EXPECT_EQ((*Snap)["ok"], "true");
+  EXPECT_EQ((*Snap)["done"], "true");
+  EXPECT_EQ((*Snap)["ticks"], "0");
+  EXPECT_EQ((*Snap)["outcome"], "verified");
+
+  // Completed pairings are answered by query, not watch.
+  auto NoLive = obs::parseJsonObjectLine((*S)->handle(
+      "{\"cmd\":\"watch\",\"case\":\"vax.movc3/pc2.copy\"}"));
+  ASSERT_TRUE(NoLive);
+  EXPECT_EQ((*NoLive)["ok"], "false");
+  EXPECT_EQ((*NoLive)["category"], "protocol");
+  EXPECT_NE((*NoLive)["error"].find("no live job"), std::string::npos);
+
+  auto Unknown = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"watch\",\"job\":424242}"));
+  ASSERT_TRUE(Unknown);
+  EXPECT_EQ((*Unknown)["ok"], "false");
+  EXPECT_NE((*Unknown)["error"].find("unknown job 424242"),
+            std::string::npos);
   (*S)->stop();
 }
 

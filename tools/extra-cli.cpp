@@ -26,6 +26,12 @@
 //                                      talk to a running service
 //   extra-cli client --socket S export <path>
 //                                      dump the live store as a registry
+//   extra-cli client --socket S metrics [--prom]
+//                                      scrape the live metrics registry
+//   extra-cli client --socket S watch (<job-id> | --case <id>)
+//                                      stream a running job's progress
+//   extra-cli profile <trace.jsonl>    self/total-time rollups from a trace
+//   extra-cli benchdiff <old> <new>    attribute movement between bench runs
 //   extra-cli registry build --out F   build a binding registry
 //   extra-cli registry inspect <file>  list a registry's entries
 //   extra-cli compile --registry <file>
@@ -35,7 +41,10 @@
 
 #include "analysis/Advisor.h"
 #include "analysis/Derivations.h"
+#include "obs/BenchDiff.h"
+#include "obs/Exposition.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "obs/TraceFile.h"
 #include "registry/Harness.h"
@@ -85,6 +94,9 @@ int usage() {
                "    options: -x (extension mode), --threads N, --beam W,\n"
                "             --depth D, --nodes N, --time-ms T,\n"
                "             --trace FILE (JSONL span/event trace),\n"
+               "             --trace-cap-bytes N (rotate the trace past N\n"
+               "             bytes into FILE.1, FILE.2, ...; default 64\n"
+               "             MiB, 0 disables rotation),\n"
                "             --metrics FILE (counter/histogram JSON),\n"
                "             --min-verified N (fail below N verified),\n"
                "             --checkpoint FILE (JSONL record per case),\n"
@@ -132,6 +144,30 @@ int usage() {
                "                          dump the live store's verified\n"
                "                          pairings as a binding-registry\n"
                "                          file at a server-side path\n"
+               "  client --socket S metrics [--prom]\n"
+               "                          [--require name[,name...]]\n"
+               "                          scrape the live metrics registry\n"
+               "                          (JSON, or the Prometheus text\n"
+               "                          exposition with --prom; --require\n"
+               "                          fails unless the named counters\n"
+               "                          are nonzero)\n"
+               "  client --socket S watch (<job-id> | --case <case-id>)\n"
+               "                          stream a running job's progress:\n"
+               "                          one line per tick (depth,\n"
+               "                          frontier, expansions/sec, best\n"
+               "                          partial distance), then the final\n"
+               "                          verdict\n"
+               "  profile <trace.jsonl> [--collapsed FILE]\n"
+               "                          roll a (possibly rotated) JSONL\n"
+               "                          trace into self/total-time tables\n"
+               "                          per span label, rule, and depth;\n"
+               "                          --collapsed writes flamegraph\n"
+               "                          collapsed-stack lines\n"
+               "  benchdiff <old.json> <new.json> [--threshold PCT]\n"
+               "                          join two BENCH_*.json files and\n"
+               "                          name which benchmark and which\n"
+               "                          counter moved (default threshold\n"
+               "                          10%%)\n"
                "  registry build --out FILE [--recorded]\n"
                "                 [--from-scripts DIR] [--from-memo FILE]\n"
                "                 [--from-checkpoint FILE]\n"
@@ -389,6 +425,7 @@ int cmdSearch(int argc, char **argv) {
   bool All = false;
   std::string CaseId, OperatorId, InstructionId;
   std::string TracePath, MetricsPath;
+  uint64_t TraceCapBytes = obs::RotatingTraceSink::DefaultMaxBytes;
   uint64_t MinVerified = 0;
   bool HaveMinVerified = false;
 
@@ -419,6 +456,8 @@ int cmdSearch(int argc, char **argv) {
       Opts.Limits.TimeBudgetMs = V;
     else if (Arg == "--trace" && I + 1 < argc)
       TracePath = argv[++I];
+    else if (Arg == "--trace-cap-bytes" && IntOpt(V))
+      TraceCapBytes = V;
     else if (Arg == "--metrics" && I + 1 < argc)
       MetricsPath = argv[++I];
     else if (Arg == "--min-verified" && IntOpt(V)) {
@@ -472,16 +511,16 @@ int cmdSearch(int argc, char **argv) {
     return usage();
   }
 
-  std::ofstream TraceOut;
-  std::unique_ptr<obs::JsonlTraceSink> Sink;
+  std::unique_ptr<obs::RotatingTraceSink> Sink;
   if (!TracePath.empty()) {
-    TraceOut.open(TracePath);
-    if (!TraceOut) {
+    obs::RotatingTraceSink::Options SinkOpts;
+    SinkOpts.MaxBytes = TraceCapBytes;
+    Sink = std::make_unique<obs::RotatingTraceSink>(TracePath, SinkOpts);
+    if (!Sink->ok()) {
       std::fprintf(stderr, "cannot open '%s' for writing\n",
                    TracePath.c_str());
       return 1;
     }
-    Sink = std::make_unique<obs::JsonlTraceSink>(TraceOut);
     Opts.Limits.Trace = Sink.get();
   }
   obs::Metrics Met;
@@ -543,9 +582,11 @@ int cmdSearch(int argc, char **argv) {
   }
 
   if (Sink) {
-    std::printf("trace: %llu record(s) -> %s\n",
+    unsigned Rotations = Sink->rotations();
+    std::printf("trace: %llu record(s) -> %s%s\n",
                 static_cast<unsigned long long>(Sink->recordCount()),
-                TracePath.c_str());
+                TracePath.c_str(),
+                Rotations ? " (rotated)" : "");
     Sink.reset(); // Flush open spans before the stream closes.
   }
   if (!MetricsPath.empty()) {
@@ -579,6 +620,7 @@ int cmdTrace(int argc, char **argv) {
     return 1;
   }
   std::string Out = "trace.jsonl";
+  uint64_t TraceCapBytes = obs::RotatingTraceSink::DefaultMaxBytes;
   extra::search::SearchLimits Limits;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -591,6 +633,8 @@ int cmdTrace(int argc, char **argv) {
     uint64_t V = 0;
     if (Arg == "--out" && I + 1 < argc)
       Out = argv[++I];
+    else if (Arg == "--trace-cap-bytes" && IntOpt(V))
+      TraceCapBytes = V;
     else if (Arg == "--beam" && IntOpt(V))
       Limits.BeamWidth = static_cast<unsigned>(V);
     else if (Arg == "--depth" && IntOpt(V))
@@ -603,26 +647,25 @@ int cmdTrace(int argc, char **argv) {
       return usage();
   }
 
-  std::ofstream OS(Out);
-  if (!OS) {
+  obs::RotatingTraceSink::Options SinkOpts;
+  SinkOpts.MaxBytes = TraceCapBytes;
+  obs::RotatingTraceSink Sink(Out, SinkOpts);
+  if (!Sink.ok()) {
     std::fprintf(stderr, "cannot open '%s' for writing\n", Out.c_str());
     return 1;
   }
-  {
-    obs::JsonlTraceSink Sink(OS);
-    Limits.Trace = &Sink;
-    Limits.TraceLabel = Case->Id;
-    extra::search::DiscoveryResult R = extra::search::discoverAndVerify(
-        Case->OperatorId, Case->InstructionId, Limits,
-        Case->RequiresExtension ? Mode::Extension : Mode::Base);
-    // A failed discovery is the expected use of this command — the trace
-    // is the product, so only I/O failures change the exit code.
-    reportDiscovery(Case->Id, R, /*Verbose=*/false);
-    std::printf("trace: %llu record(s) -> %s\n",
-                static_cast<unsigned long long>(Sink.recordCount()),
-                Out.c_str());
-  }
-  return OS.good() ? 0 : 1;
+  Limits.Trace = &Sink;
+  Limits.TraceLabel = Case->Id;
+  extra::search::DiscoveryResult R = extra::search::discoverAndVerify(
+      Case->OperatorId, Case->InstructionId, Limits,
+      Case->RequiresExtension ? Mode::Extension : Mode::Base);
+  // A failed discovery is the expected use of this command — the trace
+  // is the product, so only I/O failures change the exit code.
+  reportDiscovery(Case->Id, R, /*Verbose=*/false);
+  std::printf("trace: %llu record(s) -> %s%s\n",
+              static_cast<unsigned long long>(Sink.recordCount()),
+              Out.c_str(), Sink.rotations() ? " (rotated)" : "");
+  return Sink.ok() ? 0 : 1;
 }
 
 int cmdPostmortem(int argc, char **argv) {
@@ -642,13 +685,8 @@ int cmdPostmortem(int argc, char **argv) {
   if (Against.empty() && !Partial)
     return usage();
   if (Partial) {
-    std::ifstream In(TracePath);
-    if (!In) {
-      std::fprintf(stderr, "cannot open '%s'\n", TracePath.c_str());
-      return 1;
-    }
     std::string Err;
-    auto Trace = obs::readTrace(In, &Err);
+    auto Trace = obs::readTraceSet(TracePath, &Err);
     if (!Trace) {
       std::fprintf(stderr, "bad trace: %s\n", Err.c_str());
       return 1;
@@ -664,13 +702,8 @@ int cmdPostmortem(int argc, char **argv) {
                  Against.c_str());
     return 1;
   }
-  std::ifstream In(TracePath);
-  if (!In) {
-    std::fprintf(stderr, "cannot open '%s'\n", TracePath.c_str());
-    return 1;
-  }
   std::string Err;
-  auto Trace = obs::readTrace(In, &Err);
+  auto Trace = obs::readTraceSet(TracePath, &Err);
   if (!Trace) {
     std::fprintf(stderr, "bad trace: %s\n", Err.c_str());
     return 1;
@@ -867,6 +900,126 @@ int cmdClient(int argc, char **argv) {
     return R->ok() ? 0 : 1;
   }
 
+  if (Sub == "metrics") {
+    bool Prom = false;
+    std::string Require;
+    for (size_t I = 0; I < Rest.size(); ++I) {
+      if (Rest[I] == "--prom")
+        Prom = true;
+      else if (Rest[I] == "--require" && I + 1 < Rest.size())
+        Require = Rest[++I];
+      else
+        return usage();
+    }
+    obs::Payload P;
+    P.add("cmd", "metrics");
+    P.add("format", Prom ? "prom" : "json");
+    auto R = Ask("{" + P.rendered().substr(1) + "}");
+    if (!R)
+      return 1;
+    if (!R->ok()) {
+      printResponse(*R);
+      return 1;
+    }
+    std::string Body = R->get("metrics");
+    std::fputs(Body.c_str(), stdout);
+    if (!Body.empty() && Body.back() != '\n')
+      std::fputs("\n", stdout);
+    if (Prom) {
+      // Self-check the exposition grammar on the way through — a scrape
+      // that does not parse is a CI failure, not a display problem.
+      std::map<std::string, double> Samples;
+      std::string Err;
+      if (!obs::validateExposition(Body, Samples, &Err)) {
+        std::fprintf(stderr, "FAIL: exposition does not parse: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+    }
+    if (!Require.empty()) {
+      // Assert on the prom exposition: its samples carry the original
+      // registry name as a `name` label, so requires match exactly.
+      std::map<std::string, double> Samples;
+      std::string PromBody = Body;
+      if (!Prom) {
+        obs::Payload P2;
+        P2.add("cmd", "metrics");
+        P2.add("format", "prom");
+        auto R2 = Ask("{" + P2.rendered().substr(1) + "}");
+        if (!R2 || !R2->ok())
+          return 1;
+        PromBody = R2->get("metrics");
+      }
+      std::string Err;
+      if (!obs::validateExposition(PromBody, Samples, &Err)) {
+        std::fprintf(stderr, "FAIL: exposition does not parse: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+      for (const std::string &Name : extra::split(Require, ',')) {
+        if (Name.empty())
+          continue;
+        std::string Tag = "name=\"" + Name + "\"";
+        bool Nonzero = false;
+        for (const auto &[Key, Value] : Samples)
+          if (Key.find(Tag) != std::string::npos && Value > 0) {
+            Nonzero = true;
+            break;
+          }
+        if (!Nonzero) {
+          std::fprintf(stderr,
+                       "FAIL: required metric '%s' is missing or zero\n",
+                       Name.c_str());
+          return 1;
+        }
+      }
+    }
+    return 0;
+  }
+
+  if (Sub == "watch") {
+    std::string CaseId, JobId;
+    for (size_t I = 0; I < Rest.size(); ++I) {
+      if (Rest[I] == "--case" && I + 1 < Rest.size())
+        CaseId = Rest[++I];
+      else if (Rest[I][0] != '-' && JobId.empty())
+        JobId = Rest[I];
+      else
+        return usage();
+    }
+    if (CaseId.empty() && JobId.empty())
+      return usage();
+    obs::Payload P;
+    P.add("cmd", "watch");
+    if (!JobId.empty())
+      P.add("job", static_cast<uint64_t>(
+                       std::strtoull(JobId.c_str(), nullptr, 10)));
+    else
+      P.add("case", CaseId);
+    auto R = (*Client)->requestStream(
+        "{" + P.rendered().substr(1) + "}",
+        [](const extra::server::Response &Tick) {
+          std::printf("tick %s  depth %s  frontier %s  expanded %s  "
+                      "%s exp/s  hash-hit %s  best %s\n",
+                      Tick.get("tick").c_str(), Tick.get("depth").c_str(),
+                      Tick.get("frontier").c_str(),
+                      Tick.get("expanded").c_str(),
+                      Tick.get("expansions_per_sec").c_str(),
+                      Tick.get("hash_hit_rate").c_str(),
+                      Tick.get("best_distance").empty()
+                          ? "-"
+                          : Tick.get("best_distance").c_str());
+          std::fflush(stdout);
+          return true;
+        });
+    if (!R) {
+      std::fprintf(stderr, "%s\n", R.fault().Message.c_str());
+      return 1;
+    }
+    printResponse(*R);
+    return R->ok() ? 0 : 1;
+  }
+
   if (Sub == "suite") {
     uint64_t MinVerified = 0;
     bool HaveMinVerified = false;
@@ -921,6 +1074,72 @@ int cmdClient(int argc, char **argv) {
   }
 
   return usage();
+}
+
+int cmdProfile(int argc, char **argv) {
+  if (argc < 3 || argv[2][0] == '-')
+    return usage();
+  std::string TracePath = argv[2];
+  std::string CollapsedPath;
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--collapsed") && I + 1 < argc)
+      CollapsedPath = argv[++I];
+    else
+      return usage();
+  }
+  std::string Err;
+  auto Trace = obs::readTraceSet(TracePath, &Err);
+  if (!Trace) {
+    std::fprintf(stderr, "bad trace: %s\n", Err.c_str());
+    return 1;
+  }
+  obs::ProfileReport Rep = obs::profileTrace(*Trace);
+  std::fputs(Rep.str().c_str(), stdout);
+  if (!CollapsedPath.empty()) {
+    std::ofstream OS(CollapsedPath);
+    if (!OS) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   CollapsedPath.c_str());
+      return 1;
+    }
+    OS << obs::collapsedStacks(*Trace);
+    std::printf("collapsed stacks -> %s\n", CollapsedPath.c_str());
+  }
+  return 0;
+}
+
+int cmdBenchdiff(int argc, char **argv) {
+  if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-')
+    return usage();
+  double Threshold = 0.10;
+  for (int I = 4; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--threshold") && I + 1 < argc)
+      Threshold = std::strtod(argv[++I], nullptr) / 100.0;
+    else
+      return usage();
+  }
+  auto ReadSide = [](const char *Path)
+      -> std::optional<std::vector<obs::BenchRecord>> {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", Path);
+      return std::nullopt;
+    }
+    std::string Err;
+    auto R = obs::readBenchFile(In, &Err);
+    if (!R)
+      std::fprintf(stderr, "%s: %s\n", Path, Err.c_str());
+    return R;
+  };
+  auto Old = ReadSide(argv[2]);
+  if (!Old)
+    return 2;
+  auto New = ReadSide(argv[3]);
+  if (!New)
+    return 2;
+  obs::BenchDiffReport Rep = obs::diffBenches(*Old, *New, Threshold);
+  std::fputs(Rep.str().c_str(), stdout);
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1106,6 +1325,10 @@ int main(int argc, char **argv) {
     return cmdTrace(argc, argv);
   if (!std::strcmp(Cmd, "postmortem"))
     return cmdPostmortem(argc, argv);
+  if (!std::strcmp(Cmd, "profile"))
+    return cmdProfile(argc, argv);
+  if (!std::strcmp(Cmd, "benchdiff"))
+    return cmdBenchdiff(argc, argv);
   if (!std::strcmp(Cmd, "serve"))
     return cmdServe(argc, argv);
   if (!std::strcmp(Cmd, "client"))
