@@ -1,0 +1,265 @@
+//===- Chaos.cpp - Deterministic protocol chaos proxy -----------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Chaos.h"
+
+#include <chrono>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace extra;
+using namespace extra::server;
+
+namespace {
+
+uint64_t fnv1a(const char *S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (; *S; ++S) {
+    H ^= static_cast<unsigned char>(*S);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+uint64_t splitmix64(uint64_t X) {
+  uint64_t Z = X + 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void sleepMs(unsigned Ms) {
+  if (Ms)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+/// Send of the whole span, working on blocking and non-blocking fds
+/// alike (EAGAIN waits on writability); MSG_NOSIGNAL so a vanished
+/// peer is a false return, never SIGPIPE.
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd P{Fd, POLLOUT, 0};
+      int R;
+      do {
+        R = ::poll(&P, 1, -1);
+      } while (R < 0 && errno == EINTR);
+      if (R <= 0 || (P.revents & (POLLERR | POLLNVAL)))
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool ChaosProxy::fire(const char *Site, std::atomic<uint64_t> &Counter,
+                      unsigned PerMille) {
+  if (!PerMille)
+    return false;
+  uint64_t N = Counter.fetch_add(1, std::memory_order_relaxed);
+  // Pure in (seed, site, counter): replaying the same traffic order
+  // under the same seed replays the same faults.
+  uint64_t H = splitmix64(Opts.Seed ^ fnv1a(Site) ^
+                          N * 0x9e3779b97f4a7c15ULL);
+  return H % 1000 < PerMille;
+}
+
+Expected<std::unique_ptr<ChaosProxy>>
+ChaosProxy::start(const Endpoint &Listen, Endpoint Target,
+                  ChaosOptions Opts) {
+  std::unique_ptr<ChaosProxy> P(new ChaosProxy());
+  P->Target = std::move(Target);
+  P->Opts = Opts;
+  auto Fd = listenEndpoint(Listen);
+  if (!Fd)
+    return Fd.fault();
+  P->ListenFd = *Fd;
+  if (Listen.Tcp)
+    P->ListenPort = localPort(P->ListenFd);
+  else
+    P->UnlinkPath = Listen.Path;
+  P->Acceptor = std::thread([Raw = P.get()] { Raw->acceptLoop(); });
+  return P;
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::acceptLoop() {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, 100);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      continue;
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    auto Upstream = connectEndpoint(Target);
+    if (!Upstream) {
+      ::close(Client);
+      continue;
+    }
+    Connections.fetch_add(1, std::memory_order_relaxed);
+    // Both pumps share a cut flag: a disconnect injection (or a real
+    // close) on either side tears down the pair.
+    auto Cut = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    LiveFds.push_back(Client);
+    LiveFds.push_back(*Upstream);
+    int Server = *Upstream;
+    Pumps.emplace_back([this, Client, Server, Cut] {
+      pump(Client, Server, /*ToServer=*/true, Cut);
+    });
+    Pumps.emplace_back([this, Client, Server, Cut] {
+      pump(Server, Client, /*ToServer=*/false, Cut);
+    });
+  }
+}
+
+void ChaosProxy::pump(int Src, int Dst, bool ToServer,
+                      std::shared_ptr<std::atomic<bool>> Cut) {
+  std::string Buf;
+  auto Sever = [&] {
+    if (!Cut->exchange(true)) {
+      ::shutdown(Src, SHUT_RDWR);
+      ::shutdown(Dst, SHUT_RDWR);
+    }
+  };
+  while (!Stopping.load(std::memory_order_acquire) && !Cut->load()) {
+    std::optional<std::string> Line = readLine(Src, Buf);
+    if (!Line) {
+      Sever();
+      return;
+    }
+    Lines.fetch_add(1, std::memory_order_relaxed);
+    std::string Wire = *Line + "\n";
+
+    if (fire(ToServer ? "c2s/torn" : "s2c/torn",
+             ToServer ? CntTornC2s : CntTornS2c, Opts.TornPerMille)) {
+      Torn.fetch_add(1, std::memory_order_relaxed);
+      size_t Half = Wire.size() / 2;
+      if (!sendAll(Dst, Wire.data(), Half)) {
+        Sever();
+        return;
+      }
+      sleepMs(Opts.StallMs);
+      if (!sendAll(Dst, Wire.data() + Half, Wire.size() - Half)) {
+        Sever();
+        return;
+      }
+      continue;
+    }
+
+    if (fire(ToServer ? "c2s/partial" : "s2c/partial",
+             ToServer ? CntPartialC2s : CntPartialS2c,
+             Opts.PartialPerMille)) {
+      Partial.fetch_add(1, std::memory_order_relaxed);
+      // Dribble in 1..7-byte chunks (sized by the line's own bytes so
+      // the pattern is deterministic), forcing short reads downstream.
+      size_t Off = 0;
+      while (Off < Wire.size()) {
+        size_t Chunk = 1 + static_cast<unsigned char>(Wire[Off]) % 7;
+        if (Chunk > Wire.size() - Off)
+          Chunk = Wire.size() - Off;
+        if (!sendAll(Dst, Wire.data() + Off, Chunk)) {
+          Sever();
+          return;
+        }
+        Off += Chunk;
+        sleepMs(1);
+      }
+      continue;
+    }
+
+    if (fire(ToServer ? "c2s/stall" : "s2c/stall",
+             ToServer ? CntStallC2s : CntStallS2c, Opts.StallPerMille)) {
+      Stalls.fetch_add(1, std::memory_order_relaxed);
+      sleepMs(Opts.StallMs);
+      // Falls through to the intact forward below.
+    }
+
+    if (fire(ToServer ? "c2s/drop" : "s2c/drop",
+             ToServer ? CntDiscC2s : CntDiscS2c,
+             Opts.DisconnectPerMille)) {
+      Disconnects.fetch_add(1, std::memory_order_relaxed);
+      // Half a line, then the wire goes away: the reader sees a torn
+      // final line and EOF. Dropping a response is the double-enqueue
+      // trap — the client must resend and the server must coalesce.
+      (void)sendAll(Dst, Wire.data(), Wire.size() / 2);
+      Sever();
+      return;
+    }
+
+    if (fire(ToServer ? "c2s/garbage" : "s2c/garbage",
+             ToServer ? CntGarbC2s : CntGarbS2c, Opts.GarbagePerMille)) {
+      Garbage.fetch_add(1, std::memory_order_relaxed);
+      std::string Junk = "@@chaos-noise " +
+                         std::to_string(Lines.load()) + "@@\n";
+      if (!sendAll(Dst, Junk.data(), Junk.size())) {
+        Sever();
+        return;
+      }
+    }
+
+    if (!sendAll(Dst, Wire.data(), Wire.size())) {
+      Sever();
+      return;
+    }
+  }
+  Sever();
+}
+
+void ChaosProxy::stop() {
+  if (Stopped.exchange(true))
+    return;
+  Stopping.store(true, std::memory_order_release);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : LiveFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  // Pumps observe Stopping / the shutdowns and exit; joining outside
+  // the lock would race new entries, but the acceptor is already gone.
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  for (std::thread &T : Pumps)
+    if (T.joinable())
+      T.join();
+  for (int Fd : LiveFds)
+    ::close(Fd);
+  LiveFds.clear();
+  Pumps.clear();
+  if (!UnlinkPath.empty())
+    ::unlink(UnlinkPath.c_str());
+}
+
+ChaosCounts ChaosProxy::counts() const {
+  ChaosCounts C;
+  C.Connections = Connections.load();
+  C.Lines = Lines.load();
+  C.Torn = Torn.load();
+  C.Partial = Partial.load();
+  C.Stalls = Stalls.load();
+  C.Disconnects = Disconnects.load();
+  C.Garbage = Garbage.load();
+  return C;
+}

@@ -1,0 +1,144 @@
+//===- Chaos.h - Deterministic protocol chaos proxy -------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fault-injecting TCP/Unix proxy that sits between a protocol client
+/// and the discovery server and mangles the byte stream in the ways
+/// real networks do:
+///
+///   torn lines      — a line is forwarded in two writes with a stall
+///                     between them (exercises mid-line deadlines);
+///   partial writes  — a line dribbles through in tiny chunks
+///                     (exercises partial-read/short-write loops);
+///   stalls          — forwarding pauses before an intact line;
+///   disconnects     — the connection is cut mid-line, taking the
+///                     request or the response with it (exercises
+///                     reconnect + idempotent resubmission);
+///   garbage         — a non-protocol line is injected ahead of the
+///                     real one (exercises response/rid filtering).
+///
+/// Every decision is pure in (seed, site, per-site counter) — the same
+/// design as support/FaultInjection, but self-contained so the proxy
+/// perturbs the *wire*, never the server's own injection state. Same
+/// seed + same traffic order = same mangling, which is what lets CI
+/// assert that a chaos run converges to the same memo store as a clean
+/// one.
+///
+/// Sites are named `<direction>/<kind>`, e.g. `c2s/torn` (client to
+/// server) and `s2c/drop` (server to client); each direction counts
+/// independently, so request and response faults do not mask each
+/// other.
+///
+/// Usable in-process (tests) and via `extra-cli chaos-proxy` (CI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXTRA_SERVER_CHAOS_H
+#define EXTRA_SERVER_CHAOS_H
+
+#include "server/Socket.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace extra {
+namespace server {
+
+/// Injection rates are per-mille per forwarded line (0 = off); a single
+/// line suffers at most one injection, checked in the order torn,
+/// partial, stall, disconnect, garbage.
+struct ChaosOptions {
+  uint64_t Seed = 1;
+  unsigned TornPerMille = 0;
+  unsigned PartialPerMille = 0;
+  unsigned StallPerMille = 0;
+  unsigned DisconnectPerMille = 0;
+  unsigned GarbagePerMille = 0;
+  /// Pause length for torn lines and stalls (keep well under the
+  /// server's LineDeadlineMs unless eviction is the point).
+  unsigned StallMs = 150;
+};
+
+/// What actually fired, for post-run reporting and CI assertions.
+struct ChaosCounts {
+  uint64_t Connections = 0;
+  uint64_t Lines = 0;
+  uint64_t Torn = 0;
+  uint64_t Partial = 0;
+  uint64_t Stalls = 0;
+  uint64_t Disconnects = 0;
+  uint64_t Garbage = 0;
+
+  uint64_t fired() const {
+    return Torn + Partial + Stalls + Disconnects + Garbage;
+  }
+};
+
+class ChaosProxy {
+public:
+  /// Binds \p Listen (TCP port 0 = ephemeral, read back with port())
+  /// and forwards every accepted connection to \p Target through the
+  /// manglers. The accept loop runs on its own thread.
+  static Expected<std::unique_ptr<ChaosProxy>>
+  start(const Endpoint &Listen, Endpoint Target, ChaosOptions Opts);
+
+  ~ChaosProxy(); ///< stop() if still running.
+
+  /// Closes the listener and every live connection, joins all pump
+  /// threads. Idempotent.
+  void stop();
+
+  /// The bound listen port (TCP with port 0), for tests.
+  uint16_t port() const { return ListenPort; }
+
+  ChaosCounts counts() const;
+
+private:
+  ChaosProxy() = default;
+
+  void acceptLoop();
+  void pump(int Src, int Dst, bool ToServer, std::shared_ptr<std::atomic<bool>> Cut);
+  /// The deterministic decider: fires iff the per-site counter's hash
+  /// under the seed lands below the rate.
+  bool fire(const char *Site, std::atomic<uint64_t> &Counter,
+            unsigned PerMille);
+
+  Endpoint Target;
+  ChaosOptions Opts;
+  int ListenFd = -1;
+  uint16_t ListenPort = 0;
+  std::string UnlinkPath;
+  std::thread Acceptor;
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Stopped{false};
+
+  std::mutex ConnMu;
+  std::vector<int> LiveFds;
+  std::vector<std::thread> Pumps;
+
+  // Per-site decision counters (index: direction-specific site).
+  std::atomic<uint64_t> CntTornC2s{0}, CntTornS2c{0};
+  std::atomic<uint64_t> CntPartialC2s{0}, CntPartialS2c{0};
+  std::atomic<uint64_t> CntStallC2s{0}, CntStallS2c{0};
+  std::atomic<uint64_t> CntDiscC2s{0}, CntDiscS2c{0};
+  std::atomic<uint64_t> CntGarbC2s{0}, CntGarbS2c{0};
+
+  // Fired tallies.
+  std::atomic<uint64_t> Connections{0}, Lines{0};
+  std::atomic<uint64_t> Torn{0}, Partial{0}, Stalls{0}, Disconnects{0},
+      Garbage{0};
+};
+
+} // namespace server
+} // namespace extra
+
+#endif // EXTRA_SERVER_CHAOS_H

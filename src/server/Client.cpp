@@ -1,4 +1,4 @@
-//===- Client.cpp - Thin discovery-service client ---------------*- C++ -*-===//
+//===- Client.cpp - Retrying discovery-service client -----------*- C++ -*-===//
 //
 // Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
 //
@@ -7,68 +7,297 @@
 #include "server/Client.h"
 
 #include "obs/TraceFile.h"
-#include "server/Socket.h"
+#include "server/Protocol.h"
 
+#include <chrono>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <unistd.h>
 
 using namespace extra;
 using namespace extra::server;
 
-Expected<std::unique_ptr<Client>> Client::connect(const std::string &Path) {
-  auto Fd = connectUnix(Path);
-  if (!Fd)
-    return Fd.fault();
-  return std::unique_ptr<Client>(new Client(*Fd));
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
 }
 
-Client::~Client() {
+int64_t elapsedMs(Clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               Start)
+      .count();
+}
+
+uint64_t parseU64(const std::string &S, uint64_t Default) {
+  if (S.empty())
+    return Default;
+  return std::strtoull(S.c_str(), nullptr, 10);
+}
+
+Response makeResponse(std::string Raw,
+                      std::map<std::string, std::string> Fields) {
+  Response R;
+  R.Raw = std::move(Raw);
+  R.Fields = std::move(Fields);
+  return R;
+}
+
+} // namespace
+
+Expected<std::unique_ptr<Client>> Client::connect(const std::string &Spec,
+                                                  ClientOptions Opts) {
+  auto Ep = parseEndpoint(Spec);
+  if (!Ep)
+    return Ep.fault();
+  std::unique_ptr<Client> C(new Client());
+  C->Ep = std::move(*Ep);
+  C->Opts = Opts;
+  uint64_t Seed = Opts.JitterSeed;
+  if (!Seed)
+    Seed = static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL +
+           static_cast<uint64_t>(
+               Clock::now().time_since_epoch().count());
+  C->JitterState = Seed;
+  // Fixed-width prefix so rids are unique across processes and client
+  // instances without varying line lengths run to run.
+  char Prefix[32];
+  std::snprintf(Prefix, sizeof(Prefix), "c%016llx",
+                static_cast<unsigned long long>(splitmix64(Seed)));
+  C->RidPrefix = Prefix;
+
+  // Dial eagerly with the same retry discipline requests use, so a
+  // server mid-restart does not fail the construction.
+  std::string LastErr = "never attempted";
+  for (unsigned Attempt = 0; Attempt < Opts.MaxAttempts; ++Attempt) {
+    if (Attempt)
+      C->backoff(Attempt, 0, Opts.RequestDeadlineMs);
+    auto Ok = C->ensureConnected();
+    if (Ok)
+      return C;
+    LastErr = Ok.fault().Message;
+  }
+  return makeFault(FaultCategory::Transport,
+                   "cannot connect to " + C->Ep.str() + ": " + LastErr);
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
   if (Fd >= 0)
     ::close(Fd);
+  Fd = -1;
+  Buf.clear();
+}
+
+Expected<bool> Client::ensureConnected() {
+  if (Fd >= 0)
+    return true;
+  auto NewFd = connectEndpoint(Ep, Opts.ConnectTimeoutMs);
+  if (!NewFd)
+    return NewFd.fault();
+  Fd = *NewFd;
+  if (!setNonBlocking(Fd)) {
+    disconnect();
+    return makeFault(FaultCategory::Transport,
+                     "cannot mark connection non-blocking");
+  }
+  Buf.clear();
+  return true;
+}
+
+void Client::backoff(unsigned Attempt, uint64_t HintMs,
+                     int64_t BudgetLeftMs) {
+  uint64_t Delay = Opts.BackoffBaseMs << (Attempt > 6 ? 6 : Attempt);
+  if (Delay > Opts.BackoffMaxMs)
+    Delay = Opts.BackoffMaxMs;
+  if (HintMs)
+    Delay = HintMs > Opts.BackoffMaxMs ? Opts.BackoffMaxMs : HintMs;
+  // Half-to-full jitter: concurrent retriers spread out instead of
+  // re-colliding in lockstep.
+  if (Delay > 1)
+    Delay = Delay / 2 + splitmix64(JitterState) % (Delay / 2 + 1);
+  if (BudgetLeftMs >= 0 && Delay > static_cast<uint64_t>(BudgetLeftMs))
+    Delay = static_cast<uint64_t>(BudgetLeftMs);
+  if (Delay)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+}
+
+std::string Client::nextRid() {
+  char Out[48];
+  std::snprintf(Out, sizeof(Out), "%s-%08llx", RidPrefix.c_str(),
+                static_cast<unsigned long long>(++RidCounter));
+  return Out;
 }
 
 Expected<Response> Client::request(const std::string &Line) {
-  if (!writeLine(Fd, Line))
-    return makeFault(FaultCategory::Protocol,
-                     "connection lost while sending request");
-  auto Raw = readLine(Fd, Buf);
-  if (!Raw)
-    return makeFault(FaultCategory::Protocol,
-                     "connection closed before a response arrived");
-  auto Fields = obs::parseJsonObjectLine(*Raw);
-  if (!Fields)
-    return makeFault(FaultCategory::Protocol,
-                     "malformed response line: " + *Raw);
-  Response R;
-  R.Raw = std::move(*Raw);
-  R.Fields = std::move(*Fields);
-  return R;
+  // Reuse the caller's rid when the line already carries one (tests pin
+  // rids to exercise the server's dedup window); inject one otherwise.
+  std::string Rid;
+  if (auto Fields = obs::parseJsonObjectLine(Line)) {
+    auto It = Fields->find("rid");
+    if (It != Fields->end())
+      Rid = It->second;
+  }
+  std::string Wire = Line;
+  if (Rid.empty()) {
+    Rid = nextRid();
+    Wire = withRid(Line, Rid);
+    if (Wire == Line)
+      Rid.clear(); // Not an object line; nothing to echo — accept the
+                   // first parsed reply instead of filtering by rid.
+  }
+
+  Clock::time_point Start = Clock::now();
+  auto BudgetLeft = [&]() -> int64_t {
+    if (Opts.RequestDeadlineMs <= 0)
+      return INT_MAX;
+    return static_cast<int64_t>(Opts.RequestDeadlineMs) - elapsedMs(Start);
+  };
+
+  std::string LastErr = "never attempted";
+  uint64_t Hint = 0;
+  unsigned Attempt = 0;
+  for (; Attempt < Opts.MaxAttempts; ++Attempt) {
+    if (BudgetLeft() <= 0)
+      break;
+    if (Attempt) {
+      backoff(Attempt, Hint, BudgetLeft());
+      Hint = 0;
+      if (BudgetLeft() <= 0)
+        break;
+    }
+
+    auto Conn = ensureConnected();
+    if (!Conn) {
+      LastErr = Conn.fault().Message;
+      continue;
+    }
+
+    int64_t Left = BudgetLeft();
+    int SendMs = Left > 10000 ? 10000 : static_cast<int>(Left);
+    if (writeLineDeadline(Fd, Wire, SendMs) != IoStatus::Ok) {
+      LastErr = "request send failed or timed out";
+      disconnect();
+      continue;
+    }
+
+    // Read until *our* response arrives: the resend-safe part is that
+    // everything not carrying our rid — garbage, stale replies from a
+    // previous attempt, fault lines for injected noise — is skipped,
+    // never mistaken for the answer.
+    for (;;) {
+      Left = BudgetLeft();
+      if (Left <= 0) {
+        LastErr = "deadline elapsed awaiting the response";
+        disconnect();
+        break;
+      }
+      int ReadMs = Left > INT_MAX ? INT_MAX : static_cast<int>(Left);
+      LineIo In = readLineDeadline(Fd, Buf, ReadMs, ReadMs,
+                                   Opts.MaxLineBytes);
+      if (In.St != IoStatus::Ok) {
+        LastErr = In.St == IoStatus::Timeout
+                      ? "response read timed out"
+                      : In.St == IoStatus::Eof
+                            ? "connection closed before a response arrived"
+                            : In.St == IoStatus::Oversized
+                                  ? "oversized response line"
+                                  : "connection error reading response";
+        disconnect();
+        break;
+      }
+      auto Fields = obs::parseJsonObjectLine(In.Line);
+      if (!Fields)
+        continue; // Not a protocol line; skip.
+      Response R = makeResponse(std::move(In.Line), std::move(*Fields));
+      std::string GotRid = R.get("rid");
+      if (!Rid.empty() && GotRid != Rid) {
+        // The transport's connection-cap rejection is the one
+        // legitimate rid-less reply addressed to us: honor its backoff
+        // hint. Anything else off-rid is noise.
+        if (R.overloaded() && GotRid.empty()) {
+          Hint = parseU64(R.get("retry_after_ms"), 250);
+          LastErr = "server overloaded: " + R.get("error");
+          disconnect();
+          break;
+        }
+        continue;
+      }
+      if (R.overloaded()) {
+        Hint = parseU64(R.get("retry_after_ms"), 250);
+        LastErr = "server overloaded: " + R.get("error");
+        disconnect();
+        break;
+      }
+      return R;
+    }
+  }
+  return makeFault(FaultCategory::Transport,
+                   "request to " + Ep.str() + " failed after " +
+                       std::to_string(Attempt) + " attempt(s): " + LastErr);
 }
 
 Expected<Response> Client::requestStream(
     const std::string &Line,
     const std::function<bool(const Response &)> &OnTick) {
-  if (!writeLine(Fd, Line))
-    return makeFault(FaultCategory::Protocol,
+  // A watch is not idempotent mid-stream (replayed ticks would double),
+  // so only the connect is retried; a lost stream is a Transport fault
+  // and the caller decides whether to re-attach.
+  std::string Rid;
+  if (auto Fields = obs::parseJsonObjectLine(Line)) {
+    auto It = Fields->find("rid");
+    if (It != Fields->end())
+      Rid = It->second;
+  }
+  std::string Wire = Line;
+  if (Rid.empty()) {
+    Rid = nextRid();
+    Wire = withRid(Line, Rid);
+    if (Wire == Line)
+      Rid.clear();
+  }
+
+  auto Conn = ensureConnected();
+  if (!Conn)
+    return Conn.fault();
+  if (writeLineDeadline(Fd, Wire, 10000) != IoStatus::Ok) {
+    disconnect();
+    return makeFault(FaultCategory::Transport,
                      "connection lost while sending request");
+  }
   for (;;) {
-    auto Raw = readLine(Fd, Buf);
-    if (!Raw)
-      return makeFault(FaultCategory::Protocol,
-                       "connection closed mid-stream");
-    auto Fields = obs::parseJsonObjectLine(*Raw);
+    LineIo In =
+        readLineDeadline(Fd, Buf, Opts.StreamIdleMs, Opts.StreamIdleMs,
+                         Opts.MaxLineBytes);
+    if (In.St != IoStatus::Ok) {
+      disconnect();
+      return makeFault(FaultCategory::Transport,
+                       In.St == IoStatus::Timeout
+                           ? "stream stalled past the idle bound"
+                           : "connection closed mid-stream");
+    }
+    auto Fields = obs::parseJsonObjectLine(In.Line);
     if (!Fields)
-      return makeFault(FaultCategory::Protocol,
-                       "malformed stream line: " + *Raw);
-    Response R;
-    R.Raw = std::move(*Raw);
-    R.Fields = std::move(*Fields);
+      continue; // Noise between ticks; skip.
+    Response R = makeResponse(std::move(In.Line), std::move(*Fields));
     // Tick lines carry "done":false and no "ok"; the final response is
-    // a normal ok/fault line.
-    if (R.Fields.count("ok"))
+    // a normal ok/fault line echoing our rid.
+    if (R.Fields.count("ok")) {
+      std::string GotRid = R.get("rid");
+      if (!GotRid.empty() && GotRid != Rid)
+        continue; // A stale final line from another request.
       return R;
+    }
     if (!OnTick(R)) {
-      ::close(Fd);
-      Fd = -1;
+      disconnect();
       return makeFault(FaultCategory::Protocol,
                        "watch abandoned by the caller");
     }

@@ -1,22 +1,46 @@
-//===- Client.h - Thin discovery-service client -----------------*- C++ -*-===//
+//===- Client.h - Retrying discovery-service client -------------*- C++ -*-===//
 //
 // Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The client half of the wire protocol: connect to a service socket,
-/// send one request line, read one response line. Response parsing
-/// (flat JSON via obs::parseJsonObjectLine) is bundled so CLI commands
-/// and tests share one decoder.
+/// The client half of the wire protocol: connect to a service endpoint
+/// (Unix socket or TCP), send one request line, read one response line.
+/// Response parsing (flat JSON via obs::parseJsonObjectLine) is bundled
+/// so CLI commands and tests share one decoder.
+///
+/// The client is where protocol robustness earns its keep. Every
+/// request is sent under a deadline budget with bounded retries:
+///
+///  * Connects retry with exponential backoff plus jitter, so a server
+///    mid-restart is ridden out instead of failed.
+///  * Every request carries a client-generated `"rid"` unless the
+///    caller supplied one. A response is accepted only when it echoes
+///    the rid — lines that do not parse, or parse to a different (or
+///    missing) rid, are *skipped*, which is what makes the client safe
+///    on a stream polluted by torn lines, stale replies, or injected
+///    garbage.
+///  * A dropped connection or read timeout closes the socket,
+///    reconnects, and resends the same line with the same rid. For
+///    `submit` the server's rid dedup window turns that resend into the
+///    original admission — a retry never double-enqueues work.
+///  * A typed overloaded reply (`"overloaded":true`) is not a failure:
+///    the client honors `retry_after_ms` (bounded by its own backoff
+///    cap) and tries again within the budget.
+///
+/// When the budget or the attempt bound is exhausted the request fails
+/// with a Transport fault naming the last underlying error.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXTRA_SERVER_CLIENT_H
 #define EXTRA_SERVER_CLIENT_H
 
+#include "server/Socket.h"
 #include "support/Error.h"
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,38 +58,91 @@ struct Response {
     auto It = Fields.find("ok");
     return It != Fields.end() && It->second == "true";
   }
+  bool overloaded() const {
+    auto It = Fields.find("overloaded");
+    return It != Fields.end() && It->second == "true";
+  }
   std::string get(const std::string &Key) const {
     auto It = Fields.find(Key);
     return It == Fields.end() ? std::string() : It->second;
   }
 };
 
+/// Resilience knobs; the defaults suit an interactive CLI against a
+/// local server.
+struct ClientOptions {
+  /// TCP connect timeout (Unix-socket connects are local and fast).
+  int ConnectTimeoutMs = 5000;
+  /// Total per-request budget across all attempts, including waits on
+  /// `"wait":true` submits. <= 0 disables the budget (block forever,
+  /// still bounded by MaxAttempts for transport errors).
+  int RequestDeadlineMs = 120000;
+  /// Attempt bound per request (connects + sends + rereads).
+  unsigned MaxAttempts = 5;
+  /// Exponential backoff between attempts: base doubles per attempt,
+  /// capped, then jittered to half-to-full of the computed delay.
+  uint64_t BackoffBaseMs = 50;
+  uint64_t BackoffMaxMs = 2000;
+  /// Jitter PRNG seed; 0 derives one from the pid so concurrent
+  /// clients do not thunder in lockstep.
+  uint64_t JitterSeed = 0;
+  /// Response lines longer than this are a Transport fault.
+  size_t MaxLineBytes = 1 << 20;
+  /// Idle bound while waiting for the next line of a `watch` stream
+  /// (the server heartbeats every second; this rides out long stalls).
+  int StreamIdleMs = 60000;
+};
+
 class Client {
 public:
-  /// Connects to the service socket at \p Path.
-  static Expected<std::unique_ptr<Client>> connect(const std::string &Path);
+  /// Connects to \p Spec — a Unix socket path, `unix:/path`,
+  /// `host:port`, or `tcp:host:port` (parseEndpoint's grammar) — with
+  /// connect retries under \p Opts.
+  static Expected<std::unique_ptr<Client>>
+  connect(const std::string &Spec, ClientOptions Opts = ClientOptions());
 
   ~Client(); ///< Closes the connection.
 
-  /// Sends one request line and reads one response line. Protocol fault
-  /// when the connection drops or the response is not a flat JSON
-  /// object.
+  /// Sends one request line and reads the matching response line,
+  /// retrying per the options above. \p Line must be a flat JSON
+  /// object; a `"rid"` is injected when absent. Transport fault once
+  /// the deadline budget or the attempt bound is exhausted.
   Expected<Response> request(const std::string &Line);
 
   /// The streaming variant for `watch`: sends one request line, then
   /// invokes \p OnTick for every intermediate line (those without an
   /// "ok" field) until the final response arrives, which is returned.
   /// OnTick returning false stops reading early (the caller is done
-  /// watching) and closes the connection.
+  /// watching) and closes the connection. Garbage lines mid-stream are
+  /// skipped; a lost connection is a Transport fault (a watch is not
+  /// idempotent — the caller decides whether to re-attach).
   Expected<Response>
   requestStream(const std::string &Line,
                 const std::function<bool(const Response &)> &OnTick);
 
-private:
-  explicit Client(int Fd) : Fd(Fd) {}
+  const Endpoint &endpoint() const { return Ep; }
 
+private:
+  Client() = default;
+
+  /// Ensures Fd is a live connection, dialing if needed.
+  Expected<bool> ensureConnected();
+  void disconnect();
+  /// Sleeps the jittered exponential delay for \p Attempt (bounded by
+  /// the remaining budget); \p HintMs overrides the base when the
+  /// server suggested retry_after_ms.
+  void backoff(unsigned Attempt, uint64_t HintMs, int64_t BudgetLeftMs);
+  std::string nextRid();
+
+  Endpoint Ep;
+  ClientOptions Opts;
   int Fd = -1;
   std::string Buf;
+  uint64_t JitterState = 0;
+  uint64_t RidCounter = 0;
+  /// Fixed per-instance prefix keeping rids unique across processes
+  /// and client instances (pid + time + instance counter, hashed).
+  std::string RidPrefix;
 };
 
 } // namespace server

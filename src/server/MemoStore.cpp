@@ -13,10 +13,14 @@
 #include "support/FaultInjection.h"
 #include "support/VersionedFile.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fcntl.h>
 #include <fstream>
+#include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace extra;
@@ -133,6 +137,28 @@ support::FileFormat memoFormat() {
   return {kMemoFormat, kMemoVersion, "memo store"};
 }
 
+/// A lock whose recorded pid no longer names a process is stale.
+const long kStaleLockAgeSec = 300;
+
+/// True when the lock at \p LockPath was abandoned: its pid is dead
+/// (kill 0 -> ESRCH), or — when the pid is unreadable — the file is
+/// older than kStaleLockAgeSec. A live or merely unsignallable (EPERM)
+/// owner is never stale.
+bool staleLock(const std::string &LockPath) {
+  std::ifstream In(LockPath);
+  long Pid = 0;
+  if (In && (In >> Pid) && Pid > 0) {
+    if (::kill(static_cast<pid_t>(Pid), 0) == 0)
+      return false; // Owner is alive.
+    return errno == ESRCH;
+  }
+  // No readable pid (torn write, pre-liveness lock): age decides.
+  struct stat St;
+  if (::stat(LockPath.c_str(), &St) != 0)
+    return true; // Vanished under us — the O_EXCL retry will decide.
+  return ::time(nullptr) - St.st_mtime > kStaleLockAgeSec;
+}
+
 } // namespace
 
 Expected<std::unique_ptr<MemoStore>> MemoStore::open(const std::string &Path) {
@@ -147,13 +173,34 @@ Expected<std::unique_ptr<MemoStore>> MemoStore::open(const std::string &Path) {
   }
 
   // O_EXCL lock: exactly one server may own a store. The file holds the
-  // pid for post-mortem forensics; liveness is not checked — a crashed
-  // server leaves a stale lock the operator removes deliberately.
-  int LockFd = ::open(S->LockPath.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  // owner's pid, which doubles as the liveness probe: when the O_EXCL
+  // create loses, the recorded pid is signalled with kill(pid, 0) — a
+  // dead owner (ESRCH) means a crashed server left the lock behind, and
+  // it is taken over instead of failing, so a supervised restart needs
+  // no manual cleanup. An unreadable pid falls back to the lock file's
+  // age (older than kStaleLockAgeSec = abandoned). A *live* owner still
+  // faults: two servers must never share an append log.
+  //
+  // The takeover window is bounded: unlink-then-recreate can race
+  // another restarting server, so the create is retried a few times and
+  // only ever after a stale verdict.
+  bool TookOver = false;
+  int LockFd = -1;
+  for (int Tries = 0; Tries < 4; ++Tries) {
+    LockFd = ::open(S->LockPath.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (LockFd >= 0)
+      break;
+    if (!staleLock(S->LockPath))
+      return storeFault("store lock '" + S->LockPath +
+                        "' held by a live process (remove it only if no "
+                        "server is running)");
+    TookOver = true;
+    ::unlink(S->LockPath.c_str());
+  }
   if (LockFd < 0)
     return storeFault("store lock '" + S->LockPath +
-                      "' already held (remove it only if no server is "
-                      "running)");
+                      "' could not be taken over (restart race)");
+  (void)TookOver;
   std::string Pid = std::to_string(static_cast<long>(::getpid())) + "\n";
   (void)!::write(LockFd, Pid.c_str(), Pid.size());
   ::close(LockFd);

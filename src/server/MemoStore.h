@@ -40,9 +40,12 @@
 ///    build) appends a superseding line. compact() rewrites the file to
 ///    one line per key — the in-memory view and the compacted file are
 ///    byte-equivalent inputs.
-///  * A sidecar lock file (`<path>.lock`, O_EXCL) makes double-serving
-///    one store a typed Store fault instead of interleaved appends; the
-///    lock is removed on close, including destructor-driven shutdown.
+///  * A sidecar lock file (`<path>.lock`, O_EXCL, holding the owner's
+///    pid) makes double-serving one store a typed Store fault instead
+///    of interleaved appends; the lock is removed on close, including
+///    destructor-driven shutdown. A lock whose pid is dead (or, when
+///    unreadable, whose file is old) is stale and taken over on open —
+///    a crashed server never wedges its successor.
 ///
 /// Writes run under the "store" fault-injection site.
 ///
@@ -138,8 +141,9 @@ struct MemoEntry {
 class MemoStore {
 public:
   /// Opens (creating if absent) the store at \p Path and takes the
-  /// sidecar lock. Faults: unreadable/foreign/future-version file, lock
-  /// already held, injected "store" faults during load.
+  /// sidecar lock (taking over a stale one — dead pid or aged-out
+  /// unreadable lock). Faults: unreadable/foreign/future-version file,
+  /// lock held by a live process, injected "store" faults during load.
   static Expected<std::unique_ptr<MemoStore>> open(const std::string &Path);
 
   ~MemoStore(); ///< Releases the lock (close() if not already called).

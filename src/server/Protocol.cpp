@@ -32,6 +32,10 @@ const char *server::cmdName(Request::Cmd C) {
     return "metrics";
   case Request::Cmd::Watch:
     return "watch";
+  case Request::Cmd::Health:
+    return "health";
+  case Request::Cmd::Ready:
+    return "ready";
   }
   return "?";
 }
@@ -67,6 +71,10 @@ Expected<Request> server::parseRequest(const std::string &Line) {
     R.C = Request::Cmd::Metrics;
   else if (Cmd == "watch")
     R.C = Request::Cmd::Watch;
+  else if (Cmd == "health")
+    R.C = Request::Cmd::Health;
+  else if (Cmd == "ready")
+    R.C = Request::Cmd::Ready;
   else if (Cmd.empty())
     return Protocol("request carries no \"cmd\"");
   else
@@ -87,6 +95,13 @@ Expected<Request> server::parseRequest(const std::string &Line) {
   std::string Priority = Get("priority");
   if (!Priority.empty())
     R.Priority = static_cast<int>(std::strtol(Priority.c_str(), nullptr, 10));
+
+  R.Rid = Get("rid");
+  if (R.Rid.size() > 64)
+    return Protocol("request id longer than 64 bytes");
+  std::string Deadline = Get("deadline_ms");
+  if (!Deadline.empty())
+    R.DeadlineMs = std::strtoll(Deadline.c_str(), nullptr, 10);
 
   R.Path = Get("path");
   if (R.C == Request::Cmd::Export && R.Path.empty())
@@ -122,6 +137,24 @@ std::string server::faultResponse(const Fault &F) {
   P.add("error", F.Message);
   P.add("category", faultCategoryName(F.Category));
   return "{\"ok\":false" + P.rendered() + "}";
+}
+
+std::string server::overloadedResponse(const std::string &Why,
+                                       uint64_t RetryAfterMs) {
+  obs::Payload P;
+  P.add("error", Why);
+  P.add("category", faultCategoryName(FaultCategory::Protocol));
+  P.add("overloaded", true);
+  P.add("retry_after_ms", RetryAfterMs);
+  return "{\"ok\":false" + P.rendered() + "}";
+}
+
+std::string server::withRid(std::string Response, const std::string &Rid) {
+  if (Rid.empty() || Response.empty() || Response.back() != '}')
+    return Response;
+  Response.pop_back();
+  Response += ",\"rid\":\"" + obs::jsonEscape(Rid) + "\"}";
+  return Response;
 }
 
 void server::addEntryPayload(obs::Payload &P, const MemoEntry &E) {

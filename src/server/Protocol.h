@@ -14,10 +14,39 @@
 ///   {"cmd":"submit","case":RECORDED-CASE-ID[,"wait":true]...}
 ///   {"cmd":"query","operator":ID,"instruction":ID[,"mode":...]}
 ///   {"cmd":"query","case":RECORDED-CASE-ID}
-///   {"cmd":"status"}   {"cmd":"drain"}   {"cmd":"shutdown"}
+///   {"cmd":"status"}   {"cmd":"drain"[,"deadline_ms":N]}
+///   {"cmd":"shutdown"}   {"cmd":"health"}   {"cmd":"ready"}
 ///   {"cmd":"export","path":FILE}
 ///   {"cmd":"metrics"[,"format":"json"|"prom"]}
 ///   {"cmd":"watch","job":ID}   {"cmd":"watch","case":CASE-ID}
+///
+/// Every request may carry a client-generated `"rid"` (request id,
+/// any string up to 64 bytes). The response echoes it verbatim, which
+/// gives a retrying client two guarantees: it can match responses to
+/// requests on a stream polluted by chaos (lines without the expected
+/// rid are skipped), and a `submit` resent after a dropped response is
+/// coalesced with the original admission instead of double-enqueued —
+/// the server keeps a bounded dedup window keyed by rid (distinct from
+/// the queue's fingerprint dedup, which only covers *live* jobs).
+///
+/// `drain` without a deadline keeps the PR 5 semantics: block until
+/// the queue is idle, reply, keep serving. With `"deadline_ms"` it is
+/// the graceful-exit verb: admission stops (submits are answered with
+/// the overloaded reply, `"draining":true`), in-flight jobs get the
+/// deadline to finish — stragglers are cooperatively cancelled and
+/// their partial verdicts checkpointed to the store — the store is
+/// compacted, and the server exits cleanly.
+///
+/// `health` always answers `{"ok":true,"healthy":true,...}` from a
+/// live process; `ready` reports `"ready":false` once draining or
+/// shutting down — the two supervision probes.
+///
+/// Overload is a *typed* reply, not a dropped connection:
+/// `{"ok":false,"error":...,"category":"protocol","overloaded":true,
+/// "retry_after_ms":N}` — sent when the work queue's admission bound
+/// or the transport's connection cap is hit, or when a submit arrives
+/// while draining. Clients back off and retry within their deadline
+/// budget.
 ///
 /// `export` dumps the store's verified pairings as a binding-registry
 /// file (src/registry format) at a server-side path, answering
@@ -73,9 +102,17 @@ struct Request {
     Shutdown,
     Export,
     Metrics,
-    Watch
+    Watch,
+    Health,
+    Ready
   };
   Cmd C = Cmd::Status;
+  /// Client-generated request id; echoed in the response and used for
+  /// idempotent submit resubmission. Empty = none.
+  std::string Rid;
+  /// Drain: graceful-exit deadline for in-flight jobs (<0 = the PR 5
+  /// wait-until-idle drain that keeps serving).
+  int64_t DeadlineMs = -1;
   /// Export: server-side destination file for the registry dump.
   std::string Path;
   /// Pairing addressing: either a recorded case id, or explicit
@@ -106,6 +143,14 @@ std::string okResponse(const obs::Payload &P);
 
 /// `{"ok":false,"error":...,"category":...}`.
 std::string faultResponse(const Fault &F);
+
+/// The typed backpressure reply: `{"ok":false,"error":...,
+/// "category":"protocol","overloaded":true,"retry_after_ms":N}`.
+std::string overloadedResponse(const std::string &Why, uint64_t RetryAfterMs);
+
+/// Echoes \p Rid into an already-rendered response line (no-op when
+/// \p Rid is empty). The response stays one flat JSON object.
+std::string withRid(std::string Response, const std::string &Rid);
 
 /// Renders a cached verdict into a response payload: outcome and record
 /// counters plus the verified scripts/binding/constraints.

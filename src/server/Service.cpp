@@ -36,7 +36,8 @@ Expected<std::unique_ptr<Service>> Service::create(ServiceOptions Opts) {
     S->Opts.Limits.Metrics = S->EffectiveMetrics;
   }
   unsigned Workers = S->Opts.Workers ? S->Opts.Workers : 2;
-  S->Queue = std::make_unique<WorkQueue>(Workers);
+  S->StartedAt = std::chrono::steady_clock::now();
+  S->Queue = std::make_unique<WorkQueue>(Workers, S->Opts.MaxQueued);
   S->Workers.reserve(Workers);
   for (unsigned I = 0; I < Workers; ++I)
     S->Workers.emplace_back([Raw = S.get()] { Raw->workerLoop(); });
@@ -158,32 +159,88 @@ std::string Service::handle(const std::string &Line, const PushFn *Push) {
   auto R = parseRequest(Line);
   if (!R)
     return faultResponse(R.fault());
+  // Every response echoes the request's rid (parse failures cannot —
+  // there is no rid to echo — which is exactly how the retrying client
+  // tells a reply to *its* request from a reply to injected garbage).
+  auto Respond = [&](std::string Resp) {
+    return withRid(std::move(Resp), R->Rid);
+  };
   try {
     switch (R->C) {
     case Request::Cmd::Submit:
-      return handleSubmit(*R);
+      return Respond(handleSubmit(*R));
     case Request::Cmd::Query:
-      return handleQuery(*R);
+      return Respond(handleQuery(*R));
     case Request::Cmd::Status:
-      return handleStatus();
+      return Respond(handleStatus());
     case Request::Cmd::Drain:
-      return handleDrain();
+      return Respond(handleDrain(*R));
     case Request::Cmd::Shutdown:
-      return handleShutdown();
+      return Respond(handleShutdown());
+    case Request::Cmd::Health:
+      return Respond(handleHealth());
+    case Request::Cmd::Ready:
+      return Respond(handleReady());
     case Request::Cmd::Export:
-      return handleExport(*R);
+      return Respond(handleExport(*R));
     case Request::Cmd::Metrics:
-      return handleMetrics(*R);
+      return Respond(handleMetrics(*R));
     case Request::Cmd::Watch:
-      return handleWatch(*R, Push);
+      return Respond(handleWatch(*R, Push));
     }
-    return faultResponse(
-        makeFault(FaultCategory::Protocol, "unhandled command"));
+    return Respond(faultResponse(
+        makeFault(FaultCategory::Protocol, "unhandled command")));
   } catch (const FaultError &FE) {
-    return faultResponse(FE.fault());
+    return Respond(faultResponse(FE.fault()));
   } catch (const std::exception &E) {
-    return faultResponse(makeFault(FaultCategory::Internal, E.what()));
+    return Respond(faultResponse(makeFault(FaultCategory::Internal, E.what())));
   }
+}
+
+std::optional<Service::RidRecord> Service::ridLookup(const std::string &Rid) {
+  std::lock_guard<std::mutex> Lock(RidMu);
+  auto It = RidByKey.find(Rid);
+  if (It == RidByKey.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void Service::ridInsert(const std::string &Rid, RidRecord R) {
+  std::lock_guard<std::mutex> Lock(RidMu);
+  if (!RidByKey.emplace(Rid, std::move(R)).second)
+    return; // Raced with another thread carrying the same rid.
+  RidOrder.push_back(Rid);
+  while (Opts.RidWindowSize && RidOrder.size() > Opts.RidWindowSize) {
+    RidByKey.erase(RidOrder.front());
+    RidOrder.pop_front();
+    EffectiveMetrics->counter("server.admission.rid_evict").add();
+  }
+}
+
+std::string Service::waitAndRender(const std::string &Key, uint64_t JobId) {
+  std::optional<search::CheckpointRecord> Record = Queue->wait(JobId);
+  obs::Payload P;
+  P.add("cached", false);
+  P.add("job", JobId);
+  if (!Record) {
+    // The queue no longer knows the job (cancelled, or a rid retry
+    // outliving the job table); the store is the durable answer.
+    if (auto Entry = Store->lookup(Key)) {
+      addEntryPayload(P, *Entry);
+      return okResponse(P);
+    }
+    return faultResponse(makeFault(
+        FaultCategory::Protocol, "job cancelled before completion"));
+  }
+  if (auto Entry = Store->lookup(Key)) {
+    addEntryPayload(P, *Entry);
+  } else {
+    // Store append faulted; answer from the in-queue record.
+    P.add("case", Record->Case);
+    P.add("outcome", search::caseOutcomeName(Record->Outcome));
+    P.add("verified", Record->Verified);
+  }
+  return okResponse(P);
 }
 
 std::string Service::handleSubmit(const Request &R) {
@@ -191,6 +248,24 @@ std::string Service::handleSubmit(const Request &R) {
   if (!Resolved)
     return faultResponse(Resolved.fault());
   auto &[C, Key] = *Resolved;
+
+  // A resent rid is the same admission coming back: the client sent the
+  // request, lost the response, and retried. Coalesce with the original
+  // job instead of double-enqueueing.
+  if (!R.Rid.empty()) {
+    if (auto Prior = ridLookup(R.Rid)) {
+      EffectiveMetrics->counter("server.admission.rid_dedup").add();
+      if (R.Wait)
+        return waitAndRender(Prior->Key, Prior->JobId);
+      obs::Payload P;
+      P.add("cached", false);
+      P.add("job", Prior->JobId);
+      P.add("deduped", true);
+      P.add("resubmitted", true);
+      P.add("key", Prior->Key);
+      return okResponse(P);
+    }
+  }
 
   if (auto Hit = Store->lookup(Key); Hit && entryAnswers(*Hit)) {
     EffectiveMetrics->counter("server.cache.hit").add();
@@ -204,8 +279,29 @@ std::string Service::handleSubmit(const Request &R) {
   if (Shutdown.load(std::memory_order_acquire))
     return faultResponse(
         makeFault(FaultCategory::Protocol, "service is shutting down"));
+  if (Draining.load(std::memory_order_acquire)) {
+    EffectiveMetrics->counter("server.admission.draining").add();
+    obs::Payload P;
+    P.add("error", "service is draining");
+    P.add("category", faultCategoryName(FaultCategory::Protocol));
+    P.add("overloaded", true);
+    P.add("draining", true);
+    P.add("retry_after_ms", static_cast<uint64_t>(1000));
+    return "{\"ok\":false" + P.rendered() + "}";
+  }
 
   JobTicket T = Queue->submit(C, Key, R.Priority);
+  if (T.Rejected) {
+    EffectiveMetrics->counter("server.admission.rejected").add();
+    return overloadedResponse("work queue backlog at capacity", 250);
+  }
+  if (!T.Deduped)
+    EffectiveMetrics->counter("server.admission.enqueued").add();
+  // Remember the admission under its rid *before* answering, so a retry
+  // racing the response still coalesces.
+  if (!R.Rid.empty())
+    ridInsert(R.Rid, RidRecord{Key, T.Id});
+
   if (!R.Wait) {
     obs::Payload P;
     P.add("cached", false);
@@ -214,23 +310,7 @@ std::string Service::handleSubmit(const Request &R) {
     P.add("key", Key);
     return okResponse(P);
   }
-
-  std::optional<search::CheckpointRecord> Record = Queue->wait(T.Id);
-  if (!Record)
-    return faultResponse(makeFault(
-        FaultCategory::Protocol, "job cancelled before completion"));
-  obs::Payload P;
-  P.add("cached", false);
-  P.add("job", T.Id);
-  if (auto Entry = Store->lookup(Key)) {
-    addEntryPayload(P, *Entry);
-  } else {
-    // Store append faulted; answer from the in-queue record.
-    P.add("case", Record->Case);
-    P.add("outcome", search::caseOutcomeName(Record->Outcome));
-    P.add("verified", Record->Verified);
-  }
-  return okResponse(P);
+  return waitAndRender(Key, T.Id);
 }
 
 std::string Service::handleQuery(const Request &R) {
@@ -263,12 +343,37 @@ std::string Service::handleStatus() {
   return okResponse(P);
 }
 
-std::string Service::handleDrain() {
-  Queue->waitIdle();
+std::string Service::handleDrain(const Request &R) {
+  if (R.DeadlineMs < 0) {
+    // The PR 5 drain: block until idle, reply, keep serving.
+    Queue->waitIdle();
+    obs::Payload P;
+    P.add("drained", true);
+    P.add("completed", Queue->completedCount());
+    P.add("entries", static_cast<uint64_t>(Store->size()));
+    return okResponse(P);
+  }
+
+  // Graceful exit. Admission stops first (submits get the overloaded
+  // reply with "draining":true), then in-flight jobs get the deadline.
+  // Stragglers are cooperatively cancelled — their workers still
+  // checkpoint partial verdicts to the store before stop() joins them —
+  // and the owner loop is asked to stop, which compacts and exits.
+  Draining.store(true, std::memory_order_release);
+  Queue->beginDrain();
+  bool Idle = Queue->waitIdleFor(static_cast<uint64_t>(R.DeadlineMs));
+  uint64_t Cancelled = 0;
+  if (!Idle) {
+    Cancelled = Queue->queuedCount() + Queue->runningCount();
+    Queue->cancelAll();
+  }
   obs::Payload P;
-  P.add("drained", true);
+  P.add("drained", Idle);
+  P.add("cancelled", Cancelled);
   P.add("completed", Queue->completedCount());
   P.add("entries", static_cast<uint64_t>(Store->size()));
+  P.add("stopping", true);
+  Shutdown.store(true, std::memory_order_release);
   return okResponse(P);
 }
 
@@ -276,6 +381,33 @@ std::string Service::handleShutdown() {
   Shutdown.store(true, std::memory_order_release);
   obs::Payload P;
   P.add("stopping", true);
+  return okResponse(P);
+}
+
+std::string Service::handleHealth() {
+  // Liveness: a live process always answers. Uptime lets a supervisor
+  // distinguish a flapping restart loop from a stable server.
+  auto Uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - StartedAt);
+  obs::Payload P;
+  P.add("healthy", true);
+  P.add("uptime_ms", static_cast<uint64_t>(Uptime.count()));
+  P.add("store", Store->path());
+  P.add("workers", static_cast<uint64_t>(Workers.size()));
+  return okResponse(P);
+}
+
+std::string Service::handleReady() {
+  // Readiness: false once draining or shutting down, so a supervisor
+  // stops routing new work while the exit is still in flight.
+  bool Ready = !Draining.load(std::memory_order_acquire) &&
+               !Shutdown.load(std::memory_order_acquire) && !Stopped.load();
+  obs::Payload P;
+  P.add("ready", Ready);
+  if (!Ready)
+    P.add("reason", Draining.load() ? "draining" : "shutting down");
+  P.add("queued", static_cast<uint64_t>(Queue->queuedCount()));
+  P.add("running", static_cast<uint64_t>(Queue->runningCount()));
   return okResponse(P);
 }
 

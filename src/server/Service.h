@@ -22,9 +22,30 @@
 ///    key) and either return the ticket or, with `"wait":true`, block
 ///    until the verdict lands in the store.
 ///  * `query` is read-only: cache hit or `"hit":false`, never a search.
-///  * `drain` blocks until the queue is idle; `status` reports counters;
-///    `shutdown` asks the owner loop to stop (running jobs get their
-///    cooperative cancel raised, queued jobs complete as cancelled).
+///  * `drain` blocks until the queue is idle; with `"deadline_ms"` it
+///    is the graceful-exit verb: admission stops, in-flight jobs get
+///    the deadline to finish (stragglers are cancelled and their
+///    partial verdicts still checkpointed to the store), and the owner
+///    loop is asked to stop — compaction happens in stop().
+///  * `status` reports counters; `health`/`ready` are the supervision
+///    probes; `shutdown` asks the owner loop to stop (running jobs get
+///    their cooperative cancel raised, queued jobs complete as
+///    cancelled).
+///
+/// Idempotent resubmission: a submit carrying a `"rid"` lands in a
+/// bounded dedup window (rid -> pairing key + job id). A retried
+/// submit with the same rid — a client that lost the response, not the
+/// request — is coalesced with the original admission: answered from
+/// the store if the job finished, attached to the live job if not,
+/// never enqueued twice. The window is FIFO-bounded (RidWindowSize) so
+/// a hostile client cannot grow it without bound; eviction of a rid
+/// merely restores at-most-once *per window*, which the fingerprint
+/// dedup and memo cache still back up.
+///
+/// Admission control: new work is rejected with the typed overloaded
+/// reply when the queue backlog is at MaxQueued or the service is
+/// draining. Joining existing work (cache hit, live-job dedup, rid
+/// dedup) always succeeds — backpressure gates cost, not answers.
 ///
 /// Workers execute jobs through search::executeJob — the same contained
 /// path as the batch driver (watchdog, degraded retry, deterministic
@@ -39,6 +60,12 @@
 ///   server.progress.watchers               watch requests accepted
 ///   server.progress.ticks                  progress tick lines pushed
 ///   server.progress.disconnects            watchers gone mid-stream
+///   server.admission.enqueued              new jobs admitted
+///   server.admission.rejected              submits refused (queue full)
+///   server.admission.draining              submits refused while draining
+///   server.admission.rid_dedup             retried submits coalesced by
+///                                          request id
+///   server.admission.rid_evict             rids aged out of the window
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,8 +80,13 @@
 #include "support/Error.h"
 
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +107,10 @@ struct ServiceOptions {
   /// Compact the store on stop() (one line per key, superseded records
   /// dropped).
   bool CompactOnShutdown = true;
+  /// Backlog bound for new-work admission; 0 = unbounded.
+  size_t MaxQueued = 256;
+  /// Request-id dedup window capacity (FIFO eviction).
+  size_t RidWindowSize = 256;
 };
 
 class Service {
@@ -129,11 +165,29 @@ private:
   std::string handleSubmit(const Request &R);
   std::string handleQuery(const Request &R);
   std::string handleStatus();
-  std::string handleDrain();
+  std::string handleDrain(const Request &R);
   std::string handleShutdown();
+  std::string handleHealth();
+  std::string handleReady();
   std::string handleExport(const Request &R);
   std::string handleMetrics(const Request &R);
   std::string handleWatch(const Request &R, const PushFn *Push);
+
+  /// One admitted request id: enough to re-answer a retried submit
+  /// without re-running it.
+  struct RidRecord {
+    std::string Key;
+    uint64_t JobId = 0;
+  };
+
+  /// The rid the window remembers (hit bumps nothing — FIFO by
+  /// admission order, not LRU: retries of old rids should age out).
+  std::optional<RidRecord> ridLookup(const std::string &Rid);
+  void ridInsert(const std::string &Rid, RidRecord R);
+
+  /// Waits on a submitted/deduped job and renders the final verdict
+  /// response (shared by fresh admissions and rid-coalesced retries).
+  std::string waitAndRender(const std::string &Key, uint64_t JobId);
 
   ServiceOptions Opts;
   std::unique_ptr<MemoStore> Store;
@@ -144,6 +198,12 @@ private:
   obs::Metrics *EffectiveMetrics = nullptr;
   std::atomic<bool> Shutdown{false};
   std::atomic<bool> Stopped{false};
+  std::atomic<bool> Draining{false};
+  std::chrono::steady_clock::time_point StartedAt;
+
+  std::mutex RidMu;
+  std::map<std::string, RidRecord> RidByKey;
+  std::deque<std::string> RidOrder;
 };
 
 } // namespace server

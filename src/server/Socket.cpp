@@ -1,4 +1,4 @@
-//===- Socket.cpp - Unix-domain socket transport ----------------*- C++ -*-===//
+//===- Socket.cpp - Unix-domain and TCP stream transport --------*- C++ -*-===//
 //
 // Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
 //
@@ -6,13 +6,22 @@
 
 #include "server/Socket.h"
 
+#include "obs/Metrics.h"
+#include "server/Protocol.h"
 #include "server/Service.h"
 
+#include <algorithm>
+#include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
+#include <map>
 #include <mutex>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
-#include <set>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <thread>
@@ -24,8 +33,8 @@ using namespace extra::server;
 
 namespace {
 
-Fault protocolFault(std::string Message) {
-  return makeFault(FaultCategory::Protocol, std::move(Message));
+Fault transportFault(std::string Message) {
+  return makeFault(FaultCategory::Transport, std::move(Message));
 }
 
 bool fillAddr(const std::string &Path, sockaddr_un &Addr) {
@@ -37,21 +46,102 @@ bool fillAddr(const std::string &Path, sockaddr_un &Addr) {
   return true;
 }
 
+using Clock = std::chrono::steady_clock;
+
+/// Remaining budget of a deadline in ms for poll(); -1 when unbounded,
+/// 0 when already expired.
+int remainingMs(int DeadlineMs, Clock::time_point Start) {
+  if (DeadlineMs < 0)
+    return -1;
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Clock::now() - Start)
+                     .count();
+  if (Elapsed >= DeadlineMs)
+    return 0;
+  return static_cast<int>(DeadlineMs - Elapsed);
+}
+
+/// poll() one fd for \p Events, looping EINTR, honoring \p TimeoutMs
+/// (<0 = forever). Returns >0 ready, 0 timeout, <0 error.
+int pollOne(int Fd, short Events, int TimeoutMs) {
+  for (;;) {
+    pollfd P{Fd, Events, 0};
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R > 0 && (P.revents & (POLLERR | POLLNVAL)))
+      return -1;
+    return R;
+  }
+}
+
 } // namespace
+
+std::string Endpoint::str() const {
+  if (Tcp)
+    return Host + ":" + std::to_string(Port);
+  return Path;
+}
+
+Expected<Endpoint> server::parseEndpoint(const std::string &Spec) {
+  auto Protocol = [](std::string Message) {
+    return makeFault(FaultCategory::Protocol, std::move(Message));
+  };
+  Endpoint E;
+  std::string Body = Spec;
+  bool ForceTcp = false, ForceUnix = false;
+  if (Body.rfind("tcp:", 0) == 0) {
+    ForceTcp = true;
+    Body = Body.substr(4);
+  } else if (Body.rfind("unix:", 0) == 0) {
+    ForceUnix = true;
+    Body = Body.substr(5);
+  }
+  size_t Colon = Body.rfind(':');
+  bool LooksTcp = Colon != std::string::npos && Colon + 1 < Body.size() &&
+                  Body.find('/') == std::string::npos;
+  if (LooksTcp)
+    for (size_t I = Colon + 1; I < Body.size(); ++I)
+      LooksTcp = LooksTcp && Body[I] >= '0' && Body[I] <= '9';
+  if (ForceTcp || (LooksTcp && !ForceUnix)) {
+    if (Colon == std::string::npos || Colon + 1 >= Body.size())
+      return Protocol("TCP endpoint '" + Spec + "' needs host:port");
+    for (size_t I = Colon + 1; I < Body.size(); ++I)
+      if (Body[I] < '0' || Body[I] > '9')
+        return Protocol("bad port in endpoint '" + Spec + "'");
+    unsigned long Port = std::strtoul(Body.c_str() + Colon + 1, nullptr, 10);
+    if (Port > 65535)
+      return Protocol("bad port in endpoint '" + Spec + "'");
+    E.Tcp = true;
+    E.Host = Body.substr(0, Colon);
+    if (E.Host.empty())
+      E.Host = "127.0.0.1";
+    E.Port = static_cast<uint16_t>(Port);
+    return E;
+  }
+  if (Body.empty())
+    return Protocol("empty endpoint");
+  E.Path = Body;
+  return E;
+}
 
 Expected<int> server::connectUnix(const std::string &Path) {
   sockaddr_un Addr;
   if (!fillAddr(Path, Addr))
-    return protocolFault("socket path '" + Path + "' is too long");
+    return transportFault("socket path '" + Path + "' is too long");
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
-    return protocolFault("cannot create socket: " +
-                         std::string(std::strerror(errno)));
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    return transportFault("cannot create socket: " +
+                          std::string(std::strerror(errno)));
+  int R;
+  do {
+    R = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (R != 0 && errno == EINTR);
+  if (R != 0) {
     int E = errno;
     ::close(Fd);
-    return protocolFault("cannot connect to '" + Path +
-                         "': " + std::strerror(E));
+    return transportFault("cannot connect to '" + Path +
+                          "': " + std::strerror(E));
   }
   return Fd;
 }
@@ -59,7 +149,7 @@ Expected<int> server::connectUnix(const std::string &Path) {
 Expected<int> server::listenUnix(const std::string &Path) {
   sockaddr_un Addr;
   if (!fillAddr(Path, Addr))
-    return protocolFault("socket path '" + Path + "' is too long");
+    return transportFault("socket path '" + Path + "' is too long");
 
   // A socket file already on disk is either a live server or a crash
   // leftover; a probe connect tells them apart.
@@ -67,40 +157,234 @@ Expected<int> server::listenUnix(const std::string &Path) {
     auto Probe = connectUnix(Path);
     if (Probe) {
       ::close(*Probe);
-      return protocolFault("a server is already listening on '" + Path +
-                           "'");
+      return transportFault("a server is already listening on '" + Path +
+                            "'");
     }
     ::unlink(Path.c_str());
   }
 
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
-    return protocolFault("cannot create socket: " +
-                         std::string(std::strerror(errno)));
+    return transportFault("cannot create socket: " +
+                          std::string(std::strerror(errno)));
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
     int E = errno;
     ::close(Fd);
-    return protocolFault("cannot bind '" + Path +
-                         "': " + std::strerror(E));
+    return transportFault("cannot bind '" + Path +
+                          "': " + std::strerror(E));
   }
-  if (::listen(Fd, 16) != 0) {
+  if (::listen(Fd, 64) != 0) {
     int E = errno;
     ::close(Fd);
     ::unlink(Path.c_str());
-    return protocolFault("cannot listen on '" + Path +
-                         "': " + std::strerror(E));
+    return transportFault("cannot listen on '" + Path +
+                          "': " + std::strerror(E));
   }
   return Fd;
+}
+
+Expected<int> server::listenTcp(const std::string &Host, uint16_t Port) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  addrinfo *Res = nullptr;
+  int GA = ::getaddrinfo(Host.empty() ? nullptr : Host.c_str(),
+                         std::to_string(Port).c_str(), &Hints, &Res);
+  if (GA != 0)
+    return transportFault("cannot resolve '" + Host +
+                          "': " + gai_strerror(GA));
+  int Fd = ::socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+  if (Fd < 0) {
+    ::freeaddrinfo(Res);
+    return transportFault("cannot create socket: " +
+                          std::string(std::strerror(errno)));
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, Res->ai_addr, Res->ai_addrlen) != 0) {
+    int E = errno;
+    ::close(Fd);
+    ::freeaddrinfo(Res);
+    return transportFault("cannot bind " + Host + ":" +
+                          std::to_string(Port) + ": " + std::strerror(E));
+  }
+  ::freeaddrinfo(Res);
+  if (::listen(Fd, 64) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return transportFault("cannot listen on " + Host + ":" +
+                          std::to_string(Port) + ": " + std::strerror(E));
+  }
+  return Fd;
+}
+
+uint16_t server::localPort(int Fd) {
+  sockaddr_in Addr{};
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return 0;
+  return ntohs(Addr.sin_port);
+}
+
+Expected<int> server::connectTcp(const std::string &Host, uint16_t Port,
+                                 int TimeoutMs) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int GA = ::getaddrinfo(Host.c_str(), std::to_string(Port).c_str(), &Hints,
+                         &Res);
+  if (GA != 0)
+    return transportFault("cannot resolve '" + Host +
+                          "': " + gai_strerror(GA));
+  int Fd = ::socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+  if (Fd < 0) {
+    ::freeaddrinfo(Res);
+    return transportFault("cannot create socket: " +
+                          std::string(std::strerror(errno)));
+  }
+  setNonBlocking(Fd);
+  int R = ::connect(Fd, Res->ai_addr, Res->ai_addrlen);
+  ::freeaddrinfo(Res);
+  if (R != 0 && errno != EINPROGRESS && errno != EINTR) {
+    int E = errno;
+    ::close(Fd);
+    return transportFault("cannot connect to " + Host + ":" +
+                          std::to_string(Port) + ": " + std::strerror(E));
+  }
+  if (R != 0) {
+    // Non-blocking connect completes (or fails) when the fd turns
+    // writable; SO_ERROR carries the verdict.
+    if (pollOne(Fd, POLLOUT, TimeoutMs) <= 0) {
+      ::close(Fd);
+      return transportFault("connect to " + Host + ":" +
+                            std::to_string(Port) + " timed out");
+    }
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &Len) != 0 || Err != 0) {
+      ::close(Fd);
+      return transportFault("cannot connect to " + Host + ":" +
+                            std::to_string(Port) + ": " +
+                            std::strerror(Err ? Err : errno));
+    }
+  }
+  return Fd;
+}
+
+Expected<int> server::listenEndpoint(const Endpoint &E) {
+  return E.Tcp ? listenTcp(E.Host, E.Port) : listenUnix(E.Path);
+}
+
+Expected<int> server::connectEndpoint(const Endpoint &E, int TimeoutMs) {
+  if (E.Tcp)
+    return connectTcp(E.Host, E.Port, TimeoutMs);
+  return connectUnix(E.Path);
+}
+
+bool server::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+LineIo server::readLineDeadline(int Fd, std::string &Buf, int IdleMs,
+                                int LineMs, size_t MaxBytes) {
+  Clock::time_point LineStart = Clock::now();
+  bool MidLine = !Buf.empty();
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      if (MaxBytes && NL > MaxBytes) {
+        // The oversized payload is already buffered; drop it whole so
+        // the caller can still send a typed reply before evicting.
+        Buf.erase(0, NL + 1);
+        return {IoStatus::Oversized, {}};
+      }
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return {IoStatus::Ok, std::move(Line)};
+    }
+    if (MaxBytes && Buf.size() > MaxBytes)
+      return {IoStatus::Oversized, {}};
+
+    // Idle (no partial line) waits under IdleMs; a started line must
+    // finish under LineMs — that distinction is the slow-peer rule.
+    int Budget = MidLine ? remainingMs(LineMs, LineStart) : IdleMs;
+    if (MidLine && LineMs >= 0 && Budget == 0)
+      return {IoStatus::Timeout, {}};
+    int Ready = pollOne(Fd, POLLIN, Budget);
+    if (Ready < 0)
+      return {IoStatus::Error, {}};
+    if (Ready == 0)
+      return {IoStatus::Timeout, {}};
+
+    char Chunk[4096];
+    ssize_t N;
+    do {
+      N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    } while (N < 0 && errno == EINTR);
+    if (N < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        continue; // Spurious wakeup; re-poll under the same budget.
+      return {IoStatus::Error, {}};
+    }
+    if (N == 0) {
+      if (Buf.empty())
+        return {IoStatus::Eof, {}};
+      std::string Line = std::move(Buf); // Unterminated final line.
+      Buf.clear();
+      return {IoStatus::Ok, std::move(Line)};
+    }
+    if (!MidLine) {
+      MidLine = true;
+      LineStart = Clock::now();
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+IoStatus server::writeLineDeadline(int Fd, const std::string &Line,
+                                   int DeadlineMs) {
+  std::string Out = Line + "\n";
+  size_t Off = 0;
+  Clock::time_point Start = Clock::now();
+  while (Off < Out.size()) {
+    ssize_t N;
+    do {
+      N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    } while (N < 0 && errno == EINTR);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+      return IoStatus::Error;
+    int Budget = remainingMs(DeadlineMs, Start);
+    if (DeadlineMs >= 0 && Budget == 0)
+      return IoStatus::Timeout;
+    int Ready = pollOne(Fd, POLLOUT, Budget);
+    if (Ready < 0)
+      return IoStatus::Error;
+    if (Ready == 0)
+      return IoStatus::Timeout;
+  }
+  return IoStatus::Ok;
 }
 
 bool server::writeLine(int Fd, const std::string &Line) {
   std::string Out = Line + "\n";
   size_t Off = 0;
   while (Off < Out.size()) {
-    ssize_t N = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (pollOne(Fd, POLLOUT, -1) <= 0)
+          return false;
+        continue;
+      }
       return false;
     }
     Off += static_cast<size_t>(N);
@@ -117,10 +401,15 @@ std::optional<std::string> server::readLine(int Fd, std::string &Buf) {
       return Line;
     }
     char Chunk[4096];
-    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (pollOne(Fd, POLLIN, -1) <= 0)
+          return std::nullopt;
+        continue;
+      }
       return std::nullopt;
     }
     if (N == 0) {
@@ -134,53 +423,174 @@ std::optional<std::string> server::readLine(int Fd, std::string &Buf) {
   }
 }
 
-void server::serveLoop(int ListenFd, const std::string &Path, Service &S) {
-  std::mutex ClientsMu;
-  std::set<int> ClientFds;
-  std::vector<std::thread> Handlers;
+namespace {
+
+/// Shared connection bookkeeping between the accept loop and handler
+/// threads: live fds (for shutdown), finished handler ids (for prompt
+/// reaping), and the live-connection count (for the cap).
+struct ConnTable {
+  std::mutex Mu;
+  std::map<uint64_t, int> LiveFds;
+  std::vector<uint64_t> Finished;
+  unsigned Live = 0;
+};
+
+void handleConnection(uint64_t ConnId, int Client, Service &S,
+                      const ServeOptions &Opts, ConnTable &Conns) {
+  obs::Metrics &M = S.metrics();
+  std::string Buf;
+  // A push that cannot drain within the write deadline marks the
+  // connection dead: the service stops streaming to it, and the
+  // handler closes it instead of replying into the void.
+  bool Dead = false;
+  Service::PushFn Push = [&](const std::string &Line) {
+    IoStatus St = writeLineDeadline(Client, Line, Opts.WriteDeadlineMs);
+    if (St == IoStatus::Timeout) {
+      M.counter("server.net.write_timeout").add();
+      M.counter("server.net.evicted").add();
+    }
+    Dead = Dead || St != IoStatus::Ok;
+    return !Dead;
+  };
+
+  for (;;) {
+    LineIo In = readLineDeadline(Client, Buf, Opts.IdleTimeoutMs,
+                                 Opts.LineDeadlineMs, Opts.MaxLineBytes);
+    if (In.St == IoStatus::Eof || In.St == IoStatus::Error)
+      break;
+    if (In.St == IoStatus::Timeout) {
+      M.counter("server.net.read_timeout").add();
+      M.counter("server.net.evicted").add();
+      break;
+    }
+    if (In.St == IoStatus::Oversized) {
+      M.counter("server.net.oversized_line").add();
+      M.counter("server.net.evicted").add();
+      (void)writeLineDeadline(
+          Client,
+          faultResponse(makeFault(
+              FaultCategory::Transport,
+              "request line exceeds " +
+                  std::to_string(Opts.MaxLineBytes) + " bytes")),
+          Opts.WriteDeadlineMs);
+      break;
+    }
+    // Empty and whitespace-only lines are keep-alive noise, not
+    // requests.
+    if (In.Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::string Reply = S.handle(In.Line, &Push);
+    if (Dead)
+      break;
+    IoStatus St = writeLineDeadline(Client, Reply, Opts.WriteDeadlineMs);
+    if (St != IoStatus::Ok) {
+      if (St == IoStatus::Timeout) {
+        M.counter("server.net.write_timeout").add();
+        M.counter("server.net.evicted").add();
+      }
+      break;
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Conns.Mu);
+  Conns.LiveFds.erase(ConnId);
+  --Conns.Live;
+  ::close(Client);
+  Conns.Finished.push_back(ConnId);
+}
+
+} // namespace
+
+void server::serveLoop(const std::vector<Listener> &Listeners, Service &S,
+                       const ServeOptions &Opts) {
+  obs::Metrics &M = S.metrics();
+  ConnTable Conns;
+  std::map<uint64_t, std::thread> Handlers;
+  uint64_t NextConn = 1;
+
+  auto reapFinished = [&] {
+    std::vector<uint64_t> Done;
+    {
+      std::lock_guard<std::mutex> Lock(Conns.Mu);
+      Done.swap(Conns.Finished);
+    }
+    for (uint64_t Id : Done) {
+      auto It = Handlers.find(Id);
+      if (It != Handlers.end()) {
+        It->second.join();
+        Handlers.erase(It);
+      }
+    }
+  };
+
+  std::vector<pollfd> Polls;
+  Polls.reserve(Listeners.size());
+  for (const Listener &L : Listeners)
+    Polls.push_back({L.Fd, POLLIN, 0});
 
   while (!S.shutdownRequested()) {
-    pollfd P{ListenFd, POLLIN, 0};
-    int Ready = ::poll(&P, 1, /*TimeoutMs=*/100);
+    for (pollfd &P : Polls)
+      P.revents = 0;
+    int Ready = ::poll(Polls.data(), Polls.size(), /*TimeoutMs=*/100);
     if (Ready < 0 && errno != EINTR)
       break;
-    if (Ready <= 0 || !(P.revents & POLLIN))
+    reapFinished();
+    if (Ready <= 0)
       continue;
-    int Client = ::accept(ListenFd, nullptr, nullptr);
-    if (Client < 0)
-      continue;
-    {
-      std::lock_guard<std::mutex> Lock(ClientsMu);
-      ClientFds.insert(Client);
-    }
-    Handlers.emplace_back([Client, &S, &ClientsMu, &ClientFds] {
-      std::string Buf;
-      // Streaming verbs push intermediate lines through this hook; a
-      // failed push tells the service the client hung up mid-stream.
-      Service::PushFn Push = [Client](const std::string &Line) {
-        return writeLine(Client, Line);
-      };
-      while (auto Line = readLine(Client, Buf)) {
-        if (Line->empty())
-          continue;
-        if (!writeLine(Client, S.handle(*Line, &Push)))
-          break;
+    for (pollfd &P : Polls) {
+      if (!(P.revents & POLLIN))
+        continue;
+      int Client;
+      do {
+        Client = ::accept(P.fd, nullptr, nullptr);
+      } while (Client < 0 && errno == EINTR);
+      if (Client < 0)
+        continue;
+      setNonBlocking(Client);
+      bool Overloaded;
+      uint64_t ConnId = NextConn++;
+      {
+        std::lock_guard<std::mutex> Lock(Conns.Mu);
+        Overloaded = Conns.Live >= Opts.MaxConnections;
+        if (!Overloaded) {
+          ++Conns.Live;
+          Conns.LiveFds[ConnId] = Client;
+        }
       }
-      std::lock_guard<std::mutex> Lock(ClientsMu);
-      ClientFds.erase(Client);
-      ::close(Client);
-    });
+      if (Overloaded) {
+        // Over the cap: a typed reply, then the door. No handler
+        // thread is spent on the peer.
+        M.counter("server.net.rejected").add();
+        (void)writeLineDeadline(
+            Client, overloadedResponse("connection limit reached", 250),
+            Opts.WriteDeadlineMs);
+        ::close(Client);
+        continue;
+      }
+      M.counter("server.net.accepted").add();
+      Handlers.emplace(ConnId, std::thread([ConnId, Client, &S, &Opts,
+                                            &Conns] {
+        handleConnection(ConnId, Client, S, Opts, Conns);
+      }));
+    }
   }
 
   // Stop accepting, then unblock any connection thread sitting in read.
-  ::close(ListenFd);
+  for (const Listener &L : Listeners)
+    ::close(L.Fd);
   {
-    std::lock_guard<std::mutex> Lock(ClientsMu);
-    for (int Fd : ClientFds)
+    std::lock_guard<std::mutex> Lock(Conns.Mu);
+    for (auto &[Id, Fd] : Conns.LiveFds)
       ::shutdown(Fd, SHUT_RDWR);
   }
-  for (std::thread &T : Handlers)
+  for (auto &[Id, T] : Handlers)
     if (T.joinable())
       T.join();
-  ::unlink(Path.c_str());
+  for (const Listener &L : Listeners)
+    if (!L.UnlinkPath.empty())
+      ::unlink(L.UnlinkPath.c_str());
+}
+
+void server::serveLoop(int ListenFd, const std::string &Path, Service &S) {
+  serveLoop({Listener{ListenFd, Path}}, S);
 }

@@ -1,4 +1,4 @@
-//===- Socket.h - Unix-domain socket transport ------------------*- C++ -*-===//
+//===- Socket.h - Unix-domain and TCP stream transport ----------*- C++ -*-===//
 //
 // Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
 //
@@ -6,51 +6,167 @@
 ///
 /// \file
 /// The transport of the discovery service: line-delimited JSON over a
-/// Unix-domain stream socket. Deliberately thin — all request semantics
-/// live in Service::handle — so this layer is only listen/accept/read a
-/// line/write a line, plus the serve loop that gives each connection its
-/// own thread and stops when the service has handled a shutdown request.
+/// stream socket — Unix-domain for same-host clients, TCP for real
+/// multi-process fan-out. Deliberately thin — all request semantics
+/// live in Service::handle — so this layer is listen/accept/read a
+/// line/write a line, plus the serve loop that gives each connection
+/// its own thread and stops when the service has handled a shutdown.
 ///
-/// A stale socket file (left by a crashed server) is detected by a probe
+/// Unlike the PR 5 loop, the serve loop no longer assumes a
+/// cooperative local peer:
+///
+///  * every read and write carries a deadline (poll-based, EINTR-safe,
+///    partial reads/writes looped to completion on non-blocking fds);
+///  * lines are capped (MaxLineBytes) so one peer cannot balloon the
+///    carry-over buffer — an oversized line earns a typed Transport
+///    fault reply and eviction;
+///  * a peer that starts a line and stalls (LineDeadlineMs), or that
+///    stops draining its responses (WriteDeadlineMs), is evicted —
+///    eviction closes the connection and reaps its thread promptly but
+///    never touches jobs the peer submitted (the queue owns those);
+///  * connections beyond MaxConnections are answered with the typed
+///    overloaded reply and closed before they get a handler thread.
+///
+/// Endpoints are spelled `host:port` (TCP) or a filesystem path (Unix
+/// socket); `tcp:` and `unix:` prefixes force the reading. A stale
+/// socket file (left by a crashed server) is detected by a probe
 /// connect: refused means no server is behind it and the file is
-/// replaced; accepted means another server is live and listening faults.
+/// replaced; accepted means another server is live and listening
+/// faults.
 ///
-//===----------------------------------------------------------------------===//
+//======---------------------------------------------------------------===//
 
 #ifndef EXTRA_SERVER_SOCKET_H
 #define EXTRA_SERVER_SOCKET_H
 
 #include "support/Error.h"
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace extra {
 namespace server {
 
 class Service;
 
+/// Where a server listens or a client connects: one of the two stream
+/// transports.
+struct Endpoint {
+  bool Tcp = false;
+  std::string Path; ///< Unix-socket path (when !Tcp).
+  std::string Host; ///< TCP host (when Tcp).
+  uint16_t Port = 0;
+
+  /// "host:port" or the path — the spelling parseEndpoint accepts.
+  std::string str() const;
+};
+
+/// Parses an endpoint spec: `tcp:host:port`, `unix:/path`, a bare
+/// `host:port` (all-digit port), or a bare path. Protocol fault on a
+/// malformed port.
+Expected<Endpoint> parseEndpoint(const std::string &Spec);
+
 /// Binds and listens on \p Path (replacing a stale socket file; faults
-/// with Protocol when a live server already listens there). Returns the
-/// listening fd.
+/// with Transport when a live server already listens there). Returns
+/// the listening fd.
 Expected<int> listenUnix(const std::string &Path);
 
 /// Connects to the server at \p Path. Returns the connected fd.
 Expected<int> connectUnix(const std::string &Path);
 
-/// Writes \p Line plus a newline, handling short writes. False on error.
-bool writeLine(int Fd, const std::string &Line);
+/// Binds and listens on \p Host:\p Port (port 0 picks an ephemeral
+/// port; read it back with localPort). Returns the listening fd.
+Expected<int> listenTcp(const std::string &Host, uint16_t Port);
 
-/// Reads one newline-terminated line (the newline is stripped), using
-/// \p Buf as the connection's carry-over buffer. nullopt on EOF with an
-/// empty buffer.
+/// Connects to \p Host:\p Port with a bounded connect timeout.
+Expected<int> connectTcp(const std::string &Host, uint16_t Port,
+                         int TimeoutMs = 5000);
+
+/// Listen/connect on either transport.
+Expected<int> listenEndpoint(const Endpoint &E);
+Expected<int> connectEndpoint(const Endpoint &E, int TimeoutMs = 5000);
+
+/// The bound port of a listening TCP fd (after listenTcp with port 0).
+uint16_t localPort(int Fd);
+
+/// How one deadline-bounded line I/O ended.
+enum class IoStatus {
+  Ok,
+  Eof,       ///< Orderly close from the peer.
+  Timeout,   ///< The deadline elapsed first.
+  Oversized, ///< The line exceeded the byte cap (read side only).
+  Error,     ///< errno-style failure (reset, bad fd, ...).
+};
+
+/// A deadline-bounded line read.
+struct LineIo {
+  IoStatus St = IoStatus::Error;
+  std::string Line; ///< Valid when St == Ok (newline stripped).
+};
+
+/// Marks \p Fd non-blocking — the deadline I/O below requires it.
+bool setNonBlocking(int Fd);
+
+/// Reads one newline-terminated line from a non-blocking \p Fd using
+/// \p Buf as the connection's carry-over buffer. \p IdleMs bounds the
+/// wait for the *first* byte of a line (<0 waits forever); \p LineMs
+/// bounds the time from first byte to newline — a peer that stalls
+/// mid-line times out. \p MaxBytes caps the line (0 = uncapped);
+/// exceeding it drains nothing further and reports Oversized. All
+/// polls and reads loop on EINTR.
+LineIo readLineDeadline(int Fd, std::string &Buf, int IdleMs, int LineMs,
+                        size_t MaxBytes);
+
+/// Writes \p Line plus a newline to a non-blocking \p Fd, looping
+/// partial writes (tiny send buffers included) and EINTR until done or
+/// \p DeadlineMs elapses (<0 waits forever). Writes use MSG_NOSIGNAL:
+/// a vanished peer is IoStatus::Error, never SIGPIPE.
+IoStatus writeLineDeadline(int Fd, const std::string &Line, int DeadlineMs);
+
+/// Blocking-fd compatibility wrappers (no deadline, no cap) kept for
+/// callers that own simple cooperative fds — e.g. tests pumping a
+/// socketpair. Both loop on EINTR and partial transfers.
+bool writeLine(int Fd, const std::string &Line);
 std::optional<std::string> readLine(int Fd, std::string &Buf);
 
-/// Accepts connections on \p ListenFd, a thread per connection, each
-/// running read-line / Service::handle / write-line until client EOF.
-/// Returns once the service has handled a shutdown request (polling
-/// between accepts): live connections are shut down and joined, the
-/// listen fd closed, and the socket file at \p Path unlinked.
+/// One listener the serve loop accepts from. UnlinkPath is removed at
+/// loop exit (the Unix socket file; empty for TCP).
+struct Listener {
+  int Fd = -1;
+  std::string UnlinkPath;
+};
+
+/// The peer-protection knobs of the serve loop.
+struct ServeOptions {
+  /// Max time a peer may take to finish a line it started; stalled
+  /// peers are evicted. <0 disables.
+  int LineDeadlineMs = 10000;
+  /// Max idle time between requests; <0 (default) lets clients sit
+  /// idle forever (a watcher waiting on a long job is idle by design).
+  int IdleTimeoutMs = -1;
+  /// Max time a response or push line may take to drain to the peer;
+  /// slower peers are evicted (their jobs keep running).
+  int WriteDeadlineMs = 10000;
+  /// Request line cap; longer lines earn a Transport fault + eviction.
+  size_t MaxLineBytes = 1 << 20;
+  /// Connection cap; accepts beyond it are answered with the typed
+  /// overloaded reply and closed.
+  unsigned MaxConnections = 64;
+};
+
+/// Accepts connections on every listener, a thread per connection,
+/// each running read-line / Service::handle / write-line until client
+/// EOF, eviction, or shutdown. Finished handler threads are reaped
+/// between accepts (a disconnected watcher never lingers as a zombie
+/// until exit). Returns once the service has handled a shutdown
+/// request: live connections are shut down and joined, listen fds
+/// closed, and Unix socket files unlinked.
+void serveLoop(const std::vector<Listener> &Listeners, Service &S,
+               const ServeOptions &Opts = ServeOptions());
+
+/// Single-listener convenience (the PR 5 signature, kept for tests).
 void serveLoop(int ListenFd, const std::string &Path, Service &S);
 
 } // namespace server

@@ -15,6 +15,7 @@
 
 #include "server/WorkQueue.h"
 
+#include <chrono>
 #include <functional>
 
 using namespace extra;
@@ -31,8 +32,9 @@ unsigned roundDownPow2(unsigned N) {
 
 } // namespace
 
-WorkQueue::WorkQueue(unsigned ShardCount)
-    : Shards(roundDownPow2(ShardCount ? ShardCount : 1)) {}
+WorkQueue::WorkQueue(unsigned ShardCount, size_t MaxQueued)
+    : Shards(roundDownPow2(ShardCount ? ShardCount : 1)),
+      MaxQueued(MaxQueued) {}
 
 WorkQueue::Shard &WorkQueue::shardFor(const std::string &Key) {
   return Shards[std::hash<std::string>{}(Key) & (Shards.size() - 1)];
@@ -48,6 +50,13 @@ JobTicket WorkQueue::submit(search::BatchCase C, std::string Key,
     if (Live != S.LiveByKey.end()) {
       T.Id = Live->second;
       T.Deduped = true;
+      return T;
+    }
+    // Admission control after the dedup check: joining existing work
+    // is free, *new* work is what the bound and the drain gate.
+    if (Draining.load() || Closed.load() ||
+        (MaxQueued && Queued.load() >= MaxQueued)) {
+      T.Rejected = true;
       return T;
     }
     uint64_t Seq = NextSeq.fetch_add(1);
@@ -189,6 +198,15 @@ void WorkQueue::waitIdle() {
     return (Queued.load() == 0 && Running.load() == 0) || Closed.load();
   });
 }
+
+bool WorkQueue::waitIdleFor(uint64_t Ms) {
+  std::unique_lock<std::mutex> Lock(SignalMu);
+  return Signal.wait_for(Lock, std::chrono::milliseconds(Ms), [this] {
+    return (Queued.load() == 0 && Running.load() == 0) || Closed.load();
+  });
+}
+
+void WorkQueue::beginDrain() { Draining.store(true); }
 
 void WorkQueue::cancelAll() {
   Closed.store(true);

@@ -50,6 +50,10 @@ struct JobTicket {
   /// True when an existing queued/running job for the same key was
   /// returned instead of a new one.
   bool Deduped = false;
+  /// True when admission refused the job (backlog bound hit, or the
+  /// queue is draining/closed). Id is 0; the caller owes the client a
+  /// typed overloaded reply, never silence.
+  bool Rejected = false;
 };
 
 /// A job claimed by a worker.
@@ -75,11 +79,16 @@ struct JobView {
 
 class WorkQueue {
 public:
-  explicit WorkQueue(unsigned ShardCount = 4);
+  /// \p MaxQueued bounds the backlog (queued, not running): a submit
+  /// past the bound is Rejected, never silently dropped or unboundedly
+  /// buffered. 0 = unbounded (the PR 5 behavior, kept for tests).
+  explicit WorkQueue(unsigned ShardCount = 4, size_t MaxQueued = 0);
 
   /// Enqueues \p C under the canonical \p Key, or returns the live
   /// job already covering that key (dedup). Higher \p Priority pops
-  /// first; ties pop in submission order.
+  /// first; ties pop in submission order. Rejected when the backlog
+  /// bound is hit or admission is closed (dedup to a live job still
+  /// succeeds while draining — the work already exists).
   JobTicket submit(search::BatchCase C, std::string Key, int Priority = 0);
 
   /// Blocks until a job is available and claims the best one; nullopt
@@ -97,6 +106,16 @@ public:
 
   /// Blocks until nothing is queued or running (the drain request).
   void waitIdle();
+
+  /// waitIdle with a deadline: true when idle was reached, false when
+  /// \p Ms elapsed first (the graceful-drain caller then cancels).
+  bool waitIdleFor(uint64_t Ms);
+
+  /// Stops admission (submits are Rejected) without cancelling or
+  /// closing anything — the first step of a graceful drain. Dedup hits
+  /// on live jobs still succeed.
+  void beginDrain();
+  bool draining() const { return Draining.load(); }
 
   /// Raises every running job's cancel flag and closes the queue: pop()
   /// returns nullopt once the backlog is empty (immediately — closing
@@ -155,6 +174,8 @@ private:
   }
 
   std::vector<Shard> Shards;
+  size_t MaxQueued = 0;
+  std::atomic<bool> Draining{false};
   std::atomic<uint64_t> NextSeq{1};
   std::atomic<size_t> Queued{0};
   std::atomic<size_t> Running{0};

@@ -26,6 +26,8 @@ const char *extra::faultCategoryName(FaultCategory C) {
     return "protocol";
   case FaultCategory::Store:
     return "store";
+  case FaultCategory::Transport:
+    return "transport";
   case FaultCategory::Internal:
     return "internal";
   }
@@ -37,7 +39,7 @@ FaultCategory extra::faultCategoryFromName(const std::string &Name) {
        {FaultCategory::None, FaultCategory::Parse, FaultCategory::Validate,
         FaultCategory::InterpBudget, FaultCategory::RuleApplication,
         FaultCategory::Synth, FaultCategory::Protocol, FaultCategory::Store,
-        FaultCategory::Internal})
+        FaultCategory::Transport, FaultCategory::Internal})
     if (Name == faultCategoryName(C))
       return C;
   return FaultCategory::Internal;

@@ -53,6 +53,9 @@ enum class FaultCategory {
                    ///< violated the line-delimited JSON protocol.
   Store,           ///< The persistent memo/checkpoint store failed
                    ///< (unwritable file, version mismatch, lock conflict).
+  Transport,       ///< The network layer under the protocol failed: a
+                   ///< connect/read/write timed out, the peer vanished
+                   ///< mid-line, or a frame exceeded the line cap.
   Internal,        ///< Anything else: logic errors, injected chaos,
                    ///< foreign exceptions caught by a containment layer.
 };

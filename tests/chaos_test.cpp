@@ -1,0 +1,308 @@
+//===- chaos_test.cpp - Protocol chaos harness tests ------------*- C++ -*-===//
+//
+// Part of the EXTRA reproduction of Morgan & Rowe, SIGPLAN '82.
+//
+//===----------------------------------------------------------------------===//
+//
+// The end-to-end robustness suite: a real discovery server on TCP, the
+// deterministic chaos proxy in front of it, and the retrying client
+// talking through the mangled wire. The assertions are the service's
+// hard promises under chaos:
+//
+//  * every request is eventually answered (torn lines, stalls, garbage
+//    and partial writes never wedge a client);
+//  * disconnect-and-retry never double-executes a search (rid dedup:
+//    enqueued == distinct pairings, no matter how many resubmissions
+//    the cut connections forced);
+//  * the memo store a chaos run converges to is byte-identical to a
+//    clean run's, modulo the wall-clock field.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Chaos.h"
+#include "server/Client.h"
+#include "server/MemoStore.h"
+#include "server/Service.h"
+#include "server/Socket.h"
+
+#include "obs/TraceFile.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace extra;
+using namespace extra::server;
+
+namespace {
+
+struct TempFile {
+  std::string Path;
+  explicit TempFile(const std::string &Name)
+      : Path(::testing::TempDir() + Name) {
+    std::remove(Path.c_str());
+    std::remove((Path + ".lock").c_str());
+  }
+  ~TempFile() {
+    std::remove(Path.c_str());
+    std::remove((Path + ".lock").c_str());
+  }
+};
+
+/// The pairings every run submits: the four fast self-pairings, each
+/// verifying in milliseconds, so a chaos run exercises many wire
+/// round trips without long searches dominating the clock.
+const char *kPairings[] = {"pc2.copy", "pc2.clear", "clu.search",
+                          "pl1.move"};
+
+std::string submitLine(const char *Id) {
+  return std::string("{\"cmd\":\"submit\",\"operator\":\"") + Id +
+         "\",\"instruction\":\"" + Id + "\",\"wait\":true}";
+}
+
+ServiceOptions quickOptions(const std::string &StorePath) {
+  ServiceOptions O;
+  O.StorePath = StorePath;
+  O.Workers = 2;
+  O.Watchdog = false;
+  O.Limits.TimeBudgetMs = 30000;
+  return O;
+}
+
+/// A service listening on an ephemeral TCP port with its serve loop on
+/// a background thread.
+struct LiveServer {
+  std::unique_ptr<Service> S;
+  uint16_t Port = 0;
+  std::thread Loop;
+
+  static LiveServer start(const std::string &StorePath) {
+    LiveServer L;
+    auto S = Service::create(quickOptions(StorePath));
+    EXPECT_TRUE(bool(S)) << (S ? "" : S.fault().Message);
+    if (!S)
+      return L;
+    L.S = std::move(*S);
+    auto Fd = listenTcp("127.0.0.1", 0);
+    EXPECT_TRUE(bool(Fd)) << (Fd ? "" : Fd.fault().Message);
+    if (!Fd)
+      return L;
+    L.Port = localPort(*Fd);
+    Service &Ref = *L.S;
+    int ListenFd = *Fd;
+    L.Loop = std::thread([ListenFd, &Ref] {
+      // Tight deadlines on purpose: chaos stalls must ride under them
+      // (StallMs well below LineDeadlineMs) or earn honest evictions.
+      ServeOptions SO;
+      SO.LineDeadlineMs = 2000;
+      SO.WriteDeadlineMs = 2000;
+      serveLoop({Listener{ListenFd, ""}}, Ref, SO);
+    });
+    return L;
+  }
+
+  void shutdown() {
+    if (!S)
+      return;
+    if (!S->shutdownRequested())
+      S->handle("{\"cmd\":\"shutdown\"}");
+    if (Loop.joinable())
+      Loop.join();
+    S->stop();
+  }
+};
+
+Endpoint tcpEndpoint(uint16_t Port) {
+  Endpoint E;
+  E.Tcp = true;
+  E.Host = "127.0.0.1";
+  E.Port = Port;
+  return E;
+}
+
+/// The normalized store image: one line per entry with the only
+/// schedule-dependent field (wall_ms) zeroed — the form in which a
+/// chaos run and a clean run must agree byte for byte.
+std::string normalizedStore(const std::string &Path) {
+  auto S = MemoStore::open(Path);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.fault().Message);
+  if (!S)
+    return "";
+  std::string Out;
+  for (const MemoEntry &E : (*S)->entries()) {
+    MemoEntry C = E;
+    C.Record.WallMs = 0;
+    Out += C.toJsonLine() + "\n";
+  }
+  return Out;
+}
+
+ClientOptions patientClient(uint64_t Seed) {
+  ClientOptions CO;
+  CO.MaxAttempts = 10;
+  CO.RequestDeadlineMs = 60000;
+  CO.BackoffBaseMs = 10;
+  CO.BackoffMaxMs = 200;
+  CO.JitterSeed = Seed;
+  return CO;
+}
+
+TEST(ChaosTest, NoisyWireStillAnswersEveryRequest) {
+  TempFile Store("chaos_noise.jsonl");
+  LiveServer Srv = LiveServer::start(Store.Path);
+  ASSERT_TRUE(Srv.S);
+
+  // Everything except disconnects, at aggressive rates: roughly half
+  // the forwarded lines are mangled one way or another.
+  ChaosOptions CO;
+  CO.Seed = 7;
+  CO.TornPerMille = 150;
+  CO.PartialPerMille = 150;
+  CO.StallPerMille = 100;
+  CO.GarbagePerMille = 200;
+  CO.StallMs = 25;
+  auto Proxy = ChaosProxy::start(tcpEndpoint(0), tcpEndpoint(Srv.Port), CO);
+  ASSERT_TRUE(bool(Proxy)) << Proxy.fault().Message;
+
+  {
+    auto C = Client::connect("127.0.0.1:" + std::to_string((*Proxy)->port()),
+                             patientClient(42));
+    ASSERT_TRUE(bool(C)) << C.fault().Message;
+    auto St = (*C)->request("{\"cmd\":\"status\"}");
+    ASSERT_TRUE(bool(St)) << St.fault().Message;
+    EXPECT_TRUE(St->ok());
+    for (const char *Id : kPairings) {
+      auto R = (*C)->request(submitLine(Id));
+      ASSERT_TRUE(bool(R)) << Id << ": " << R.fault().Message;
+      EXPECT_TRUE(R->ok()) << R->Raw;
+      EXPECT_EQ(R->get("verified"), "true") << R->Raw;
+    }
+    // Warm pass: answered from cache, still through the mangled wire.
+    for (const char *Id : kPairings) {
+      auto R = (*C)->request(submitLine(Id));
+      ASSERT_TRUE(bool(R)) << Id << ": " << R.fault().Message;
+      EXPECT_EQ(R->get("cached"), "true") << R->Raw;
+    }
+  }
+
+  ChaosCounts Counts = (*Proxy)->counts();
+  EXPECT_GT(Counts.Lines, 0u);
+  EXPECT_GT(Counts.fired(), 0u)
+      << "rates this high must actually mangle something";
+  EXPECT_EQ(Counts.Disconnects, 0u);
+  (*Proxy)->stop();
+  Srv.shutdown();
+}
+
+TEST(ChaosTest, DisconnectRetriesNeverDoubleExecuteAndStoreMatchesClean) {
+  // The clean reference run first: same submissions, no proxy.
+  TempFile CleanStore("chaos_clean.jsonl");
+  {
+    LiveServer Srv = LiveServer::start(CleanStore.Path);
+    ASSERT_TRUE(Srv.S);
+    auto C = Client::connect("127.0.0.1:" + std::to_string(Srv.Port),
+                             patientClient(1));
+    ASSERT_TRUE(bool(C)) << C.fault().Message;
+    for (const char *Id : kPairings)
+      ASSERT_TRUE(bool((*C)->request(submitLine(Id))));
+    Srv.shutdown();
+  }
+  std::string Clean = normalizedStore(CleanStore.Path);
+  ASSERT_FALSE(Clean.empty());
+
+  // The chaos run: connections cut mid-line in both directions, plus
+  // garbage — the exact recipe for a lost response after an executed
+  // request, i.e. the double-enqueue trap.
+  TempFile Store("chaos_cut.jsonl");
+  LiveServer Srv = LiveServer::start(Store.Path);
+  ASSERT_TRUE(Srv.S);
+  ChaosOptions CO;
+  CO.Seed = 11;
+  CO.DisconnectPerMille = 120;
+  CO.GarbagePerMille = 150;
+  CO.StallMs = 20;
+  auto Proxy = ChaosProxy::start(tcpEndpoint(0), tcpEndpoint(Srv.Port), CO);
+  ASSERT_TRUE(bool(Proxy)) << Proxy.fault().Message;
+
+  {
+    auto C = Client::connect("127.0.0.1:" + std::to_string((*Proxy)->port()),
+                             patientClient(99));
+    ASSERT_TRUE(bool(C)) << C.fault().Message;
+    for (const char *Id : kPairings) {
+      auto R = (*C)->request(submitLine(Id));
+      ASSERT_TRUE(bool(R)) << Id << ": " << R.fault().Message;
+      EXPECT_TRUE(R->ok()) << R->Raw;
+      EXPECT_EQ(R->get("verified"), "true") << R->Raw;
+    }
+  }
+
+  // The hard promise: however many resubmissions the cut connections
+  // forced, each pairing was enqueued — and searched — exactly once.
+  obs::Metrics &M = Srv.S->metrics();
+  EXPECT_EQ(M.counter("server.admission.enqueued").value(), 4u);
+  auto St = obs::parseJsonObjectLine(Srv.S->handle("{\"cmd\":\"status\"}"));
+  ASSERT_TRUE(St);
+  EXPECT_EQ((*St)["completed"], "4");
+  EXPECT_EQ((*St)["entries"], "4");
+  uint64_t RidDedups = M.counter("server.admission.rid_dedup").value();
+
+  ChaosCounts Counts = (*Proxy)->counts();
+  (*Proxy)->stop();
+  Srv.shutdown();
+  // Post-shutdown compaction done: the surviving store must match the
+  // clean run's byte for byte once wall_ms is normalized.
+  EXPECT_EQ(normalizedStore(Store.Path), Clean);
+
+  // If a disconnect actually severed a submit round trip, the client
+  // resubmitted and the rid window absorbed it; either way the counts
+  // reconcile: retries happened iff dedups or cache hits covered them.
+  if (Counts.Disconnects > 0) {
+    EXPECT_GT(Counts.Lines, 8u);
+  }
+  (void)RidDedups; // Informational: scheduling decides if retries hit
+                   // pre- or post-completion, cache or rid window.
+}
+
+TEST(ChaosTest, SameSeedSameTrafficSameDecisions) {
+  // Determinism of the decider itself, independent of retry timing: a
+  // fixed request sequence through two proxies with the same seed must
+  // mangle identically — that is what lets CI compare chaos runs.
+  ChaosCounts FirstCounts;
+  for (int Round = 0; Round < 2; ++Round) {
+    TempFile Store("chaos_det_" + std::to_string(Round) + ".jsonl");
+    LiveServer Srv = LiveServer::start(Store.Path);
+    ASSERT_TRUE(Srv.S);
+    ChaosOptions CO;
+    CO.Seed = 1234;
+    CO.GarbagePerMille = 400; // Garbage only: no retries, no timing
+                              // feedback into the traffic.
+    auto Proxy =
+        ChaosProxy::start(tcpEndpoint(0), tcpEndpoint(Srv.Port), CO);
+    ASSERT_TRUE(bool(Proxy)) << Proxy.fault().Message;
+    {
+      auto C = Client::connect(
+          "127.0.0.1:" + std::to_string((*Proxy)->port()),
+          patientClient(5));
+      ASSERT_TRUE(bool(C));
+      for (int I = 0; I < 10; ++I) {
+        auto R = (*C)->request("{\"cmd\":\"status\"}");
+        ASSERT_TRUE(bool(R));
+        EXPECT_TRUE(R->ok());
+      }
+    }
+    ChaosCounts Counts = (*Proxy)->counts();
+    (*Proxy)->stop();
+    Srv.shutdown();
+    EXPECT_GT(Counts.Garbage, 0u);
+    if (Round == 0) {
+      FirstCounts = Counts;
+    } else {
+      EXPECT_EQ(Counts.Lines, FirstCounts.Lines);
+      EXPECT_EQ(Counts.Garbage, FirstCounts.Garbage);
+    }
+  }
+}
+
+} // namespace

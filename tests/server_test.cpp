@@ -29,10 +29,17 @@
 #include "support/FaultInjection.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <dirent.h>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <sstream>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -1066,9 +1073,549 @@ TEST(SocketTest, StaleSocketFileIsReplaced) {
   // A live listener is NOT displaced.
   auto Second = listenUnix(Sock);
   ASSERT_FALSE(bool(Second));
-  EXPECT_EQ(Second.fault().Category, FaultCategory::Protocol);
+  EXPECT_EQ(Second.fault().Category, FaultCategory::Transport);
   ::close(*Fd);
   std::remove(Sock.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Endpoint grammar
+//===----------------------------------------------------------------------===//
+
+TEST(EndpointTest, ParsesBothTransportSpellings) {
+  auto Tcp = parseEndpoint("127.0.0.1:9000");
+  ASSERT_TRUE(bool(Tcp));
+  EXPECT_TRUE(Tcp->Tcp);
+  EXPECT_EQ(Tcp->Host, "127.0.0.1");
+  EXPECT_EQ(Tcp->Port, 9000);
+  EXPECT_EQ(Tcp->str(), "127.0.0.1:9000");
+
+  auto Forced = parseEndpoint("tcp:localhost:80");
+  ASSERT_TRUE(bool(Forced));
+  EXPECT_TRUE(Forced->Tcp);
+  EXPECT_EQ(Forced->Host, "localhost");
+  EXPECT_EQ(Forced->Port, 80);
+
+  auto Path = parseEndpoint("/tmp/extra.sock");
+  ASSERT_TRUE(bool(Path));
+  EXPECT_FALSE(Path->Tcp);
+  EXPECT_EQ(Path->Path, "/tmp/extra.sock");
+
+  // unix: forces the path reading even when the spec looks like
+  // host:port; a bare spec with a non-numeric port is a path too.
+  auto ForcedUnix = parseEndpoint("unix:./svc:1234");
+  ASSERT_TRUE(bool(ForcedUnix));
+  EXPECT_FALSE(ForcedUnix->Tcp);
+  EXPECT_EQ(ForcedUnix->Path, "./svc:1234");
+  auto OddPath = parseEndpoint("/tmp/odd:name");
+  ASSERT_TRUE(bool(OddPath));
+  EXPECT_FALSE(OddPath->Tcp);
+
+  auto BadPort = parseEndpoint("tcp:localhost:notaport");
+  ASSERT_FALSE(bool(BadPort));
+  EXPECT_EQ(BadPort.fault().Category, FaultCategory::Protocol);
+  auto Huge = parseEndpoint("tcp:localhost:99999");
+  ASSERT_FALSE(bool(Huge));
+  auto Empty = parseEndpoint("");
+  ASSERT_FALSE(bool(Empty));
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control (queue-level: deterministic, no workers)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkQueueTest, BacklogBoundRejectsNewWorkButNeverDedup) {
+  WorkQueue Q(1, /*MaxQueued=*/1);
+  JobTicket A = Q.submit(queueCase("a"), "ka");
+  EXPECT_FALSE(A.Rejected);
+  JobTicket B = Q.submit(queueCase("b"), "kb");
+  EXPECT_TRUE(B.Rejected);
+  EXPECT_EQ(B.Id, 0u);
+  // Joining live work is free — backpressure gates cost, not answers.
+  JobTicket A2 = Q.submit(queueCase("a"), "ka");
+  EXPECT_TRUE(A2.Deduped);
+  EXPECT_FALSE(A2.Rejected);
+  // The bound counts the backlog, not running work: claiming the job
+  // frees the slot.
+  auto J = Q.pop();
+  ASSERT_TRUE(J);
+  JobTicket C = Q.submit(queueCase("b"), "kb");
+  EXPECT_FALSE(C.Rejected);
+  search::CheckpointRecord R;
+  R.Case = "a";
+  Q.complete(J->Id, R);
+  Q.close();
+}
+
+TEST(WorkQueueTest, DrainStopsAdmissionAndWaitIdleForTimesOut) {
+  WorkQueue Q(2);
+  JobTicket A = Q.submit(queueCase("a"), "ka");
+  ASSERT_FALSE(A.Rejected);
+  EXPECT_FALSE(Q.draining());
+  Q.beginDrain();
+  EXPECT_TRUE(Q.draining());
+  EXPECT_TRUE(Q.submit(queueCase("b"), "kb").Rejected);
+  EXPECT_TRUE(Q.submit(queueCase("a"), "ka").Deduped);
+  // Nobody pops, so the deadline elapses with work still queued.
+  EXPECT_FALSE(Q.waitIdleFor(50));
+  auto J = Q.pop();
+  ASSERT_TRUE(J);
+  EXPECT_FALSE(Q.waitIdleFor(50)); // Still running.
+  search::CheckpointRecord R;
+  R.Case = "a";
+  Q.complete(J->Id, R);
+  EXPECT_TRUE(Q.waitIdleFor(5000));
+  Q.close();
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol edge cases: overloaded replies, rid echo and bounds
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, OverloadedResponseCarriesRetryHint) {
+  auto F = obs::parseJsonObjectLine(overloadedResponse("backlog", 250));
+  ASSERT_TRUE(F);
+  EXPECT_EQ((*F)["ok"], "false");
+  EXPECT_EQ((*F)["overloaded"], "true");
+  EXPECT_EQ((*F)["retry_after_ms"], "250");
+  EXPECT_NE((*F)["error"].find("backlog"), std::string::npos);
+}
+
+TEST(ProtocolTest, WithRidSplicesIntoObjectLinesOnly) {
+  auto Tagged = obs::parseJsonObjectLine(withRid("{\"ok\":true}", "r-1"));
+  ASSERT_TRUE(Tagged);
+  EXPECT_EQ((*Tagged)["ok"], "true");
+  EXPECT_EQ((*Tagged)["rid"], "r-1");
+  // Nothing to splice into: non-object lines pass through untouched
+  // (the client then accepts the first parsed reply instead).
+  EXPECT_EQ(withRid("garbage", "r-1"), "garbage");
+  EXPECT_EQ(withRid("", "r-1"), "");
+  EXPECT_EQ(withRid("{\"ok\":true}", ""), "{\"ok\":true}");
+}
+
+TEST(ProtocolTest, RidParsesAndIsBounded) {
+  auto R = parseRequest("{\"cmd\":\"status\",\"rid\":\"c1-42\"}");
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->Rid, "c1-42");
+  // A rid over the 64-byte cap is refused outright — the dedup window
+  // must not be growable by hostile key sizes.
+  std::string Long(65, 'x');
+  auto Bad = parseRequest("{\"cmd\":\"status\",\"rid\":\"" + Long + "\"}");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.fault().Category, FaultCategory::Protocol);
+  // deadline_ms rides on drain.
+  auto D = parseRequest("{\"cmd\":\"drain\",\"deadline_ms\":1500}");
+  ASSERT_TRUE(bool(D));
+  EXPECT_EQ(D->DeadlineMs, 1500);
+}
+
+//===----------------------------------------------------------------------===//
+// Idempotent resubmission (the rid dedup window)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, RidCoalescesRetriedSubmits) {
+  TempFile F("svc_rid.jsonl");
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+  const char *Submit =
+      "{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+      "\"instruction\":\"pc2.copy\",\"wait\":true,\"rid\":\"r-alpha\"}";
+
+  auto First = obs::parseJsonObjectLine((*S)->handle(Submit));
+  ASSERT_TRUE(First);
+  EXPECT_EQ((*First)["ok"], "true");
+  EXPECT_EQ((*First)["verified"], "true");
+  EXPECT_EQ((*First)["rid"], "r-alpha"); // Every reply echoes the rid.
+
+  // The retry of a lost response: same rid, same answer, no second
+  // execution.
+  auto Again = obs::parseJsonObjectLine((*S)->handle(Submit));
+  ASSERT_TRUE(Again);
+  EXPECT_EQ((*Again)["ok"], "true");
+  EXPECT_EQ((*Again)["verified"], "true");
+
+  obs::Metrics &M = (*S)->metrics();
+  EXPECT_EQ(M.counter("server.admission.rid_dedup").value(), 1u);
+  EXPECT_EQ(M.counter("server.admission.enqueued").value(), 1u);
+  auto St = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"status\"}"));
+  ASSERT_TRUE(St);
+  EXPECT_EQ((*St)["completed"], "1");
+
+  // A *different* rid is a fresh request for the same pairing: the memo
+  // cache answers it; the job still ran exactly once.
+  auto Fresh = obs::parseJsonObjectLine((*S)->handle(
+      "{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+      "\"instruction\":\"pc2.copy\",\"wait\":true,\"rid\":\"r-beta\"}"));
+  ASSERT_TRUE(Fresh);
+  EXPECT_EQ((*Fresh)["cached"], "true");
+  EXPECT_EQ(M.counter("server.admission.rid_dedup").value(), 1u);
+  (*S)->stop();
+}
+
+TEST(ServiceTest, RidWindowEvictsFifoAndCacheBacksItUp) {
+  TempFile F("svc_rid_window.jsonl");
+  ServiceOptions O = quickOptions(F.Path);
+  O.RidWindowSize = 2;
+  auto S = Service::create(std::move(O));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+  auto SubmitWith = [&](const char *Id, const char *Rid) {
+    return obs::parseJsonObjectLine((*S)->handle(
+        std::string("{\"cmd\":\"submit\",\"operator\":\"") + Id +
+        "\",\"instruction\":\"" + Id + "\",\"wait\":true,\"rid\":\"" + Rid +
+        "\"}"));
+  };
+  ASSERT_TRUE(SubmitWith("pc2.copy", "w-1"));
+  ASSERT_TRUE(SubmitWith("pc2.clear", "w-2"));
+  ASSERT_TRUE(SubmitWith("clu.search", "w-3")); // Evicts w-1.
+
+  obs::Metrics &M = (*S)->metrics();
+  EXPECT_EQ(M.counter("server.admission.rid_evict").value(), 1u);
+
+  // The window forgot w-1, but at-most-once degrades safely: the memo
+  // cache answers the retry without a second execution.
+  auto Old = SubmitWith("pc2.copy", "w-1");
+  ASSERT_TRUE(Old);
+  EXPECT_EQ((*Old)["cached"], "true");
+  EXPECT_EQ(M.counter("server.admission.rid_dedup").value(), 0u);
+
+  // w-3 is still within the window: coalesced.
+  auto Recent = SubmitWith("clu.search", "w-3");
+  ASSERT_TRUE(Recent);
+  EXPECT_EQ((*Recent)["ok"], "true");
+  EXPECT_EQ(M.counter("server.admission.rid_dedup").value(), 1u);
+  EXPECT_EQ(M.counter("server.admission.enqueued").value(), 3u);
+  (*S)->stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Supervision probes and graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, HealthAndReadyProbesTrackDrain) {
+  TempFile F("svc_probes.jsonl");
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+
+  auto H = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"health\"}"));
+  ASSERT_TRUE(H);
+  EXPECT_EQ((*H)["ok"], "true");
+  EXPECT_EQ((*H)["healthy"], "true");
+  EXPECT_TRUE(H->count("uptime_ms"));
+  EXPECT_EQ((*H)["workers"], "2");
+
+  auto Rd = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"ready\"}"));
+  ASSERT_TRUE(Rd);
+  EXPECT_EQ((*Rd)["ready"], "true");
+
+  // Graceful drain on an idle service completes immediately and asks
+  // the owner loop to stop.
+  EXPECT_FALSE((*S)->shutdownRequested());
+  auto D = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"drain\",\"deadline_ms\":5000}"));
+  ASSERT_TRUE(D);
+  EXPECT_EQ((*D)["drained"], "true");
+  EXPECT_EQ((*D)["cancelled"], "0");
+  EXPECT_EQ((*D)["stopping"], "true");
+  EXPECT_TRUE((*S)->shutdownRequested());
+
+  // Readiness flips; liveness does not — a draining server is healthy,
+  // just not accepting, which is exactly what a rolling restart needs.
+  auto Rd2 = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"ready\"}"));
+  ASSERT_TRUE(Rd2);
+  EXPECT_EQ((*Rd2)["ready"], "false");
+  EXPECT_FALSE((*Rd2)["reason"].empty());
+  auto H2 = obs::parseJsonObjectLine((*S)->handle("{\"cmd\":\"health\"}"));
+  ASSERT_TRUE(H2);
+  EXPECT_EQ((*H2)["healthy"], "true");
+
+  // New work is refused once the drain has run its course.
+  auto Sub = obs::parseJsonObjectLine((*S)->handle(kSelfSubmit));
+  ASSERT_TRUE(Sub);
+  EXPECT_EQ((*Sub)["ok"], "false");
+  (*S)->stop();
+}
+
+TEST(ServiceTest, DrainDeadlineStopsEvenWithWorkInFlight) {
+  TempFile F("svc_drain_deadline.jsonl");
+  auto S = Service::create(quickOptions(F.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+
+  // A live cross-pairing job, then a drain whose deadline it may or may
+  // not beat: either way the service must come down cleanly — straggler
+  // cancellation included — never hang.
+  auto Sub = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"submit\",\"operator\":\"pc2.copy\","
+                   "\"instruction\":\"vax.movc3\",\"wait\":false}"));
+  ASSERT_TRUE(Sub);
+  ASSERT_EQ((*Sub)["ok"], "true");
+
+  auto D = obs::parseJsonObjectLine(
+      (*S)->handle("{\"cmd\":\"drain\",\"deadline_ms\":1}"));
+  ASSERT_TRUE(D);
+  EXPECT_EQ((*D)["stopping"], "true");
+  EXPECT_TRUE(D->count("drained"));
+  EXPECT_TRUE(D->count("cancelled"));
+  EXPECT_TRUE((*S)->shutdownRequested());
+  (*S)->stop(); // Joins workers; a hang here is the test failure.
+}
+
+//===----------------------------------------------------------------------===//
+// Socket transport: TCP, peer protection, raw-wire edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(SocketTest, TcpRoundTripOnEphemeralPort) {
+  TempFile Store("tcp_store.jsonl");
+  auto S = Service::create(quickOptions(Store.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+  auto Fd = listenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(bool(Fd)) << Fd.fault().Message;
+  uint16_t Port = localPort(*Fd);
+  ASSERT_NE(Port, 0);
+  std::thread Server(
+      [&] { serveLoop({Listener{*Fd, ""}}, **S, ServeOptions()); });
+
+  {
+    auto C = Client::connect("127.0.0.1:" + std::to_string(Port));
+    ASSERT_TRUE(bool(C)) << C.fault().Message;
+    EXPECT_TRUE((*C)->endpoint().Tcp);
+    auto Cold = (*C)->request(kSelfSubmit);
+    ASSERT_TRUE(bool(Cold));
+    EXPECT_EQ(Cold->get("outcome"), "verified");
+    EXPECT_EQ(Cold->get("cached"), "false");
+    auto Warm = (*C)->request(kSelfSubmit);
+    ASSERT_TRUE(bool(Warm));
+    EXPECT_EQ(Warm->get("cached"), "true");
+    auto Down = (*C)->request("{\"cmd\":\"shutdown\"}");
+    ASSERT_TRUE(bool(Down));
+  }
+  Server.join();
+  (*S)->stop();
+}
+
+TEST(SocketTest, BlankLinesUnknownVerbsAndOversizedLinesOnTheWire) {
+  TempFile Store("edge_store.jsonl");
+  std::string Sock = ::testing::TempDir() + "extra_edge_test.sock";
+  std::remove(Sock.c_str());
+  auto S = Service::create(quickOptions(Store.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+  auto Fd = listenUnix(Sock);
+  ASSERT_TRUE(bool(Fd)) << Fd.fault().Message;
+  ServeOptions O;
+  O.MaxLineBytes = 512;
+  std::thread Server([&] { serveLoop({Listener{*Fd, Sock}}, **S, O); });
+
+  {
+    auto Raw = connectUnix(Sock);
+    ASSERT_TRUE(bool(Raw));
+    std::string Buf;
+    // Blank and whitespace-only lines are keep-alive noise: no reply,
+    // no eviction — the next real request is answered in order.
+    ASSERT_TRUE(writeLine(*Raw, ""));
+    ASSERT_TRUE(writeLine(*Raw, "  \t "));
+    ASSERT_TRUE(writeLine(*Raw, "{\"cmd\":\"status\"}"));
+    auto St = readLine(*Raw, Buf);
+    ASSERT_TRUE(St);
+    auto StF = obs::parseJsonObjectLine(*St);
+    ASSERT_TRUE(StF);
+    EXPECT_EQ((*StF)["ok"], "true");
+
+    // An unknown verb earns a typed protocol fault, not a hangup.
+    ASSERT_TRUE(writeLine(*Raw, "{\"cmd\":\"frobnicate\"}"));
+    auto Bad = readLine(*Raw, Buf);
+    ASSERT_TRUE(Bad);
+    auto BadF = obs::parseJsonObjectLine(*Bad);
+    ASSERT_TRUE(BadF);
+    EXPECT_EQ((*BadF)["ok"], "false");
+    EXPECT_EQ((*BadF)["category"], "protocol");
+
+    // An oversized line earns a typed transport fault and eviction.
+    ASSERT_TRUE(writeLine(*Raw, std::string(600, 'x')));
+    auto Evict = readLine(*Raw, Buf);
+    ASSERT_TRUE(Evict);
+    auto EvF = obs::parseJsonObjectLine(*Evict);
+    ASSERT_TRUE(EvF);
+    EXPECT_EQ((*EvF)["ok"], "false");
+    EXPECT_EQ((*EvF)["category"], "transport");
+    EXPECT_NE((*EvF)["error"].find("512"), std::string::npos);
+    EXPECT_FALSE(readLine(*Raw, Buf)); // Connection closed behind it.
+    ::close(*Raw);
+  }
+
+  obs::Metrics &M = (*S)->metrics();
+  EXPECT_EQ(M.counter("server.net.oversized_line").value(), 1u);
+  EXPECT_EQ(M.counter("server.net.evicted").value(), 1u);
+
+  // The eviction disturbed nobody else: a fresh connection is served.
+  {
+    auto C = Client::connect(Sock);
+    ASSERT_TRUE(bool(C));
+    auto St = (*C)->request("{\"cmd\":\"status\"}");
+    ASSERT_TRUE(bool(St));
+    EXPECT_TRUE(St->ok());
+    ASSERT_TRUE(bool((*C)->request("{\"cmd\":\"shutdown\"}")));
+  }
+  Server.join();
+  (*S)->stop();
+}
+
+namespace reap {
+/// Live thread count of this process, from /proc/self/task.
+size_t taskCount() {
+  DIR *D = ::opendir("/proc/self/task");
+  if (!D)
+    return 0;
+  size_t N = 0;
+  while (struct dirent *E = ::readdir(D))
+    if (E->d_name[0] != '.')
+      ++N;
+  ::closedir(D);
+  return N;
+}
+} // namespace reap
+
+TEST(SocketTest, FinishedConnectionThreadsAreReapedWhileServing) {
+  TempFile Store("reap_store.jsonl");
+  std::string Sock = ::testing::TempDir() + "extra_reap_test.sock";
+  std::remove(Sock.c_str());
+  auto S = Service::create(quickOptions(Store.Path));
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
+  auto Fd = listenUnix(Sock);
+  ASSERT_TRUE(bool(Fd)) << Fd.fault().Message;
+  std::thread Server([&] { serveLoop(*Fd, Sock, **S); });
+
+  size_t Before = reap::taskCount();
+  ASSERT_GT(Before, 0u);
+  for (int I = 0; I < 4; ++I) {
+    auto Raw = connectUnix(Sock);
+    ASSERT_TRUE(bool(Raw));
+    std::string Buf;
+    ASSERT_TRUE(writeLine(*Raw, "{\"cmd\":\"status\"}"));
+    ASSERT_TRUE(readLine(*Raw, Buf));
+    ::close(*Raw);
+  }
+  // The serve loop must join those four handler threads while still
+  // serving — not hoard them until shutdown.
+  bool Reaped = false;
+  for (int Tick = 0; Tick < 50 && !Reaped; ++Tick) {
+    Reaped = reap::taskCount() <= Before;
+    if (!Reaped)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(Reaped) << "handler threads still alive: "
+                      << reap::taskCount() << " vs baseline " << Before;
+
+  auto C = Client::connect(Sock);
+  ASSERT_TRUE(bool(C));
+  ASSERT_TRUE(bool((*C)->request("{\"cmd\":\"shutdown\"}")));
+  Server.join();
+  (*S)->stop();
+}
+
+namespace lowlevel {
+std::atomic<unsigned> Usr1Count{0};
+void onUsr1(int) { Usr1Count.fetch_add(1, std::memory_order_relaxed); }
+} // namespace lowlevel
+
+TEST(SocketTest, PartialWritesAndSignalsDoNotCorruptLines) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // A tiny send buffer forces the writer through many short writes.
+  int SndBuf = 2048;
+  ::setsockopt(Fds[0], SOL_SOCKET, SO_SNDBUF, &SndBuf, sizeof(SndBuf));
+  ASSERT_TRUE(setNonBlocking(Fds[0]));
+  ASSERT_TRUE(setNonBlocking(Fds[1]));
+
+  // SA_RESTART deliberately off: every poll/read/write must survive a
+  // raw EINTR, not rely on the kernel restarting it.
+  struct sigaction SA = {};
+  struct sigaction Old = {};
+  SA.sa_handler = lowlevel::onUsr1;
+  ASSERT_EQ(::sigaction(SIGUSR1, &SA, &Old), 0);
+
+  std::string Big(256 * 1024, 'x');
+  Big += "END";
+  std::string Got1, Got2;
+  std::thread Reader([&] {
+    std::string Buf;
+    LineIo A = readLineDeadline(Fds[1], Buf, 10000, 10000, 1 << 20);
+    if (A.St == IoStatus::Ok)
+      Got1 = std::move(A.Line);
+    LineIo B = readLineDeadline(Fds[1], Buf, 10000, 10000, 1 << 20);
+    if (B.St == IoStatus::Ok)
+      Got2 = std::move(B.Line);
+  });
+  std::atomic<bool> Done{false};
+  pthread_t Writer = ::pthread_self();
+  std::thread Pepper([&] {
+    while (!Done.load()) {
+      ::pthread_kill(Writer, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  EXPECT_EQ(writeLineDeadline(Fds[0], Big, 10000), IoStatus::Ok);
+  // The blocking compatibility wrapper takes the same gauntlet.
+  EXPECT_TRUE(writeLine(Fds[0], "{\"ok\":true}"));
+  Done.store(true);
+  Pepper.join();
+  Reader.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &Old, nullptr), 0);
+
+  EXPECT_GT(lowlevel::Usr1Count.load(), 0u);
+  EXPECT_EQ(Got1.size(), Big.size());
+  EXPECT_EQ(Got1, Big); // Byte-exact through all the short writes.
+  EXPECT_EQ(Got2, "{\"ok\":true}");
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Store lock liveness
+//===----------------------------------------------------------------------===//
+
+TEST(MemoStoreTest, StaleLockFromDeadProcessIsTakenOver) {
+  TempFile F("lock_dead.jsonl");
+  // A pid guaranteed dead: fork a child that exits at once and reap it.
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0)
+    ::_exit(0);
+  int St = 0;
+  ASSERT_EQ(::waitpid(Child, &St, 0), Child);
+  {
+    std::ofstream L(F.Path + ".lock");
+    L << Child << "\n";
+  }
+  auto S = MemoStore::open(F.Path);
+  ASSERT_TRUE(bool(S)) << S.fault().Message; // Takeover, not a hang.
+  ASSERT_TRUE(bool((*S)->put(sampleEntry("0x1", "vax.movc3/pc2.copy"))));
+}
+
+TEST(MemoStoreTest, LiveLockIsRespectedAgedGarbageLockIsNot) {
+  TempFile F("lock_live.jsonl");
+  // Our own pid is as live as it gets: the lock holds.
+  {
+    std::ofstream L(F.Path + ".lock");
+    L << ::getpid() << "\n";
+  }
+  auto Held = MemoStore::open(F.Path);
+  ASSERT_FALSE(bool(Held));
+  EXPECT_NE(Held.fault().Message.find("live"), std::string::npos);
+  std::remove((F.Path + ".lock").c_str());
+
+  // A lock with no readable pid falls back to age: stamp it old and it
+  // is stale.
+  {
+    std::ofstream L(F.Path + ".lock");
+    L << "not-a-pid\n";
+  }
+  struct timeval Old[2];
+  ::gettimeofday(&Old[0], nullptr);
+  Old[0].tv_sec -= 3600;
+  Old[1] = Old[0];
+  ASSERT_EQ(::utimes((F.Path + ".lock").c_str(), Old), 0);
+  auto S = MemoStore::open(F.Path);
+  ASSERT_TRUE(bool(S)) << S.fault().Message;
 }
 
 } // namespace

@@ -52,6 +52,7 @@
 #include "search/BatchDriver.h"
 #include "search/Checkpoint.h"
 #include "search/Postmortem.h"
+#include "server/Chaos.h"
 #include "server/Client.h"
 #include "server/MemoStore.h"
 #include "server/Service.h"
@@ -62,12 +63,16 @@
 #include "support/FaultInjection.h"
 #include "support/StringUtil.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <thread>
+#include <unistd.h>
 
 using namespace extra;
 using namespace extra::analysis;
@@ -121,42 +126,70 @@ int usage() {
                "                          (closest state, script prefix,\n"
                "                          divergence) — no recorded script\n"
                "                          needed\n"
-               "  serve --socket S --store F\n"
+               "  serve (--socket S | --listen HOST:PORT | both) --store F\n"
                "                          run the persistent discovery\n"
                "                          service: answers repeat queries\n"
                "                          from the cross-run memo store in\n"
                "                          O(lookup), searches misses on a\n"
-               "                          worker pool\n"
+               "                          worker pool; --listen adds a TCP\n"
+               "                          listener (port 0 = ephemeral)\n"
                "    options: --workers N, --beam/--depth/--nodes/--time-ms,\n"
                "             --no-retry, --no-watchdog, --no-compact,\n"
-               "             --inject/--inject-seed, --metrics FILE\n"
-               "  client --socket S submit <op-id> <inst-id> [-x] [--wait]\n"
+               "             --inject/--inject-seed, --metrics FILE,\n"
+               "             --max-queued N (admission bound; overflow gets\n"
+               "             a typed overloaded reply), --max-conns N,\n"
+               "             --line-deadline-ms/--idle-timeout-ms/\n"
+               "             --write-deadline-ms N (slow-peer eviction),\n"
+               "             --max-line-bytes N\n"
+               "  client (--socket S | --connect HOST:PORT) <verb> ...\n"
+               "    options: --retries N, --deadline-ms N (per-request\n"
+               "             budget; retries reuse the request id so a\n"
+               "             resent submit never double-enqueues)\n"
+               "  client ... submit <op-id> <inst-id> [-x] [--wait]\n"
                "                          [--priority N]\n"
-               "  client --socket S submit --case <case-id> [--wait]\n"
-               "  client --socket S query (<op-id> <inst-id> [-x] |\n"
+               "  client ... submit --case <case-id> [--wait]\n"
+               "  client ... query (<op-id> <inst-id> [-x] |\n"
                "                          --case <case-id>)\n"
-               "  client --socket S suite [--min-verified N]\n"
-               "                          [--expect-hits N]\n"
+               "  client ... suite [--min-verified N] [--expect-hits N]\n"
                "                          submit all recorded pairings and\n"
                "                          wait for verdicts\n"
-               "  client --socket S status|drain|shutdown\n"
-               "  client --socket S export <path>\n"
+               "  client ... status|shutdown|health|ready\n"
+               "                          (ready exits 0 only while the\n"
+               "                          server accepts new work)\n"
+               "  client ... drain [--deadline MS]\n"
+               "                          wait until idle; with --deadline,\n"
+               "                          stop admission, finish or cancel\n"
+               "                          in-flight jobs by the deadline,\n"
+               "                          compact, and exit the server\n"
+               "  client ... export <path>\n"
                "                          dump the live store's verified\n"
                "                          pairings as a binding-registry\n"
                "                          file at a server-side path\n"
-               "  client --socket S metrics [--prom]\n"
+               "  client ... metrics [--prom]\n"
                "                          [--require name[,name...]]\n"
                "                          scrape the live metrics registry\n"
                "                          (JSON, or the Prometheus text\n"
                "                          exposition with --prom; --require\n"
                "                          fails unless the named counters\n"
                "                          are nonzero)\n"
-               "  client --socket S watch (<job-id> | --case <case-id>)\n"
+               "  client ... watch (<job-id> | --case <case-id>)\n"
                "                          stream a running job's progress:\n"
                "                          one line per tick (depth,\n"
                "                          frontier, expansions/sec, best\n"
                "                          partial distance), then the final\n"
                "                          verdict\n"
+               "  chaos-proxy --listen EP --target EP [--seed N]\n"
+               "              [--torn/--partial/--stall/--disconnect/\n"
+               "              --garbage PER-MILLE | --all PER-MILLE]\n"
+               "              [--stall-ms N]\n"
+               "                          deterministic fault-injecting\n"
+               "                          proxy between a protocol client\n"
+               "                          and the server: tears lines,\n"
+               "                          dribbles partial writes, stalls,\n"
+               "                          cuts connections mid-line, and\n"
+               "                          injects garbage, all seeded;\n"
+               "                          SIGINT/SIGTERM prints the fired\n"
+               "                          counts and exits\n"
                "  profile <trace.jsonl> [--collapsed FILE]\n"
                "                          roll a (possibly rotated) JSONL\n"
                "                          trace into self/total-time tables\n"
@@ -723,8 +756,9 @@ int cmdPostmortem(int argc, char **argv) {
 }
 
 int cmdServe(int argc, char **argv) {
-  std::string SocketPath, StorePath, MetricsPath;
+  std::string SocketPath, ListenSpec, StorePath, MetricsPath;
   extra::server::ServiceOptions Opts;
+  extra::server::ServeOptions SOpts;
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
     auto IntOpt = [&](uint64_t &Slot) {
@@ -736,6 +770,8 @@ int cmdServe(int argc, char **argv) {
     uint64_t V = 0;
     if (Arg == "--socket" && I + 1 < argc)
       SocketPath = argv[++I];
+    else if (Arg == "--listen" && I + 1 < argc)
+      ListenSpec = argv[++I];
     else if (Arg == "--store" && I + 1 < argc)
       StorePath = argv[++I];
     else if (Arg == "--workers" && IntOpt(V))
@@ -748,6 +784,18 @@ int cmdServe(int argc, char **argv) {
       Opts.Limits.MaxNodes = V;
     else if (Arg == "--time-ms" && IntOpt(V))
       Opts.Limits.TimeBudgetMs = V;
+    else if (Arg == "--max-queued" && IntOpt(V))
+      Opts.MaxQueued = V;
+    else if (Arg == "--max-conns" && IntOpt(V))
+      SOpts.MaxConnections = static_cast<unsigned>(V);
+    else if (Arg == "--line-deadline-ms" && IntOpt(V))
+      SOpts.LineDeadlineMs = static_cast<int>(V);
+    else if (Arg == "--idle-timeout-ms" && IntOpt(V))
+      SOpts.IdleTimeoutMs = static_cast<int>(V);
+    else if (Arg == "--write-deadline-ms" && IntOpt(V))
+      SOpts.WriteDeadlineMs = static_cast<int>(V);
+    else if (Arg == "--max-line-bytes" && IntOpt(V))
+      SOpts.MaxLineBytes = V;
     else if (Arg == "--no-retry")
       Opts.DegradedRetry = false;
     else if (Arg == "--no-watchdog")
@@ -767,7 +815,7 @@ int cmdServe(int argc, char **argv) {
     else
       return usage();
   }
-  if (SocketPath.empty() || StorePath.empty())
+  if ((SocketPath.empty() && ListenSpec.empty()) || StorePath.empty())
     return usage();
 
   Opts.StorePath = StorePath;
@@ -777,18 +825,40 @@ int cmdServe(int argc, char **argv) {
                  Service.fault().Message.c_str());
     return 1;
   }
-  auto ListenFd = extra::server::listenUnix(SocketPath);
-  if (!ListenFd) {
-    std::fprintf(stderr, "%s\n", ListenFd.fault().Message.c_str());
+  std::vector<extra::server::Listener> Listeners;
+  auto FailListen = [&](const std::string &Message) {
+    std::fprintf(stderr, "%s\n", Message.c_str());
+    for (const extra::server::Listener &L : Listeners)
+      ::close(L.Fd);
     (*Service)->stop();
     return 1;
+  };
+  if (!SocketPath.empty()) {
+    auto Fd = extra::server::listenUnix(SocketPath);
+    if (!Fd)
+      return FailListen(Fd.fault().Message);
+    Listeners.push_back({*Fd, SocketPath});
+    std::printf("listening on unix %s\n", SocketPath.c_str());
   }
-  std::printf("serving on %s (store %s, %zu cached entr%s)\n",
-              SocketPath.c_str(), StorePath.c_str(),
+  if (!ListenSpec.empty()) {
+    auto Ep = extra::server::parseEndpoint(ListenSpec);
+    if (!Ep)
+      return FailListen(Ep.fault().Message);
+    auto Fd = extra::server::listenEndpoint(*Ep);
+    if (!Fd)
+      return FailListen(Fd.fault().Message);
+    Listeners.push_back({*Fd, Ep->Tcp ? std::string() : Ep->Path});
+    if (Ep->Tcp)
+      std::printf("listening on tcp %s:%u\n", Ep->Host.c_str(),
+                  extra::server::localPort(*Fd));
+    else
+      std::printf("listening on unix %s\n", Ep->Path.c_str());
+  }
+  std::printf("serving (store %s, %zu cached entr%s)\n", StorePath.c_str(),
               (*Service)->store().size(),
               (*Service)->store().size() == 1 ? "y" : "ies");
   std::fflush(stdout);
-  extra::server::serveLoop(*ListenFd, SocketPath, **Service);
+  extra::server::serveLoop(Listeners, **Service, SOpts);
   (*Service)->stop();
   if (!MetricsPath.empty()) {
     std::ofstream MO(MetricsPath);
@@ -805,21 +875,40 @@ void printResponse(const extra::server::Response &R) {
 }
 
 int cmdClient(int argc, char **argv) {
-  std::string SocketPath, Sub;
+  std::string Spec, Sub;
+  extra::server::ClientOptions COpts;
   std::vector<std::string> Rest;
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--socket" && I + 1 < argc)
-      SocketPath = argv[++I];
+    if ((Arg == "--socket" || Arg == "--connect") && I + 1 < argc)
+      Spec = argv[++I];
+    else if (Arg == "--retries" && I + 1 < argc)
+      COpts.MaxAttempts = static_cast<unsigned>(
+          std::strtoul(argv[++I], nullptr, 10));
+    else if (Arg == "--deadline-ms" && I + 1 < argc)
+      COpts.RequestDeadlineMs =
+          static_cast<int>(std::strtol(argv[++I], nullptr, 10));
     else if (Sub.empty() && Arg[0] != '-')
       Sub = Arg;
     else
       Rest.push_back(Arg);
   }
-  if (SocketPath.empty() || Sub.empty())
+  if (Spec.empty() || Sub.empty())
     return usage();
 
-  auto Client = extra::server::Client::connect(SocketPath);
+  // A deadline-bounded drain can legitimately take its whole deadline;
+  // give the request budget headroom past it so the client does not
+  // retry a drain that is simply still draining.
+  if (Sub == "drain")
+    for (size_t I = 0; I + 1 < Rest.size(); ++I)
+      if (Rest[I] == "--deadline") {
+        int64_t D = std::strtoll(Rest[I + 1].c_str(), nullptr, 10);
+        if (COpts.RequestDeadlineMs > 0 &&
+            D + 30000 > COpts.RequestDeadlineMs)
+          COpts.RequestDeadlineMs = static_cast<int>(D + 30000);
+      }
+
+  auto Client = extra::server::Client::connect(Spec, COpts);
   if (!Client) {
     std::fprintf(stderr, "%s\n", Client.fault().Message.c_str());
     return 1;
@@ -834,11 +923,27 @@ int cmdClient(int argc, char **argv) {
     return *R;
   };
 
-  if (Sub == "status" || Sub == "drain" || Sub == "shutdown") {
-    auto R = Ask("{\"cmd\":\"" + Sub + "\"}");
+  if (Sub == "status" || Sub == "drain" || Sub == "shutdown" ||
+      Sub == "health" || Sub == "ready") {
+    obs::Payload P;
+    P.add("cmd", Sub);
+    if (Sub == "drain") {
+      for (size_t I = 0; I < Rest.size(); ++I) {
+        if (Rest[I] == "--deadline" && I + 1 < Rest.size())
+          P.add("deadline_ms", static_cast<uint64_t>(std::strtoull(
+                                   Rest[++I].c_str(), nullptr, 10)));
+        else
+          return usage();
+      }
+    } else if (!Rest.empty()) {
+      return usage();
+    }
+    auto R = Ask("{" + P.rendered().substr(1) + "}");
     if (!R)
       return 1;
     printResponse(*R);
+    if (Sub == "ready")
+      return R->ok() && R->get("ready") == "true" ? 0 : 1;
     return R->ok() ? 0 : 1;
   }
 
@@ -1074,6 +1179,92 @@ int cmdClient(int argc, char **argv) {
   }
 
   return usage();
+}
+
+volatile std::sig_atomic_t ChaosSignal = 0;
+void onChaosSignal(int Sig) { ChaosSignal = Sig; }
+
+int cmdChaosProxy(int argc, char **argv) {
+  std::string ListenSpec, TargetSpec;
+  extra::server::ChaosOptions COpts;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto IntOpt = [&](uint64_t &Slot) {
+      if (I + 1 >= argc)
+        return false;
+      Slot = std::strtoull(argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t V = 0;
+    if (Arg == "--listen" && I + 1 < argc)
+      ListenSpec = argv[++I];
+    else if (Arg == "--target" && I + 1 < argc)
+      TargetSpec = argv[++I];
+    else if (Arg == "--seed" && IntOpt(V))
+      COpts.Seed = V;
+    else if (Arg == "--torn" && IntOpt(V))
+      COpts.TornPerMille = static_cast<unsigned>(V);
+    else if (Arg == "--partial" && IntOpt(V))
+      COpts.PartialPerMille = static_cast<unsigned>(V);
+    else if (Arg == "--stall" && IntOpt(V))
+      COpts.StallPerMille = static_cast<unsigned>(V);
+    else if (Arg == "--disconnect" && IntOpt(V))
+      COpts.DisconnectPerMille = static_cast<unsigned>(V);
+    else if (Arg == "--garbage" && IntOpt(V))
+      COpts.GarbagePerMille = static_cast<unsigned>(V);
+    else if (Arg == "--all" && IntOpt(V)) {
+      COpts.TornPerMille = COpts.PartialPerMille = COpts.StallPerMille =
+          COpts.DisconnectPerMille = COpts.GarbagePerMille =
+              static_cast<unsigned>(V);
+    } else if (Arg == "--stall-ms" && IntOpt(V))
+      COpts.StallMs = static_cast<unsigned>(V);
+    else
+      return usage();
+  }
+  if (ListenSpec.empty() || TargetSpec.empty())
+    return usage();
+  auto Listen = extra::server::parseEndpoint(ListenSpec);
+  auto Target = extra::server::parseEndpoint(TargetSpec);
+  if (!Listen || !Target) {
+    std::fprintf(stderr, "%s\n",
+                 (!Listen ? Listen.fault() : Target.fault()).Message.c_str());
+    return 1;
+  }
+  auto Proxy =
+      extra::server::ChaosProxy::start(*Listen, std::move(*Target), COpts);
+  if (!Proxy) {
+    std::fprintf(stderr, "cannot start chaos proxy: %s\n",
+                 Proxy.fault().Message.c_str());
+    return 1;
+  }
+  if (Listen->Tcp)
+    std::printf("chaos proxy on tcp %s:%u -> %s (seed %llu)\n",
+                Listen->Host.c_str(), (*Proxy)->port(), TargetSpec.c_str(),
+                static_cast<unsigned long long>(COpts.Seed));
+  else
+    std::printf("chaos proxy on unix %s -> %s (seed %llu)\n",
+                Listen->Path.c_str(), TargetSpec.c_str(),
+                static_cast<unsigned long long>(COpts.Seed));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onChaosSignal);
+  std::signal(SIGTERM, onChaosSignal);
+  while (!ChaosSignal)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  extra::server::ChaosCounts C = (*Proxy)->counts();
+  (*Proxy)->stop();
+  std::printf("chaos proxy stopped: %llu connections, %llu lines, "
+              "%llu faults fired (torn %llu, partial %llu, stall %llu, "
+              "disconnect %llu, garbage %llu)\n",
+              static_cast<unsigned long long>(C.Connections),
+              static_cast<unsigned long long>(C.Lines),
+              static_cast<unsigned long long>(C.fired()),
+              static_cast<unsigned long long>(C.Torn),
+              static_cast<unsigned long long>(C.Partial),
+              static_cast<unsigned long long>(C.Stalls),
+              static_cast<unsigned long long>(C.Disconnects),
+              static_cast<unsigned long long>(C.Garbage));
+  return 0;
 }
 
 int cmdProfile(int argc, char **argv) {
@@ -1333,6 +1524,8 @@ int main(int argc, char **argv) {
     return cmdServe(argc, argv);
   if (!std::strcmp(Cmd, "client"))
     return cmdClient(argc, argv);
+  if (!std::strcmp(Cmd, "chaos-proxy"))
+    return cmdChaosProxy(argc, argv);
   if (!std::strcmp(Cmd, "registry"))
     return cmdRegistry(argc, argv);
   if (!std::strcmp(Cmd, "compile"))
